@@ -1,0 +1,263 @@
+//! Numerically stable combinatorial helpers for the collision-probability
+//! recursions (Eq. 2 and Eq. A.1 of the paper).
+//!
+//! The recursions need binomial probabilities `C(K,i) q^i (1−q)^{K−i}` for
+//! `K` up to several hundred. Evaluating `C(K,i)` directly overflows `f64`
+//! near `K ≈ 1030`; all routines here therefore work in probability space
+//! (iterative ratio updates) or log space.
+
+/// Natural log of `n!` via Stirling's series for large `n`, exact
+/// accumulation below a small cutoff. Accurate to ~1e-12 relative error.
+pub fn ln_factorial(n: u64) -> f64 {
+    const CUTOFF: u64 = 32;
+    if n < CUTOFF {
+        let mut acc = 0.0f64;
+        for k in 2..=n {
+            acc += (k as f64).ln();
+        }
+        return acc;
+    }
+    // Stirling with correction terms: ln n! ≈ n ln n − n + ½ln(2πn)
+    //   + 1/(12n) − 1/(360n³) + 1/(1260n⁵)
+    let x = n as f64;
+    let x2 = x * x;
+    x * x.ln() - x + 0.5 * (2.0 * std::f64::consts::PI * x).ln() + 1.0 / (12.0 * x)
+        - 1.0 / (360.0 * x * x2)
+        + 1.0 / (1260.0 * x * x2 * x2)
+}
+
+/// `ln C(n, k)`; returns `-inf` when `k > n`.
+pub fn ln_binomial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Falling factorial `(n)_k = n (n−1) ⋯ (n−k+1)` as `f64`; 1 when `k = 0`,
+/// 0 when `k > n`.
+pub fn falling_factorial(n: u64, k: u64) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc *= (n - i) as f64;
+    }
+    acc
+}
+
+/// Iterator over the full Binomial(K, q) pmf: yields `(i, P[X = i])` for
+/// `i = 0..=K` using the stable ratio recurrence
+/// `P(i+1) = P(i) · (K−i)/(i+1) · q/(1−q)`.
+///
+/// For `q = 1` the mass collapses onto `i = K`; for `q = 0` onto `i = 0`.
+pub struct BinomialPmf {
+    k: u64,
+    q: f64,
+    i: u64,
+    p: f64,
+    done: bool,
+}
+
+impl BinomialPmf {
+    /// Creates the pmf iterator. `q` must be a probability.
+    pub fn new(k: u64, q: f64) -> Self {
+        assert!((0.0..=1.0).contains(&q), "q must be in [0,1], got {q}");
+        let p0 = if q >= 1.0 {
+            if k == 0 {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (1.0 - q).powi(i32::try_from(k).expect("K too large"))
+        };
+        BinomialPmf {
+            k,
+            q,
+            i: 0,
+            p: p0,
+            done: false,
+        }
+    }
+}
+
+impl Iterator for BinomialPmf {
+    type Item = (u64, f64);
+
+    fn next(&mut self) -> Option<(u64, f64)> {
+        if self.done {
+            return None;
+        }
+        let out = (self.i, self.p);
+        if self.i == self.k {
+            self.done = true;
+        } else if self.q >= 1.0 {
+            // all mass at i = K
+            self.i += 1;
+            self.p = if self.i == self.k { 1.0 } else { 0.0 };
+        } else {
+            let ratio = self.q / (1.0 - self.q);
+            self.p *= (self.k - self.i) as f64 / (self.i + 1) as f64 * ratio;
+            self.i += 1;
+        }
+        Some(out)
+    }
+}
+
+/// Poisson(λ) pmf values `(i, P[X = i])` for `i = 0..` until the tail mass
+/// falls below `tail_eps` (after the mode, so the loop always terminates).
+pub fn poisson_pmf(lambda: f64, tail_eps: f64) -> Vec<(u64, f64)> {
+    assert!(lambda >= 0.0 && tail_eps > 0.0);
+    if lambda == 0.0 {
+        return vec![(0, 1.0)];
+    }
+    let mut out = Vec::new();
+    let mut p = (-lambda).exp();
+    let mut i = 0u64;
+    // For very large λ, e^{−λ} underflows; start from the mode in log space.
+    if p == 0.0 {
+        let mode = lambda.floor() as u64;
+        let ln_pmode = -lambda + mode as f64 * lambda.ln() - ln_factorial(mode);
+        // walk down from the mode in both directions
+        let pmode = ln_pmode.exp();
+        let mut lo: Vec<(u64, f64)> = Vec::new();
+        let mut pi = pmode;
+        let mut j = mode;
+        while pi > tail_eps && j > 0 {
+            pi *= j as f64 / lambda;
+            j -= 1;
+            lo.push((j, pi));
+        }
+        lo.reverse();
+        out.extend(lo);
+        out.push((mode, pmode));
+        let mut pi = pmode;
+        let mut j = mode;
+        loop {
+            j += 1;
+            pi *= lambda / j as f64;
+            if pi < tail_eps {
+                break;
+            }
+            out.push((j, pi));
+        }
+        return out;
+    }
+    loop {
+        out.push((i, p));
+        i += 1;
+        p *= lambda / i as f64;
+        if i as f64 > lambda && p < tail_eps {
+            break;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_factorial_small_exact() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        assert!((ln_factorial(5) - 120.0f64.ln()).abs() < 1e-12);
+        assert!((ln_factorial(10) - 3628800.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_factorial_stirling_matches_exact() {
+        // Compare Stirling branch against exact summation at the cutoff zone.
+        for n in [32u64, 50, 100, 500, 1000] {
+            let exact: f64 = (2..=n).map(|k| (k as f64).ln()).sum();
+            let approx = ln_factorial(n);
+            assert!(
+                (exact - approx).abs() / exact < 1e-12,
+                "n={n}: {exact} vs {approx}"
+            );
+        }
+    }
+
+    #[test]
+    fn ln_binomial_values() {
+        assert!((ln_binomial(5, 2) - 10.0f64.ln()).abs() < 1e-12);
+        assert!((ln_binomial(10, 5) - 252.0f64.ln()).abs() < 1e-10);
+        assert_eq!(ln_binomial(3, 4), f64::NEG_INFINITY);
+        assert_eq!(ln_binomial(7, 0), 0.0);
+    }
+
+    #[test]
+    fn falling_factorial_values() {
+        assert_eq!(falling_factorial(5, 0), 1.0);
+        assert_eq!(falling_factorial(5, 1), 5.0);
+        assert_eq!(falling_factorial(5, 3), 60.0);
+        assert_eq!(falling_factorial(5, 5), 120.0);
+        assert_eq!(falling_factorial(5, 6), 0.0);
+        assert_eq!(falling_factorial(0, 0), 1.0);
+    }
+
+    #[test]
+    fn binomial_pmf_sums_to_one() {
+        for &(k, q) in &[(0u64, 0.5), (1, 0.3), (10, 0.0), (10, 1.0), (50, 0.2), (300, 1.0 / 3.0)] {
+            let total: f64 = BinomialPmf::new(k, q).map(|(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-9, "K={k} q={q}: sum {total}");
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_matches_log_space() {
+        let k = 40u64;
+        let q = 0.25;
+        for (i, p) in BinomialPmf::new(k, q) {
+            let lp = ln_binomial(k, i) + i as f64 * q.ln() + (k - i) as f64 * (1.0 - q).ln();
+            assert!(
+                (p - lp.exp()).abs() < 1e-12,
+                "i={i}: iterative {p} vs log {l}",
+                l = lp.exp()
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_pmf_degenerate_q() {
+        let pmf: Vec<_> = BinomialPmf::new(5, 1.0).collect();
+        assert_eq!(pmf.len(), 6);
+        assert_eq!(pmf[5], (5, 1.0));
+        assert!(pmf[..5].iter().all(|&(_, p)| p == 0.0));
+        let pmf: Vec<_> = BinomialPmf::new(5, 0.0).collect();
+        assert_eq!(pmf[0], (0, 1.0));
+        assert!(pmf[1..].iter().all(|&(_, p)| p == 0.0));
+    }
+
+    #[test]
+    fn binomial_pmf_mean() {
+        let k = 120u64;
+        let q = 0.37;
+        let mean: f64 = BinomialPmf::new(k, q).map(|(i, p)| i as f64 * p).sum();
+        assert!((mean - k as f64 * q).abs() < 1e-8);
+    }
+
+    #[test]
+    fn poisson_pmf_normalizes_and_means() {
+        for &lambda in &[0.0, 0.5, 3.0, 25.0, 150.0] {
+            let pmf = poisson_pmf(lambda, 1e-14);
+            let total: f64 = pmf.iter().map(|&(_, p)| p).sum();
+            assert!((total - 1.0).abs() < 1e-8, "λ={lambda}: sum {total}");
+            let mean: f64 = pmf.iter().map(|&(i, p)| i as f64 * p).sum();
+            assert!((mean - lambda).abs() < 1e-6, "λ={lambda}: mean {mean}");
+        }
+    }
+
+    #[test]
+    fn poisson_pmf_huge_lambda_log_branch() {
+        // λ = 800 underflows e^{−λ}; exercises the mode-centred branch.
+        let pmf = poisson_pmf(800.0, 1e-12);
+        let total: f64 = pmf.iter().map(|&(_, p)| p).sum();
+        assert!((total - 1.0).abs() < 1e-6, "sum {total}");
+        let mean: f64 = pmf.iter().map(|&(i, p)| i as f64 * p).sum();
+        assert!((mean - 800.0).abs() < 0.01, "mean {mean}");
+    }
+}

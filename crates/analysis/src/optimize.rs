@@ -1,0 +1,318 @@
+//! Broadcast-probability optimization against the §4.1 performance metrics.
+//!
+//! The paper treats the broadcast probability `p` as the tunable algorithm
+//! parameter and selects it by sweeping a grid (0.01..1.00 in the analysis)
+//! and reading off the argmax/argmin for the metric of interest. This module
+//! implements that sweep plus a golden-section refinement for callers that
+//! want more resolution than the grid.
+
+use crate::ring_model::{RingModel, RingModelConfig};
+use nss_model::metrics::PhaseSeries;
+use serde::{Deserialize, Serialize};
+
+/// One of the four §4.1 optimization objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Objective {
+    /// Metric 1: maximize reachability within a latency budget (phases).
+    MaxReachAtLatency {
+        /// Latency budget in (possibly fractional) phases.
+        phases: f64,
+    },
+    /// Metric 3: minimize latency (phases) to a reachability target.
+    MinLatencyForReach {
+        /// Reachability target in (0, 1].
+        target: f64,
+    },
+    /// Metric 4: minimize broadcasts to a reachability target.
+    MinBroadcastsForReach {
+        /// Reachability target in (0, 1].
+        target: f64,
+    },
+    /// Metric 5: maximize reachability within a broadcast budget.
+    MaxReachUnderBudget {
+        /// Broadcast budget (count).
+        budget: f64,
+    },
+}
+
+impl Objective {
+    /// True for maximization objectives.
+    pub fn is_max(&self) -> bool {
+        matches!(
+            self,
+            Objective::MaxReachAtLatency { .. } | Objective::MaxReachUnderBudget { .. }
+        )
+    }
+
+    /// Evaluates the objective on one execution summary. `None` means the
+    /// execution cannot satisfy the constraint (e.g. never reaches the
+    /// target), which the paper renders as a gap in the curve.
+    pub fn evaluate(&self, series: &PhaseSeries) -> Option<f64> {
+        match *self {
+            Objective::MaxReachAtLatency { phases } => {
+                Some(series.reachability_at_latency(phases))
+            }
+            Objective::MinLatencyForReach { target } => series.latency_to_reach(target),
+            Objective::MinBroadcastsForReach { target } => series.broadcasts_to_reach(target),
+            Objective::MaxReachUnderBudget { budget } => {
+                Some(series.reachability_under_budget(budget))
+            }
+        }
+    }
+
+    /// True if candidate value `a` is better than incumbent `b`.
+    fn better(&self, a: f64, b: f64) -> bool {
+        if self.is_max() {
+            a > b
+        } else {
+            a < b
+        }
+    }
+}
+
+/// An optimal probability with the metric value it achieves.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Optimum {
+    /// The optimal broadcast probability.
+    pub prob: f64,
+    /// The metric value at that probability.
+    pub value: f64,
+}
+
+/// A sweep of the analytical model over a probability grid at fixed density.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ProbabilitySweep {
+    /// Base configuration; its `prob` field is overridden per grid point.
+    pub base: RingModelConfig,
+    /// The probability grid.
+    pub probs: Vec<f64>,
+    /// Phase series for each grid point, aligned with `probs`.
+    pub series: Vec<PhaseSeries>,
+}
+
+impl ProbabilitySweep {
+    /// Runs the ring model at every probability in `probs`.
+    pub fn run(base: RingModelConfig, probs: &[f64]) -> Self {
+        let series = probs
+            .iter()
+            .map(|&p| {
+                let mut cfg = base;
+                cfg.prob = p;
+                RingModel::new(cfg).run().phase_series()
+            })
+            .collect();
+        ProbabilitySweep {
+            base,
+            probs: probs.to_vec(),
+            series,
+        }
+    }
+
+    /// The paper's analysis grid: 0.01..=1.00 step 0.01.
+    pub fn paper_grid() -> Vec<f64> {
+        (1..=100).map(|i| f64::from(i) / 100.0).collect()
+    }
+
+    /// The paper's simulation grid: 0.05..=1.00 step 0.05.
+    pub fn sim_grid() -> Vec<f64> {
+        (1..=20).map(|i| f64::from(i) / 20.0).collect()
+    }
+
+    /// Objective value at every grid point (`None` = infeasible).
+    pub fn evaluate(&self, obj: Objective) -> Vec<(f64, Option<f64>)> {
+        self.probs
+            .iter()
+            .zip(&self.series)
+            .map(|(&p, s)| (p, obj.evaluate(s)))
+            .collect()
+    }
+
+    /// The best grid point for the objective, if any point is feasible.
+    pub fn optimum(&self, obj: Objective) -> Option<Optimum> {
+        let mut best: Option<Optimum> = None;
+        for (p, v) in self.evaluate(obj) {
+            let Some(v) = v else { continue };
+            match best {
+                Some(b) if !obj.better(v, b.value) => {}
+                _ => best = Some(Optimum { prob: p, value: v }),
+            }
+        }
+        best
+    }
+}
+
+/// Golden-section refinement of the optimal probability inside `[lo, hi]`,
+/// assuming the objective is unimodal in `p` there (the bell shape the
+/// paper observes). Infeasible evaluations are treated as worst-possible.
+///
+/// Returns the refined optimum after `iters` contractions (each costs two
+/// ring-model runs; 20 iterations shrink the interval by ~1e-4).
+pub fn refine_golden(
+    base: RingModelConfig,
+    obj: Objective,
+    lo: f64,
+    hi: f64,
+    iters: u32,
+) -> Optimum {
+    assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0);
+    let eval = |p: f64| -> f64 {
+        let mut cfg = base;
+        cfg.prob = p;
+        let s = RingModel::new(cfg).run().phase_series();
+        match obj.evaluate(&s) {
+            Some(v) => {
+                if obj.is_max() {
+                    v
+                } else {
+                    -v // maximize the negation
+                }
+            }
+            None => f64::NEG_INFINITY,
+        }
+    };
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let (mut a, mut b) = (lo, hi);
+    let mut c = b - INV_PHI * (b - a);
+    let mut d = a + INV_PHI * (b - a);
+    let mut fc = eval(c);
+    let mut fd = eval(d);
+    for _ in 0..iters {
+        if fc >= fd {
+            b = d;
+            d = c;
+            fd = fc;
+            c = b - INV_PHI * (b - a);
+            fc = eval(c);
+        } else {
+            a = c;
+            c = d;
+            fc = fd;
+            d = a + INV_PHI * (b - a);
+            fd = eval(d);
+        }
+    }
+    let (p, f) = if fc >= fd { (c, fc) } else { (d, fd) };
+    Optimum {
+        prob: p,
+        value: if obj.is_max() { f } else { -f },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn coarse_sweep(rho: f64) -> ProbabilitySweep {
+        let mut base = RingModelConfig::paper(rho, 0.0);
+        base.quad_points = 32; // keep tests fast
+        let probs: Vec<f64> = (1..=20).map(|i| f64::from(i) / 20.0).collect();
+        ProbabilitySweep::run(base, &probs)
+    }
+
+    #[test]
+    fn grids_match_paper() {
+        let g = ProbabilitySweep::paper_grid();
+        assert_eq!(g.len(), 100);
+        assert!((g[0] - 0.01).abs() < 1e-12);
+        assert!((g[99] - 1.0).abs() < 1e-12);
+        let g = ProbabilitySweep::sim_grid();
+        assert_eq!(g.len(), 20);
+        assert!((g[0] - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn objective_duality_latency_vs_reach() {
+        // The optimal p maximizing reachability in 5 phases should also be
+        // (near-)optimal for minimizing latency to that reachability — the
+        // §4.1 duality, visible as identical curves in Figs. 4b and 5b.
+        let sweep = coarse_sweep(60.0);
+        let opt_reach = sweep
+            .optimum(Objective::MaxReachAtLatency { phases: 5.0 })
+            .unwrap();
+        let opt_lat = sweep
+            .optimum(Objective::MinLatencyForReach {
+                target: opt_reach.value * 0.999,
+            })
+            .unwrap();
+        assert!(
+            (opt_reach.prob - opt_lat.prob).abs() <= 0.101,
+            "dual optima far apart: {} vs {}",
+            opt_reach.prob,
+            opt_lat.prob
+        );
+    }
+
+    #[test]
+    fn optimal_prob_decreases_with_density() {
+        // The paper's headline: p* for metric 1 drops rapidly with rho.
+        let obj = Objective::MaxReachAtLatency { phases: 5.0 };
+        let p20 = coarse_sweep(20.0).optimum(obj).unwrap().prob;
+        let p140 = coarse_sweep(140.0).optimum(obj).unwrap().prob;
+        assert!(
+            p140 < p20,
+            "optimal p should fall with density: rho=20 → {p20}, rho=140 → {p140}"
+        );
+    }
+
+    #[test]
+    fn energy_optimal_prob_is_small() {
+        // The paper: p* for the energy metric stays in [0, ~0.1-0.2].
+        let obj = Objective::MinBroadcastsForReach { target: 0.6 };
+        for rho in [40.0, 100.0] {
+            let opt = coarse_sweep(rho).optimum(obj).unwrap();
+            assert!(
+                opt.prob <= 0.3,
+                "rho={rho}: energy-optimal p = {} too large",
+                opt.prob
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_targets_yield_none() {
+        let sweep = coarse_sweep(20.0);
+        assert!(sweep
+            .optimum(Objective::MinLatencyForReach { target: 1.01 })
+            .is_none());
+        // Some points infeasible, others not → evaluate reflects gaps.
+        let vals = sweep.evaluate(Objective::MinLatencyForReach { target: 0.7 });
+        assert!(vals.iter().any(|(_, v)| v.is_some()));
+    }
+
+    #[test]
+    fn max_objectives_always_feasible() {
+        let sweep = coarse_sweep(40.0);
+        for (_, v) in sweep.evaluate(Objective::MaxReachAtLatency { phases: 5.0 }) {
+            assert!(v.is_some());
+        }
+        for (_, v) in sweep.evaluate(Objective::MaxReachUnderBudget { budget: 35.0 }) {
+            assert!(v.is_some());
+        }
+    }
+
+    #[test]
+    fn golden_refinement_beats_or_ties_grid() {
+        let mut base = RingModelConfig::paper(60.0, 0.0);
+        base.quad_points = 32;
+        let obj = Objective::MaxReachAtLatency { phases: 5.0 };
+        let sweep = coarse_sweep(60.0);
+        let grid_opt = sweep.optimum(obj).unwrap();
+        let refined = refine_golden(base, obj, 0.01, 1.0, 16);
+        assert!(
+            refined.value >= grid_opt.value - 1e-6,
+            "refined {} worse than grid {}",
+            refined.value,
+            grid_opt.value
+        );
+    }
+
+    #[test]
+    fn better_respects_direction() {
+        let max_obj = Objective::MaxReachAtLatency { phases: 5.0 };
+        let min_obj = Objective::MinLatencyForReach { target: 0.5 };
+        assert!(max_obj.better(0.9, 0.5));
+        assert!(!max_obj.better(0.4, 0.5));
+        assert!(min_obj.better(3.0, 5.0));
+        assert!(!min_obj.better(7.0, 5.0));
+    }
+}

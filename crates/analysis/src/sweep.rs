@@ -1,0 +1,188 @@
+//! Parallel (density × probability) parameter sweeps.
+//!
+//! Every figure of the paper's evaluation is a grid over densities
+//! ρ ∈ {20..140} and probabilities p. Grid points are independent, so they
+//! parallelize embarrassingly; this module fans them out over scoped
+//! threads and reassembles the grid in order.
+
+use crate::optimize::{Objective, Optimum};
+use crate::ring_model::{RingModel, RingModelConfig};
+use nss_model::metrics::PhaseSeries;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Results of a full (ρ × p) sweep of the analytical model.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DensitySweep {
+    /// Base configuration (its `rho` and `prob` are overridden per cell).
+    pub base: RingModelConfig,
+    /// Density axis.
+    pub rhos: Vec<f64>,
+    /// Probability axis.
+    pub probs: Vec<f64>,
+    /// `grid[ri][pi]` = phase series at `(rhos[ri], probs[pi])`.
+    pub grid: Vec<Vec<PhaseSeries>>,
+}
+
+impl DensitySweep {
+    /// The paper's density axis: 20, 40, …, 140.
+    pub fn paper_rhos() -> Vec<f64> {
+        (1..=7).map(|i| f64::from(i) * 20.0).collect()
+    }
+
+    /// Runs the sweep on up to `threads` worker threads (0 = available
+    /// parallelism).
+    pub fn run(base: RingModelConfig, rhos: &[f64], probs: &[f64], threads: usize) -> Self {
+        let cells: Vec<(usize, usize)> = (0..rhos.len())
+            .flat_map(|ri| (0..probs.len()).map(move |pi| (ri, pi)))
+            .collect();
+        let nworkers = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            threads
+        }
+        .min(cells.len().max(1));
+
+        let mut results: Vec<Option<PhaseSeries>> = vec![None; cells.len()];
+        {
+            // Work-stealing via a shared atomic cursor; results land in
+            // per-worker slices reassembled afterwards.
+            let cursor = AtomicUsize::new(0);
+            let slots: Vec<parking_lot::Mutex<&mut Option<PhaseSeries>>> =
+                results.iter_mut().map(parking_lot::Mutex::new).collect();
+            std::thread::scope(|scope| {
+                for _ in 0..nworkers {
+                    scope.spawn(|| loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= cells.len() {
+                            break;
+                        }
+                        let (ri, pi) = cells[i];
+                        let mut cfg = base;
+                        cfg.rho = rhos[ri];
+                        cfg.prob = probs[pi];
+                        let series = RingModel::new(cfg).run().phase_series();
+                        **slots[i].lock() = Some(series);
+                    });
+                }
+            });
+        }
+
+        let mut grid: Vec<Vec<PhaseSeries>> = Vec::with_capacity(rhos.len());
+        let mut it = results.into_iter();
+        for _ in 0..rhos.len() {
+            let row: Vec<PhaseSeries> = (0..probs.len())
+                .map(|_| it.next().flatten().expect("sweep cell missing"))
+                .collect();
+            grid.push(row);
+        }
+        DensitySweep {
+            base,
+            rhos: rhos.to_vec(),
+            probs: probs.to_vec(),
+            grid,
+        }
+    }
+
+    /// Objective values over the grid: `values[ri][pi]`, `None` where the
+    /// constraint is infeasible.
+    pub fn evaluate(&self, obj: Objective) -> Vec<Vec<Option<f64>>> {
+        self.grid
+            .iter()
+            .map(|row| row.iter().map(|s| obj.evaluate(s)).collect())
+            .collect()
+    }
+
+    /// Per-density optimum (the Fig. Nb panels): `(rho, Optimum)` for each
+    /// density where at least one grid point is feasible.
+    pub fn optima(&self, obj: Objective) -> Vec<(f64, Option<Optimum>)> {
+        self.evaluate(obj)
+            .iter()
+            .zip(&self.rhos)
+            .map(|(row, &rho)| {
+                let mut best: Option<Optimum> = None;
+                for (v, &p) in row.iter().zip(&self.probs) {
+                    let Some(v) = *v else { continue };
+                    let replace = match best {
+                        None => true,
+                        Some(b) => {
+                            if obj.is_max() {
+                                v > b.value
+                            } else {
+                                v < b.value
+                            }
+                        }
+                    };
+                    if replace {
+                        best = Some(Optimum { prob: p, value: v });
+                    }
+                }
+                (rho, best)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_sweep(threads: usize) -> DensitySweep {
+        let mut base = RingModelConfig::paper(20.0, 0.5);
+        base.quad_points = 24;
+        let rhos = [20.0, 80.0, 140.0];
+        let probs: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+        DensitySweep::run(base, &rhos, &probs, threads)
+    }
+
+    #[test]
+    fn grid_shape_and_alignment() {
+        let s = small_sweep(4);
+        assert_eq!(s.grid.len(), 3);
+        assert!(s.grid.iter().all(|r| r.len() == 10));
+        // n_total scales with rho: first row 20·25=500, last 140·25=3500.
+        assert!((s.grid[0][0].n_total - 500.0).abs() < 1e-9);
+        assert!((s.grid[2][9].n_total - 3500.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = small_sweep(1);
+        let b = small_sweep(4);
+        for (ra, rb) in a.grid.iter().zip(&b.grid) {
+            for (sa, sb) in ra.iter().zip(rb) {
+                assert_eq!(sa.informed_cum, sb.informed_cum);
+                assert_eq!(sa.broadcasts_cum, sb.broadcasts_cum);
+            }
+        }
+    }
+
+    #[test]
+    fn optima_extraction() {
+        let s = small_sweep(0);
+        let optima = s.optima(Objective::MaxReachAtLatency { phases: 5.0 });
+        assert_eq!(optima.len(), 3);
+        for (rho, opt) in &optima {
+            let opt = opt.expect("max objective always feasible");
+            assert!(opt.value > 0.0 && opt.value <= 1.0, "rho={rho}");
+            assert!(s.probs.contains(&opt.prob));
+        }
+        // Optimal p falls (weakly) with density.
+        let p0 = optima[0].1.unwrap().prob;
+        let p2 = optima[2].1.unwrap().prob;
+        assert!(p2 <= p0, "p* should not grow with density: {p0} → {p2}");
+    }
+
+    #[test]
+    fn infeasible_cells_are_none() {
+        let s = small_sweep(0);
+        let vals = s.evaluate(Objective::MinLatencyForReach { target: 0.999 });
+        // Some cell must be infeasible at 99.9% reachability under CAM.
+        assert!(vals.iter().flatten().any(|v| v.is_none()));
+    }
+
+    #[test]
+    fn paper_rhos_axis() {
+        assert_eq!(DensitySweep::paper_rhos(), vec![20.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0]);
+    }
+}

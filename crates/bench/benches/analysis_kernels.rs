@@ -1,0 +1,113 @@
+//! Microbenchmarks of the analytical kernels: lens areas (Eq. 1), the
+//! contention probabilities μ/μ' (Eq. 2 / A.1), quadrature, and the full
+//! ring recursion (Eq. 4 / A.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nss_analysis::mu::{mu_closed_form, MuEvaluator, MuMode, MuTable};
+use nss_analysis::mu_cs::{mu_cs_closed_form, mu_cs_poisson};
+use nss_analysis::quadrature::simpson;
+use nss_analysis::ring_geometry::RingGeometry;
+use nss_analysis::ring_model::RingModel;
+use nss_bench::ring_cfg;
+use nss_model::comm::CollisionRule;
+use nss_model::geometry::lens_area;
+use std::hint::black_box;
+
+fn bench_geometry(c: &mut Criterion) {
+    c.bench_function("lens_area/partial_overlap", |b| {
+        b.iter(|| lens_area(black_box(2.0), black_box(1.0), black_box(2.3)))
+    });
+    let geom = RingGeometry::new(5, 1.0);
+    c.bench_function("ring_geometry/a_partition_row", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in 1..=5u32 {
+                total += geom.a_area(black_box(3), black_box(0.4), k);
+            }
+            total
+        })
+    });
+    c.bench_function("ring_geometry/b_partition_row", |b| {
+        b.iter(|| {
+            let mut total = 0.0;
+            for k in 1..=5u32 {
+                total += geom.b_area(black_box(3), black_box(0.4), k, 2.0);
+            }
+            total
+        })
+    });
+}
+
+fn bench_mu(c: &mut Criterion) {
+    c.bench_function("mu/closed_form_k50_s3", |b| {
+        b.iter(|| mu_closed_form(black_box(50), black_box(3)))
+    });
+    c.bench_function("mu/table_build_512_s3", |b| {
+        b.iter(|| {
+            let t = MuTable::new(3);
+            t.mu(black_box(511))
+        })
+    });
+    let interp = MuEvaluator::new(3, MuMode::Interpolate);
+    c.bench_function("mu/eval_interpolate", |b| {
+        b.iter(|| interp.eval(black_box(17.3)))
+    });
+    let pois = MuEvaluator::new(3, MuMode::Poisson);
+    c.bench_function("mu/eval_poisson", |b| b.iter(|| pois.eval(black_box(17.3))));
+    c.bench_function("mu_cs/closed_form", |b| {
+        b.iter(|| mu_cs_closed_form(black_box(20), black_box(60), black_box(3)))
+    });
+    c.bench_function("mu_cs/poisson_analytic", |b| {
+        b.iter(|| mu_cs_poisson(black_box(20.0), black_box(60.0), black_box(3)))
+    });
+}
+
+fn bench_quadrature(c: &mut Criterion) {
+    c.bench_function("quadrature/simpson_64", |b| {
+        b.iter(|| simpson(|x| (4.0 + x) * (1.0 - (-3.0 * x).exp()), 0.0, 1.0, black_box(64)))
+    });
+}
+
+fn bench_ring_model(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring_model");
+    group.sample_size(20);
+    group.bench_function("run_rho60_p0.2", |b| {
+        let model = RingModel::new(ring_cfg(60.0, 0.2));
+        b.iter(|| model.run())
+    });
+    group.bench_function("run_rho140_flooding", |b| {
+        let model = RingModel::new(ring_cfg(140.0, 1.0));
+        b.iter(|| model.run())
+    });
+    group.bench_function("run_carrier_sense_rho60", |b| {
+        let mut cfg = ring_cfg(60.0, 0.2);
+        cfg.collision = CollisionRule::CARRIER_SENSE_2R;
+        let model = RingModel::new(cfg);
+        b.iter(|| model.run())
+    });
+    group.bench_function("run_with_success_tracking", |b| {
+        let model = RingModel::new(ring_cfg(60.0, 1.0)).with_success_rate_tracking();
+        b.iter(|| model.run())
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: the suite's value is the recorded relative
+/// numbers, not publication-grade confidence intervals.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_geometry,
+    bench_mu,
+    bench_quadrature,
+    bench_ring_model
+}
+criterion_main!(benches);

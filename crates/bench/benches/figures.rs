@@ -1,0 +1,152 @@
+//! One benchmark per paper figure: times the reduced-scale pipeline that
+//! regenerates each figure's data (the full-scale versions live in the
+//! `repro` binary of nss-experiments).
+//!
+//! Coverage: Figs. 4–7 (analytical sweeps + optimum extraction), Figs.
+//! 8–11 (simulated sweeps + metric aggregation), Fig. 12 (success-rate
+//! correlation).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nss_analysis::flooding::success_rate_correlation;
+use nss_analysis::optimize::{Objective, ProbabilitySweep};
+use nss_analysis::ring_model::RingModelConfig;
+use nss_analysis::sweep::DensitySweep;
+use nss_model::deployment::Deployment;
+use nss_sim::runner::Replication;
+use nss_sim::slotted::GossipConfig;
+
+fn mini_cfg() -> RingModelConfig {
+    let mut cfg = RingModelConfig::paper(20.0, 0.0);
+    cfg.quad_points = 24;
+    cfg
+}
+
+fn mini_analysis_sweep() -> DensitySweep {
+    let probs: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+    DensitySweep::run(mini_cfg(), &[20.0, 80.0], &probs, 0)
+}
+
+fn mini_sim(rho: f64, p: f64) -> Replication {
+    Replication {
+        deployment: Deployment::disk(5, 1.0, rho),
+        gossip: GossipConfig::pb_cam(p),
+        replications: 3,
+        master_seed: 9,
+        threads: 0,
+    }
+}
+
+fn bench_analysis_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_analysis");
+    group.sample_size(10);
+    group.bench_function("fig04_reach_at_latency", |b| {
+        b.iter(|| {
+            let sweep = mini_analysis_sweep();
+            sweep.optima(Objective::MaxReachAtLatency { phases: 5.0 })
+        })
+    });
+    group.bench_function("fig05_latency_to_reach", |b| {
+        b.iter(|| {
+            let sweep = mini_analysis_sweep();
+            sweep.optima(Objective::MinLatencyForReach { target: 0.7 })
+        })
+    });
+    group.bench_function("fig06_broadcasts_to_reach", |b| {
+        b.iter(|| {
+            let sweep = mini_analysis_sweep();
+            sweep.optima(Objective::MinBroadcastsForReach { target: 0.7 })
+        })
+    });
+    group.bench_function("fig07_reach_under_budget", |b| {
+        b.iter(|| {
+            let sweep = mini_analysis_sweep();
+            sweep.optima(Objective::MaxReachUnderBudget { budget: 35.0 })
+        })
+    });
+    group.finish();
+}
+
+fn bench_sim_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_sim");
+    group.sample_size(10);
+    group.bench_function("fig08_sim_reach_at_latency", |b| {
+        b.iter(|| {
+            let traces = mini_sim(60.0, 0.2).run();
+            traces.reachability_at_latency(5.0)
+        })
+    });
+    group.bench_function("fig09_sim_latency_to_reach", |b| {
+        b.iter(|| {
+            let traces = mini_sim(60.0, 0.3).run();
+            traces.latency_to_reach(0.5)
+        })
+    });
+    group.bench_function("fig10_sim_broadcasts_to_reach", |b| {
+        b.iter(|| {
+            let traces = mini_sim(60.0, 0.3).run();
+            traces.broadcasts_to_reach(0.5)
+        })
+    });
+    group.bench_function("fig11_sim_reach_under_budget", |b| {
+        b.iter(|| {
+            let traces = mini_sim(60.0, 0.2).run();
+            traces.reachability_under_budget(80.0)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures_correlation");
+    group.sample_size(10);
+    group.bench_function("fig12_success_rate_correlation", |b| {
+        let probs: Vec<f64> = (1..=10).map(|i| f64::from(i) / 10.0).collect();
+        b.iter(|| success_rate_correlation(mini_cfg(), &[20.0, 80.0], &probs, 5.0))
+    });
+    // Sanity: make sure grids used in real figures are produced cheaply.
+    group.bench_function("probability_grids", |b| {
+        b.iter(|| {
+            (
+                ProbabilitySweep::paper_grid(),
+                ProbabilitySweep::sim_grid(),
+                DensitySweep::paper_rhos(),
+            )
+        })
+    });
+    group.finish();
+}
+
+fn bench_rendering(c: &mut Criterion) {
+    // SVG rendering of a paper-scale figure (7 series × 100 points).
+    let mut chart = nss_plot::Chart::new("fig", "p", "reachability");
+    for rho in [20, 40, 60, 80, 100, 120, 140] {
+        let pts: Vec<(f64, f64)> = (1..=100)
+            .map(|i| {
+                let p = f64::from(i) / 100.0;
+                (p, (p * f64::from(rho)).sin().abs() * 0.8)
+            })
+            .collect();
+        chart = chart.with_series(nss_plot::Series::new(format!("rho={rho}"), pts));
+    }
+    c.bench_function("figures_render/svg_7x100", |b| b.iter(|| chart.render_svg()));
+}
+
+
+/// Short measurement windows: the suite's value is the recorded relative
+/// numbers, not publication-grade confidence intervals.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_analysis_figures,
+    bench_sim_figures,
+    bench_fig12,
+    bench_rendering
+}
+criterion_main!(benches);

@@ -1,0 +1,149 @@
+//! Benchmarks of the packet-level simulator substrate: deployment,
+//! topology construction, medium arbitration, and the protocol executors.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nss_bench::topo;
+use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::deployment::Deployment;
+use nss_model::topology::Topology;
+use nss_sim::medium::{Medium, MediumScratch};
+use nss_sim::protocols::ack_flood::{run_ack_flood, AckFloodConfig};
+use nss_sim::protocols::async_gossip::{run_async_gossip, AsyncGossipConfig};
+use nss_sim::exact::exact_expected_informed;
+use nss_sim::probe::probe_per_node_success;
+use nss_sim::protocols::convergecast::{run_convergecast, ConvergecastConfig};
+use nss_sim::protocols::counter::{run_counter_broadcast, CounterConfig};
+use nss_sim::protocols::distance::{run_distance_broadcast, DistanceConfig};
+use nss_sim::runner::Replication;
+use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
+use std::hint::black_box;
+
+fn bench_substrate(c: &mut Criterion) {
+    let spec = Deployment::disk(5, 1.0, 60.0);
+    c.bench_function("substrate/deploy_rho60", |b| {
+        b.iter(|| spec.sample(black_box(7)))
+    });
+    let net = spec.sample(7);
+    c.bench_function("substrate/topology_build_rho60", |b| {
+        b.iter(|| Topology::build(&net))
+    });
+
+    let topo = topo(60.0, 7);
+    let medium_tr = Medium::new(CommunicationModel::CAM);
+    let medium_cs = Medium::new(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R));
+    let transmitters: Vec<u32> = (0..topo.len() as u32).step_by(15).collect();
+    c.bench_function("substrate/medium_slot_tr_100tx", |b| {
+        let mut scratch = MediumScratch::new(topo.len());
+        b.iter(|| {
+            let mut deliveries = 0u64;
+            medium_tr.resolve_slot(&topo, &transmitters, &mut scratch, |_, _| deliveries += 1);
+            deliveries
+        })
+    });
+    c.bench_function("substrate/medium_slot_cs_100tx", |b| {
+        let mut scratch = MediumScratch::new(topo.len());
+        b.iter(|| {
+            let mut deliveries = 0u64;
+            medium_cs.resolve_slot(&topo, &transmitters, &mut scratch, |_, _| deliveries += 1);
+            deliveries
+        })
+    });
+}
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocols");
+    group.sample_size(20);
+    let t60 = topo(60.0, 3);
+    let t140 = topo(140.0, 3);
+
+    group.bench_function("pbcam_rho60_p0.2", |b| {
+        b.iter(|| run_gossip(&t60, &GossipConfig::pb_cam(0.2), black_box(5)))
+    });
+    group.bench_function("flooding_rho140", |b| {
+        b.iter(|| run_gossip(&t140, &GossipConfig::flooding_cam(), black_box(5)))
+    });
+    group.bench_function("async_gossip_rho60_p0.2", |b| {
+        b.iter(|| run_async_gossip(&t60, &AsyncGossipConfig::paper(0.2), black_box(5)))
+    });
+    group.bench_function("counter_broadcast_rho60_c3", |b| {
+        b.iter(|| run_counter_broadcast(&t60, &CounterConfig::paper(3), black_box(5)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("protocols_heavy");
+    group.sample_size(10);
+    let t25 = Topology::build(&Deployment::disk(3, 1.0, 25.0).sample(3));
+    group.bench_function("ack_flood_rho25_p3", |b| {
+        b.iter(|| run_ack_flood(&t25, &AckFloodConfig::default(), black_box(5)))
+    });
+    group.bench_function("replication_8x_rho60", |b| {
+        let rep = Replication {
+            deployment: Deployment::disk(5, 1.0, 60.0),
+            gossip: GossipConfig::pb_cam(0.2),
+            replications: 8,
+            master_seed: 5,
+            threads: 0,
+        };
+        b.iter(|| rep.run())
+    });
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_extensions");
+    group.sample_size(10);
+    let t60 = topo(60.0, 3);
+
+    group.bench_function("tdma_schedule_build_rho60", |b| {
+        b.iter(|| TdmaSchedule::build(&t60))
+    });
+    let schedule = TdmaSchedule::build(&t60);
+    group.bench_function("tdma_flooding_rho60", |b| {
+        b.iter(|| run_tdma_flooding(&t60, &schedule))
+    });
+    group.bench_function("distance_broadcast_rho60", |b| {
+        b.iter(|| run_distance_broadcast(&t60, &DistanceConfig::paper(0.4), black_box(5)))
+    });
+    let t20small = Topology::build(&Deployment::disk(3, 1.0, 20.0).sample(3));
+    group.bench_function("convergecast_rho20", |b| {
+        b.iter(|| run_convergecast(&t20small, &ConvergecastConfig::default(), black_box(5)))
+    });
+    group.bench_function("probe_per_node_rho60", |b| {
+        b.iter(|| probe_per_node_success(&t60, 3, 1, black_box(5)))
+    });
+
+    // Exact enumeration on a 6-node contention topology.
+    let pts = vec![
+        nss_model::geometry::Point2::new(0.0, 0.0),
+        nss_model::geometry::Point2::new(0.9, 0.3),
+        nss_model::geometry::Point2::new(0.9, -0.3),
+        nss_model::geometry::Point2::new(1.6, 0.4),
+        nss_model::geometry::Point2::new(1.6, -0.4),
+        nss_model::geometry::Point2::new(2.4, 0.0),
+    ];
+    let small = Topology::build(&nss_model::deployment::DeployedNetwork::from_positions(
+        pts, 1.0,
+    ));
+    group.bench_function("exact_enumeration_n6", |b| {
+        b.iter(|| exact_expected_informed(&small, 3, black_box(0.6)))
+    });
+    group.finish();
+}
+
+
+/// Short measurement windows: the suite's value is the recorded relative
+/// numbers, not publication-grade confidence intervals.
+fn fast_criterion() -> Criterion {
+    Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(400))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20)
+}
+
+criterion_group!{
+    name = benches;
+    config = fast_criterion();
+    targets = bench_substrate, bench_protocols, bench_extensions
+}
+criterion_main!(benches);

@@ -1,0 +1,205 @@
+//! Shared infrastructure for the figure-reproduction harness.
+
+use nss_analysis::optimize::ProbabilitySweep;
+use nss_analysis::ring_model::RingModelConfig;
+use nss_analysis::sweep::DensitySweep;
+use nss_sim::runner::{ReplicatedTraces, Replication};
+use nss_sim::slotted::GossipConfig;
+use nss_model::deployment::Deployment;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Harness-wide options parsed from the command line.
+#[derive(Debug, Clone)]
+pub struct Ctx {
+    /// Output directory for CSV files.
+    pub out_dir: PathBuf,
+    /// Fast mode: fewer replications / coarser grids for smoke runs.
+    pub fast: bool,
+    /// Simulation replications per parameter point.
+    pub runs: u32,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+    /// Master seed for all simulations.
+    pub seed: u64,
+}
+
+impl Ctx {
+    /// Default harness options (paper-fidelity settings).
+    pub fn new() -> Self {
+        Ctx {
+            out_dir: PathBuf::from("results"),
+            fast: false,
+            runs: 30,
+            threads: 0,
+            seed: 2005,
+        }
+    }
+
+    /// The density axis (always the paper's 20..140).
+    pub fn rhos(&self) -> Vec<f64> {
+        DensitySweep::paper_rhos()
+    }
+
+    /// The analysis probability grid (fast mode coarsens 0.01 → 0.05).
+    pub fn analysis_grid(&self) -> Vec<f64> {
+        if self.fast {
+            ProbabilitySweep::sim_grid()
+        } else {
+            ProbabilitySweep::paper_grid()
+        }
+    }
+
+    /// The simulation probability grid (the paper's 0.05..1.00).
+    pub fn sim_grid(&self) -> Vec<f64> {
+        ProbabilitySweep::sim_grid()
+    }
+
+    /// Simulation replications (fast mode: 5).
+    pub fn sim_runs(&self) -> u32 {
+        if self.fast {
+            5
+        } else {
+            self.runs
+        }
+    }
+
+    /// Quadrature points for the analysis (fast mode: 32).
+    pub fn quad_points(&self) -> usize {
+        if self.fast {
+            32
+        } else {
+            64
+        }
+    }
+
+    /// Base analytical configuration (the paper's P = 5, s = 3).
+    pub fn ring_base(&self) -> RingModelConfig {
+        let mut cfg = RingModelConfig::paper(20.0, 0.0);
+        cfg.quad_points = self.quad_points();
+        cfg
+    }
+
+    /// Writes a CSV file into the output directory.
+    pub fn write_csv(&self, name: &str, header: &str, rows: &[String]) {
+        fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        let mut f = fs::File::create(&path).expect("create CSV");
+        writeln!(f, "{header}").unwrap();
+        for row in rows {
+            writeln!(f, "{row}").unwrap();
+        }
+        println!("  wrote {}", display_path(&path));
+    }
+
+    /// Renders a figure to SVG in the output directory.
+    pub fn write_svg(&self, name: &str, chart: &nss_plot::Chart) {
+        fs::create_dir_all(&self.out_dir).expect("create results dir");
+        let path = self.out_dir.join(name);
+        chart.save(&path).expect("write SVG");
+        println!("  wrote {}", display_path(&path));
+    }
+}
+
+impl Default for Ctx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn display_path(p: &Path) -> String {
+    p.to_string_lossy().into_owned()
+}
+
+/// The analytical sweep shared by Figs. 4–7 (computed once per invocation).
+pub fn analysis_sweep(ctx: &Ctx) -> DensitySweep {
+    DensitySweep::run(ctx.ring_base(), &ctx.rhos(), &ctx.analysis_grid(), ctx.threads)
+}
+
+/// A full simulated sweep: `grid[rho_idx][p_idx]` of replicated traces.
+pub struct SimSweep {
+    /// Density axis.
+    pub rhos: Vec<f64>,
+    /// Probability axis.
+    pub probs: Vec<f64>,
+    /// Replicated traces per cell.
+    pub grid: Vec<Vec<ReplicatedTraces>>,
+}
+
+/// Runs the paper's simulation protocol over the (ρ × p) grid.
+pub fn sim_sweep(ctx: &Ctx, track_success_rate: bool) -> SimSweep {
+    let rhos = ctx.rhos();
+    let probs = ctx.sim_grid();
+    let mut grid = Vec::with_capacity(rhos.len());
+    for (ri, &rho) in rhos.iter().enumerate() {
+        let mut row = Vec::with_capacity(probs.len());
+        for (pi, &p) in probs.iter().enumerate() {
+            let mut gossip = GossipConfig::pb_cam(p);
+            gossip.track_success_rate = track_success_rate;
+            let rep = Replication {
+                deployment: Deployment::disk(5, 1.0, rho),
+                gossip,
+                replications: ctx.sim_runs(),
+                // Independent seeds per cell, deterministic per master seed.
+                master_seed: ctx
+                    .seed
+                    .wrapping_add((ri as u64) << 32)
+                    .wrapping_add(pi as u64),
+                threads: ctx.threads,
+            };
+            row.push(rep.run());
+        }
+        grid.push(row);
+        eprintln!("  simulated rho = {rho}");
+    }
+    SimSweep { rhos, probs, grid }
+}
+
+/// Builds the paper's panel-(a) chart: one series per density over the
+/// probability axis; infeasible cells become gaps, as in the paper.
+pub fn panel_a_chart(
+    title: &str,
+    y_label: &str,
+    probs: &[f64],
+    rhos: &[f64],
+    values: &[Vec<Option<f64>>],
+) -> nss_plot::Chart {
+    let mut chart = nss_plot::Chart::new(title, "broadcast probability p", y_label);
+    for (ri, &rho) in rhos.iter().enumerate() {
+        let pts: Vec<(f64, Option<f64>)> = probs
+            .iter()
+            .zip(&values[ri])
+            .map(|(&p, &v)| (p, v))
+            .collect();
+        chart = chart.with_series(nss_plot::Series::with_gaps(format!("rho={rho:.0}"), pts));
+    }
+    chart
+}
+
+/// Builds the paper's panel-(b) chart: the optimal probability (and, when
+/// it shares the [0, 1] scale, the achieved metric value) versus density.
+pub fn panel_b_chart(title: &str, value_label: &str, optima: &[(f64, f64, f64)]) -> nss_plot::Chart {
+    let popt: Vec<(f64, f64)> = optima.iter().map(|&(rho, p, _)| (rho, p)).collect();
+    let vals: Vec<(f64, f64)> = optima.iter().map(|&(rho, _, v)| (rho, v)).collect();
+    let mut chart = nss_plot::Chart::new(title, "node density rho", "value")
+        .with_series(nss_plot::Series::new("optimal p", popt));
+    let vmax = vals.iter().map(|&(_, v)| v).fold(f64::MIN, f64::max);
+    if vmax <= 1.2 {
+        chart = chart.with_series(nss_plot::Series::new(value_label, vals));
+    }
+    chart
+}
+
+/// Formats an optional value for table display.
+pub fn fmt_opt(v: Option<f64>, width: usize, prec: usize) -> String {
+    match v {
+        Some(x) => format!("{x:>width$.prec$}"),
+        None => format!("{:>width$}", "-"),
+    }
+}
+
+/// Prints a section header.
+pub fn heading(title: &str) {
+    println!("\n=== {title} ===");
+}

@@ -1,0 +1,809 @@
+//! Extension experiments beyond the paper's figures (see DESIGN.md §4,
+//! Ext A–E): carrier sensing, the CFM/CAM prediction gap, grid-deployment
+//! percolation, adaptive tuning, ACK-based reliable flooding, and the
+//! synchronous-vs-asynchronous execution comparison.
+
+use crate::common::{heading, Ctx};
+use crate::fig04::LATENCY_BUDGET;
+use nss_analysis::mu::MuMode;
+use nss_analysis::optimize::{Objective, ProbabilitySweep};
+use nss_analysis::ring_model::RingModelConfig;
+use nss_core::adaptive::{evaluate_adaptive, AdaptiveController};
+use nss_core::network::NetworkModel;
+use nss_core::prediction::flooding_gap;
+use nss_model::comm::CollisionRule;
+use nss_model::deployment::{Deployment, GridDeployment};
+use nss_model::rng::{SeedFactory, Stream};
+use nss_model::topology::Topology;
+use nss_sim::protocols::ack_flood::{run_ack_flood, AckFloodConfig};
+use nss_sim::protocols::async_gossip::{run_async_gossip, AsyncGossipConfig};
+use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::stats::Summary;
+
+/// Ext A — Appendix-A carrier-sense variant of Fig. 4(b).
+pub fn ext_carrier_sense(ctx: &Ctx) {
+    heading("Ext A: carrier-sense (2r) optimal probability vs transmission-range");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "rho", "p*_tr", "reach_tr", "p*_cs", "reach_cs"
+    );
+    let obj = Objective::MaxReachAtLatency {
+        phases: LATENCY_BUDGET,
+    };
+    let grid = ctx.analysis_grid();
+    let mut csv = Vec::new();
+    for rho in ctx.rhos() {
+        let mut base = ctx.ring_base();
+        base.rho = rho;
+        let tr = ProbabilitySweep::run(base, &grid).optimum(obj).unwrap();
+        let mut cs_cfg = base;
+        cs_cfg.collision = CollisionRule::CARRIER_SENSE_2R;
+        let cs = ProbabilitySweep::run(cs_cfg, &grid).optimum(obj).unwrap();
+        println!(
+            "{rho:>6.0} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
+            tr.prob, tr.value, cs.prob, cs.value
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{}",
+            tr.prob, tr.value, cs.prob, cs.value
+        ));
+    }
+    ctx.write_csv(
+        "ext_carrier_sense.csv",
+        "rho,p_opt_tr,reach_tr,p_opt_cs,reach_cs",
+        &csv,
+    );
+    println!("\nexpected shape: carrier sensing lowers reachability and pushes p* down");
+}
+
+/// Ext B — the CFM-vs-CAM flooding prediction gap (§1.2 motivation).
+pub fn ext_cfm_gap(ctx: &Ctx) {
+    heading("Ext B: CFM prediction vs CAM measurement for simple flooding");
+    println!(
+        "{:>6} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "rho", "cfm_reach", "cam@cfm_lat", "cam_final", "cfm_lat", "cam_lat"
+    );
+    let runs = if ctx.fast { 5 } else { 15 };
+    let mut csv = Vec::new();
+    for rho in ctx.rhos() {
+        let report = flooding_gap(&NetworkModel::paper(rho), runs, ctx.seed);
+        println!(
+            "{rho:>6.0} {:>10.3} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
+            report.cfm.reachability,
+            report.cam.reachability_at_cfm_latency.mean,
+            report.cam.final_reachability.mean,
+            report.cfm.latency_phases,
+            report.cam.latency_phases.mean,
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{},{}",
+            report.cfm.reachability,
+            report.cam.reachability_at_cfm_latency.mean,
+            report.cam.final_reachability.mean,
+            report.cfm.latency_phases,
+            report.cam.latency_phases.mean,
+        ));
+    }
+    ctx.write_csv(
+        "ext_cfm_gap.csv",
+        "rho,cfm_reach,cam_reach_at_cfm_latency,cam_final_reach,cfm_latency,cam_latency",
+        &csv,
+    );
+    println!("\nexpected shape: the CFM promise breaks progressively with density");
+}
+
+/// Ext C — grid-deployment CFM gossip percolation (ref. 32: threshold
+/// ≈ 0.59 for bond/site-percolation-like behavior on the grid).
+pub fn ext_grid_percolation(ctx: &Ctx) {
+    heading("Ext C: CFM gossip on a grid — percolation-style threshold");
+    let side = if ctx.fast { 21 } else { 41 };
+    let runs = if ctx.fast { 5 } else { 20 };
+    let factory = SeedFactory::new(ctx.seed);
+    println!("{:>6} {:>12}", "p", "mean_reach");
+    let mut csv = Vec::new();
+    let mut series = Vec::new();
+    for i in 1..=20 {
+        let p = f64::from(i) / 20.0;
+        let mut total = 0.0;
+        for rep in 0..runs {
+            let dep = Deployment::Grid(GridDeployment::new(side, 1.0, 1.0));
+            let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
+            let cfg = GossipConfig::gossip_cfm(p);
+            let trace = run_gossip(&topo, &cfg, factory.seed(Stream::Protocol, rep ^ (i as u64) << 8));
+            total += trace.final_reachability();
+        }
+        let mean = total / runs as f64;
+        println!("{p:>6.2} {mean:>12.3}");
+        csv.push(format!("{p},{mean}"));
+        series.push((p, mean));
+    }
+    ctx.write_csv("ext_grid_percolation.csv", "p,mean_reach", &csv);
+    // Report the crossing of 50% reachability as the empirical threshold.
+    let threshold = series
+        .windows(2)
+        .find(|w| w[0].1 < 0.5 && w[1].1 >= 0.5)
+        .map(|w| w[1].0);
+    println!(
+        "\nempirical 50%-reach threshold: {:?} (ref. 32 reports ~0.59 for grids)",
+        threshold
+    );
+}
+
+/// Ext D — the §6 adaptive rule (p ≈ ratio · measured success rate) vs the
+/// density-aware oracle.
+pub fn ext_adaptive(ctx: &Ctx) {
+    heading("Ext D: adaptive success-rate-driven probability vs oracle");
+    let mut base = ctx.ring_base();
+    base.prob = 1.0;
+    let controller = AdaptiveController::calibrate(base, &[40.0, 80.0, 120.0], LATENCY_BUDGET);
+    println!("calibrated ratio p*/sr = {:.2}", controller.ratio);
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
+        "rho", "meas_sr", "p_adapt", "reach_ad", "p_oracle", "reach_or", "eff"
+    );
+    let runs = if ctx.fast { 3 } else { 10 };
+    let mut csv = Vec::new();
+    for rho in ctx.rhos() {
+        let out = evaluate_adaptive(
+            &NetworkModel::paper(rho),
+            &controller,
+            LATENCY_BUDGET,
+            runs,
+            ctx.seed,
+        );
+        println!(
+            "{rho:>6.0} {:>10.4} {:>10.2} {:>10.3} {:>10.2} {:>10.3} {:>8.2}",
+            out.measured_success_rate,
+            out.adaptive_prob,
+            out.adaptive_reach,
+            out.oracle_prob,
+            out.oracle_reach,
+            out.efficiency()
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{},{},{}",
+            out.measured_success_rate,
+            out.adaptive_prob,
+            out.adaptive_reach,
+            out.oracle_prob,
+            out.oracle_reach,
+            out.efficiency()
+        ));
+    }
+    ctx.write_csv(
+        "ext_adaptive.csv",
+        "rho,measured_sr,p_adaptive,reach_adaptive,p_oracle,reach_oracle,efficiency",
+        &csv,
+    );
+    println!("\nexpected shape: efficiency stays near 1 without knowing the density");
+}
+
+/// Ext E — ACK-based reliable flooding (the §3.2.1 naive CFM
+/// implementation) vs plain CAM flooding.
+pub fn ext_ack_flood(ctx: &Ctx) {
+    heading("Ext E: ACK-based reliable flooding cost vs plain flooding");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "rho", "plain_tx", "reliable_tx", "overhead", "rel_reach", "gave_up"
+    );
+    let runs = if ctx.fast { 2 } else { 5 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for rho in [20.0, 40.0, 60.0, 80.0] {
+        let mut plain_tx = Vec::new();
+        let mut rel_tx = Vec::new();
+        let mut rel_reach = Vec::new();
+        let mut gave_up = 0usize;
+        for rep in 0..runs {
+            let dep = Deployment::disk(4, 1.0, rho);
+            let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
+            let plain = run_gossip(
+                &topo,
+                &GossipConfig::flooding_cam(),
+                factory.seed(Stream::Protocol, rep),
+            );
+            plain_tx.push(plain.total_broadcasts() as f64);
+            let rel = run_ack_flood(
+                &topo,
+                &AckFloodConfig::default(),
+                factory.seed(Stream::Jitter, rep),
+            );
+            rel_tx.push(rel.total_tx() as f64);
+            rel_reach.push(rel.reachability());
+            gave_up += rel.gave_up;
+        }
+        let plain = Summary::of(&plain_tx);
+        let rel = Summary::of(&rel_tx);
+        let reach = Summary::of(&rel_reach);
+        let overhead = rel.mean / plain.mean.max(1.0);
+        println!(
+            "{rho:>6.0} {:>12.0} {:>12.0} {:>9.1}x {:>12.3} {:>10}",
+            plain.mean, rel.mean, overhead, reach.mean, gave_up
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{},{}",
+            plain.mean, rel.mean, overhead, reach.mean, gave_up
+        ));
+    }
+    ctx.write_csv(
+        "ext_ack_flood.csv",
+        "rho,plain_tx,reliable_tx,overhead,reliable_reach,gave_up",
+        &csv,
+    );
+    println!("\nexpected shape: reliable broadcast costs an order of magnitude more traffic");
+}
+
+/// Ext F — synchronous (slotted) vs asynchronous (continuous-time) PB_CAM:
+/// quantifies the paper's "optimistic perfect synchronization" assumption.
+pub fn ext_async(ctx: &Ctx) {
+    heading("Ext F: slotted (analysis assumption) vs asynchronous execution");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12}",
+        "rho", "p", "sync_reach", "async_reach"
+    );
+    let runs = if ctx.fast { 3 } else { 10 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for rho in [20.0f64, 60.0, 100.0, 140.0] {
+        // Use a sensible probability for each density (from the Fig. 4 rule
+        // of thumb p* ≈ 13/rho).
+        let p = (13.0 / rho).clamp(0.05, 1.0);
+        let mut sync_total = 0.0;
+        let mut async_total = 0.0;
+        for rep in 0..runs {
+            let dep = Deployment::disk(5, 1.0, rho);
+            let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
+            let seed = factory.seed(Stream::Protocol, rep);
+            sync_total += run_gossip(&topo, &GossipConfig::pb_cam(p), seed)
+                .phase_series()
+                .reachability_at_latency(LATENCY_BUDGET);
+            async_total += run_async_gossip(&topo, &AsyncGossipConfig::paper(p), seed)
+                .phase_series()
+                .reachability_at_latency(LATENCY_BUDGET);
+        }
+        let sync_mean = sync_total / runs as f64;
+        let async_mean = async_total / runs as f64;
+        println!("{rho:>6.0} {p:>6.2} {sync_mean:>12.3} {async_mean:>12.3}");
+        csv.push(format!("{rho},{p},{sync_mean},{async_mean}"));
+    }
+    ctx.write_csv(
+        "ext_async.csv",
+        "rho,p,sync_reach,async_reach",
+        &csv,
+    );
+    println!(
+        "\nnote: async trades slot-alignment (collision prob 1/s) for interval overlap\n\
+         (higher), but pipelines across phase boundaries — under a wall-clock latency\n\
+         bound it can even lead; final reachability stays comparable"
+    );
+}
+
+/// Ext H — Galton–Watson extinction correction: mean-field vs adjusted vs
+/// simulated reachability at small probabilities.
+pub fn ext_survival(ctx: &Ctx) {
+    use nss_analysis::ring_model::RingModel;
+    use nss_analysis::survival::survival_estimate;
+    heading("Ext H: extinction-corrected analytical reachability at small p");
+    println!(
+        "{:>6} {:>6} {:>10} {:>12} {:>12} {:>12}",
+        "rho", "p", "survival", "mean_field", "adjusted", "simulated"
+    );
+    let runs = if ctx.fast { 5 } else { 20 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for &(rho, p) in &[(40.0, 0.03), (40.0, 0.10), (80.0, 0.02), (80.0, 0.05), (140.0, 0.02)] {
+        let mut cfg = ctx.ring_base();
+        cfg.rho = rho;
+        cfg.prob = p;
+        let est = survival_estimate(&RingModel::new(cfg).run());
+        let mut total = 0.0;
+        for rep in 0..runs {
+            let topo = Topology::build(
+                &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
+            );
+            total += run_gossip(&topo, &GossipConfig::pb_cam(p), factory.seed(Stream::Protocol, rep))
+                .final_reachability();
+        }
+        let sim = total / runs as f64;
+        println!(
+            "{rho:>6.0} {p:>6.2} {:>10.3} {:>12.3} {:>12.3} {sim:>12.3}",
+            est.cascade_survival, est.mean_field_reachability, est.adjusted_reachability
+        );
+        csv.push(format!(
+            "{rho},{p},{},{},{},{sim}",
+            est.cascade_survival, est.mean_field_reachability, est.adjusted_reachability
+        ));
+    }
+    ctx.write_csv(
+        "ext_survival.csv",
+        "rho,p,survival,mean_field_reach,adjusted_reach,simulated_reach",
+        &csv,
+    );
+    println!(
+        "\nexpected shape: the adjusted value is closer to the simulated mean than\n\
+         the raw mean-field value at every small-p operating point (it remains\n\
+         approximate: offspring means are collapsed to the earliest generation)"
+    );
+}
+
+/// Ext I — density-aware CFM costs (§6 future work): naive vs refined
+/// latency predictions against CAM reality.
+pub fn ext_cfm_cost(ctx: &Ctx) {
+    use nss_analysis::cfm_cost::RefinedCfm;
+    heading("Ext I: density-aware CFM cost functions vs naive CFM vs CAM");
+    let mut base = ctx.ring_base();
+    base.prob = 1.0;
+    let refined = RefinedCfm::calibrate(base, &ctx.rhos());
+    println!(
+        "{:>6} {:>12} {:>12} {:>12} {:>12}",
+        "rho", "naive_lat", "refined_lat", "cam_lat", "attempts"
+    );
+    let runs = if ctx.fast { 3 } else { 10 };
+    let mut csv = Vec::new();
+    for rho in ctx.rhos() {
+        let report = flooding_gap(&NetworkModel::paper(rho), runs, ctx.seed);
+        // Naive CFM: one phase per hop. Refined: expected attempts per hop.
+        let naive = report.cfm.latency_phases;
+        let refined_lat = naive * refined.expected_attempts(rho);
+        println!(
+            "{rho:>6.0} {naive:>12.1} {refined_lat:>12.1} {:>12.1} {:>12.1}",
+            report.cam.latency_phases.mean,
+            refined.expected_attempts(rho)
+        );
+        csv.push(format!(
+            "{rho},{naive},{refined_lat},{},{}",
+            report.cam.latency_phases.mean,
+            refined.expected_attempts(rho)
+        ));
+    }
+    ctx.write_csv(
+        "ext_cfm_cost.csv",
+        "rho,naive_latency,refined_latency,cam_latency,expected_attempts",
+        &csv,
+    );
+    println!(
+        "\nexpected shape: naive CFM underestimates CAM latency with a gap that\n\
+         grows with density; the density-aware refinement restores the trend\n\
+         (it overestimates because flooding amortizes retries across neighbors)"
+    );
+}
+
+/// Ext J — broadcast-scheme shootout: PB_CAM vs counter-based vs
+/// distance-based under identical CAM semantics.
+pub fn ext_schemes(ctx: &Ctx) {
+    use nss_sim::protocols::counter::{run_counter_broadcast, CounterConfig};
+    use nss_sim::protocols::distance::{run_distance_broadcast, DistanceConfig};
+    heading("Ext J: PB_CAM vs counter-based vs distance-based (final reach / broadcasts)");
+    println!(
+        "{:>6} {:>16} {:>16} {:>16}",
+        "rho", "pbcam(p=13/rho)", "counter(C=3)", "distance(0.4r)"
+    );
+    let runs = if ctx.fast { 3 } else { 10 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for rho in [20.0f64, 60.0, 100.0, 140.0] {
+        let p = (13.0 / rho).clamp(0.05, 1.0);
+        let mut acc = [(0.0f64, 0u64); 3];
+        for rep in 0..runs {
+            let topo = Topology::build(
+                &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
+            );
+            let seed = factory.seed(Stream::Protocol, rep);
+            let t = run_gossip(&topo, &GossipConfig::pb_cam(p), seed);
+            acc[0].0 += t.final_reachability();
+            acc[0].1 += t.total_broadcasts();
+            let t = run_counter_broadcast(&topo, &CounterConfig::paper(3), seed);
+            acc[1].0 += t.final_reachability();
+            acc[1].1 += t.total_broadcasts();
+            let t = run_distance_broadcast(&topo, &DistanceConfig::paper(0.4), seed);
+            acc[2].0 += t.final_reachability();
+            acc[2].1 += t.total_broadcasts();
+        }
+        let fmt = |(r, b): (f64, u64)| {
+            format!("{:.2}/{:>6.0}", r / runs as f64, b as f64 / runs as f64)
+        };
+        println!(
+            "{rho:>6.0} {:>16} {:>16} {:>16}",
+            fmt(acc[0]),
+            fmt(acc[1]),
+            fmt(acc[2])
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{},{},{}",
+            acc[0].0 / runs as f64,
+            acc[0].1 as f64 / runs as f64,
+            acc[1].0 / runs as f64,
+            acc[1].1 as f64 / runs as f64,
+            acc[2].0 / runs as f64,
+            acc[2].1 as f64 / runs as f64
+        ));
+    }
+    ctx.write_csv(
+        "ext_schemes.csv",
+        "rho,pbcam_reach,pbcam_tx,counter_reach,counter_tx,distance_reach,distance_tx",
+        &csv,
+    );
+    println!(
+        "\nnote: under Assumption-6 CAM, duplicate receptions mostly COLLIDE, so\n\
+         duplicate-driven suppression (counter/distance) rarely triggers and both\n\
+         schemes spend nearly flooding-level traffic — PB_CAM's coin flip is the\n\
+         only thinning that needs no clean duplicates. (Under CFM the suppression\n\
+         schemes shine; see their unit tests.)"
+    );
+}
+
+/// Ext K — unicast convergecast: data gathering up the BFS tree under CAM.
+pub fn ext_convergecast(ctx: &Ctx) {
+    use nss_sim::protocols::convergecast::{run_convergecast, ConvergecastConfig};
+    heading("Ext K: unicast convergecast (data gathering) under CAM");
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>10}",
+        "rho", "reports", "delivered", "transmissions", "phases"
+    );
+    let runs = if ctx.fast { 2 } else { 5 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for rho in [20.0f64, 40.0, 60.0] {
+        let mut reach = 0usize;
+        let mut deliv = 0usize;
+        let mut tx = 0u64;
+        let mut phases = 0usize;
+        for rep in 0..runs {
+            let topo = Topology::build(
+                &Deployment::disk(4, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
+            );
+            let out = run_convergecast(
+                &topo,
+                &ConvergecastConfig::default(),
+                factory.seed(Stream::Protocol, rep),
+            );
+            reach += out.reachable;
+            deliv += out.delivered;
+            tx += out.transmissions;
+            phases += out.phases;
+        }
+        println!(
+            "{rho:>6.0} {:>10} {:>10} {:>12} {:>10}",
+            reach / runs as usize,
+            deliv / runs as usize,
+            tx / runs,
+            phases / runs as usize
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{}",
+            reach / runs as usize,
+            deliv / runs as usize,
+            tx / runs,
+            phases / runs as usize
+        ));
+    }
+    ctx.write_csv(
+        "ext_convergecast.csv",
+        "rho,reports,delivered,transmissions,phases",
+        &csv,
+    );
+    println!("\nexpected shape: full delivery; transmissions grow superlinearly with\ndensity (funnel contention near the source forces retries)");
+}
+
+/// Ext L — failure injection: PB_CAM reachability under per-phase node
+/// deaths (sensitivity to the paper's stable-snapshot Assumption 5).
+pub fn ext_failures(ctx: &Ctx) {
+    heading("Ext L: PB_CAM under per-phase node failures");
+    println!(
+        "{:>8} {:>12} {:>12} {:>12}",
+        "q_fail", "rho=40", "rho=80", "rho=140"
+    );
+    let runs = if ctx.fast { 3 } else { 10 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for q in [0.0, 0.02, 0.05, 0.1, 0.2] {
+        let mut row = format!("{q}");
+        print!("{q:>8.2}");
+        for rho in [40.0f64, 80.0, 140.0] {
+            let p = (13.0 / rho).clamp(0.05, 1.0);
+            let mut total = 0.0;
+            for rep in 0..runs {
+                let topo = Topology::build(
+                    &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
+                );
+                let mut cfg = GossipConfig::pb_cam(p);
+                cfg.node_failure_per_phase = q;
+                total += run_gossip(&topo, &cfg, factory.seed(Stream::Protocol, rep))
+                    .final_reachability();
+            }
+            let mean = total / runs as f64;
+            print!(" {mean:>12.3}");
+            row.push_str(&format!(",{mean}"));
+        }
+        println!();
+        csv.push(row);
+    }
+    ctx.write_csv(
+        "ext_failures.csv",
+        "q_fail,reach_rho40,reach_rho80,reach_rho140",
+        &csv,
+    );
+    println!("\nexpected shape: graceful degradation; denser networks tolerate more\nfailure (redundant relays), validating Assumption 5 as a mild idealization");
+}
+
+/// Ext M — TDMA (CFM via time diversity, §3.2.1) vs CSMA-style CAM
+/// flooding: reliability vs latency, quantified.
+pub fn ext_tdma(ctx: &Ctx) {
+    use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
+    heading("Ext M: TDMA-implemented CFM flooding vs CAM flooding");
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
+        "rho", "frame", "tdma_slots", "tdma_reach", "cam_slots", "cam_reach"
+    );
+    let runs = if ctx.fast { 2 } else { 5 };
+    let factory = SeedFactory::new(ctx.seed);
+    let mut csv = Vec::new();
+    for rho in [20.0f64, 60.0, 100.0, 140.0] {
+        let mut frame = 0u64;
+        let mut tdma_slots = 0u64;
+        let mut tdma_reach = 0.0;
+        let mut cam_slots = 0u64;
+        let mut cam_reach = 0.0;
+        for rep in 0..runs {
+            let topo = Topology::build(
+                &Deployment::disk(4, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
+            );
+            let schedule = TdmaSchedule::build(&topo);
+            let out = run_tdma_flooding(&topo, &schedule);
+            assert_eq!(out.collisions, 0, "schedule must be collision-free");
+            frame += u64::from(out.frame_len);
+            tdma_slots += out.slots_elapsed;
+            tdma_reach += out.reachability();
+            let trace = run_gossip(
+                &topo,
+                &GossipConfig::flooding_cam(),
+                factory.seed(Stream::Protocol, rep),
+            );
+            cam_slots += trace.phases() as u64 * 3; // s = 3 slots per phase
+            cam_reach += trace.final_reachability();
+        }
+        let r = runs as f64;
+        println!(
+            "{rho:>6.0} {:>8.0} {:>12.0} {:>12.3} {:>12.0} {:>12.3}",
+            frame as f64 / r,
+            tdma_slots as f64 / r,
+            tdma_reach / r,
+            cam_slots as f64 / r,
+            cam_reach / r
+        );
+        csv.push(format!(
+            "{rho},{},{},{},{},{}",
+            frame as f64 / r,
+            tdma_slots as f64 / r,
+            tdma_reach / r,
+            cam_slots as f64 / r,
+            cam_reach / r
+        ));
+    }
+    ctx.write_csv(
+        "ext_tdma.csv",
+        "rho,frame_len,tdma_slots,tdma_reach,cam_slots,cam_reach",
+        &csv,
+    );
+    println!(
+        "\nexpected shape: TDMA reaches the full component with zero collisions but\n\
+         its frame (≈ distance-2 degree ≈ 4ρ) makes dense-network latency explode —\n\
+         the affordability warning of §3.2.1, quantified"
+    );
+}
+
+/// Ext N — jitter-slot ablation: how the optimum depends on `s` (the paper
+/// fixes s = 3 without comment).
+pub fn ext_slots(ctx: &Ctx) {
+    heading("Ext N: jitter-slot count ablation (analysis, rho = 80)");
+    println!(
+        "{:>4} {:>8} {:>12} {:>12}",
+        "s", "p*", "reach@5ph", "flooding@5ph"
+    );
+    let obj = Objective::MaxReachAtLatency {
+        phases: LATENCY_BUDGET,
+    };
+    let grid = ctx.analysis_grid();
+    let mut csv = Vec::new();
+    for s in [1u32, 2, 3, 4, 6, 8] {
+        let mut cfg = ctx.ring_base();
+        cfg.rho = 80.0;
+        cfg.s = s;
+        let sweep = ProbabilitySweep::run(cfg, &grid);
+        let opt = sweep.optimum(obj).unwrap();
+        let flooding = {
+            let mut f = cfg;
+            f.prob = 1.0;
+            nss_analysis::ring_model::RingModel::new(f)
+                .run()
+                .phase_series()
+                .reachability_at_latency(LATENCY_BUDGET)
+        };
+        println!(
+            "{s:>4} {:>8.2} {:>12.3} {flooding:>12.3}",
+            opt.prob, opt.value
+        );
+        csv.push(format!("{s},{},{},{flooding}", opt.prob, opt.value));
+    }
+    ctx.write_csv("ext_slots.csv", "s,p_opt,reach_opt,flooding_reach", &csv);
+    println!(
+        "\nexpected shape: more jitter slots absorb more contention, raising both\n\
+         the optimal probability and the flooding baseline; the p*-vs-s trend\n\
+         shows s=3 is a middling choice, not a special one"
+    );
+}
+
+/// Ext O — heterogeneous density (§6's motivating scenario): clustered
+/// hotspots over a sparse background. Compares a single fixed probability,
+/// the globally-adaptive rule, and the per-node spatially-adaptive rule.
+pub fn ext_hetero(ctx: &Ctx) {
+    use nss_core::adaptive::{per_node_probabilities, AdaptiveController};
+    use nss_model::deployment::ClusterDeployment;
+    use nss_sim::probe::probe_per_node_success;
+    use nss_sim::slotted::run_gossip_per_node;
+
+    heading("Ext O: clustered density — fixed vs global-adaptive vs per-node adaptive");
+    let mut base = ctx.ring_base();
+    base.prob = 1.0;
+    let controller = AdaptiveController::calibrate(base, &[40.0, 80.0, 120.0], LATENCY_BUDGET);
+    println!("calibrated ratio = {:.2}", controller.ratio);
+
+    let runs = if ctx.fast { 3 } else { 10 };
+    let factory = SeedFactory::new(ctx.seed);
+    println!(
+        "{:>10} {:>12} {:>13} {:>13} {:>13}",
+        "contrast", "mean_deg", "fixed 5ph/fin", "glob 5ph/fin", "node 5ph/fin"
+    );
+    let mut csv = Vec::new();
+    // Sweep hotspot contrast: children per cluster grows, background thins.
+    for &(children, bg) in &[(40.0, 3.0), (80.0, 2.0), (160.0, 1.0)] {
+        let cdep = ClusterDeployment::new(5, 1.0, 6, children, 1.0, bg);
+        let dep = Deployment::Cluster(cdep);
+        let mut deg_sum = 0.0;
+        let mut fixed = (0.0, 0.0); // (reach@5, final)
+        let mut global = (0.0, 0.0);
+        let mut local = (0.0, 0.0);
+        for rep in 0..runs {
+            let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
+            deg_sum += topo.mean_degree();
+            let seed = factory.seed(Stream::Protocol, rep);
+            let eval = |trace: nss_sim::trace::SimTrace| {
+                let s = trace.phase_series();
+                (s.reachability_at_latency(LATENCY_BUDGET), s.final_reachability())
+            };
+
+            // (a) fixed p tuned for the MEAN density via the 13/rho rule.
+            let p_fixed = (13.0 / topo.mean_degree().max(1.0)).clamp(0.02, 1.0);
+            let (a, b) = eval(run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed));
+            fixed.0 += a;
+            fixed.1 += b;
+
+            // (b) global adaptive: one measured success rate for everyone.
+            let rates = probe_per_node_success(
+                &topo,
+                3,
+                if ctx.fast { 1 } else { 2 },
+                factory.seed(Stream::Jitter, rep),
+            );
+            let global_sr = rates.iter().sum::<f64>() / rates.len() as f64;
+            let p_global = controller.probability(global_sr);
+            let (a, b) = eval(run_gossip(&topo, &GossipConfig::pb_cam(p_global), seed));
+            global.0 += a;
+            global.1 += b;
+
+            // (c) per-node adaptive: each node from its own measured rate.
+            let probs = per_node_probabilities(&controller, &rates);
+            let (a, b) = eval(run_gossip_per_node(
+                &topo,
+                &GossipConfig::pb_cam(0.5),
+                &probs,
+                seed,
+            ));
+            local.0 += a;
+            local.1 += b;
+        }
+        let r = runs as f64;
+        let label = format!("{children:.0}x/{bg:.0}");
+        println!(
+            "{label:>10} {:>12.1} {:>6.3}/{:<6.3} {:>6.3}/{:<6.3} {:>6.3}/{:<6.3}",
+            deg_sum / r,
+            fixed.0 / r,
+            fixed.1 / r,
+            global.0 / r,
+            global.1 / r,
+            local.0 / r,
+            local.1 / r
+        );
+        csv.push(format!(
+            "{children},{bg},{},{},{},{},{},{}",
+            deg_sum / r,
+            fixed.0 / r,
+            fixed.1 / r,
+            global.0 / r,
+            global.1 / r,
+            local.0 / r
+        ) + &format!(",{}", local.1 / r));
+    }
+    ctx.write_csv(
+        "ext_hetero.csv",
+        "children_per_cluster,background_density,mean_degree,fixed_reach5,fixed_final,global_reach5,global_final,pernode_reach5,pernode_final",
+        &csv,
+    );
+    println!(
+        "\nmeasured shape: on FINAL coverage the per-node rule dominates (hotspot\n\
+         nodes throttle down, sparse bridges keep relaying), while staying\n\
+         competitive within the 5-phase budget — the practical payoff §6 claims\n\
+         for success-rate-driven tuning under density variation"
+    );
+}
+
+/// Ext P — field-size ablation: the paper fixes P = 5; how do the optimal
+/// probability and the plateau depend on the field radius?
+pub fn ext_fieldsize(ctx: &Ctx) {
+    heading("Ext P: field-size ablation (analysis, rho = 80)");
+    println!(
+        "{:>4} {:>8} {:>8} {:>12} {:>12}",
+        "P", "N", "p*", "reach@P+1ph", ""
+    );
+    let grid = ctx.analysis_grid();
+    let mut csv = Vec::new();
+    for p_rings in [3u32, 5, 8, 10] {
+        let mut cfg = ctx.ring_base();
+        cfg.rho = 80.0;
+        cfg.p = p_rings;
+        // Budget scaled with the field: the wave needs ≥ P phases to cross.
+        let budget = f64::from(p_rings) + 1.0;
+        let sweep = ProbabilitySweep::run(cfg, &grid);
+        let opt = sweep
+            .optimum(Objective::MaxReachAtLatency { phases: budget })
+            .unwrap();
+        println!(
+            "{p_rings:>4} {:>8.0} {:>8.2} {:>12.3}",
+            cfg.n_total(),
+            opt.prob,
+            opt.value
+        );
+        csv.push(format!("{p_rings},{},{},{}", cfg.n_total(), opt.prob, opt.value));
+    }
+    ctx.write_csv("ext_fieldsize.csv", "P,N,p_opt,reach_opt", &csv);
+    println!(
+        "
+measured shape: the optimal probability is set by the LOCAL contention
+         (rho), not the field size — p* is flat in P; achievable reachability
+         even ticks up with P as the under-covered border shrinks relatively"
+    );
+}
+
+/// Ext G — μ-mode ablation: the paper's interpolation vs the Poisson
+/// mixture at the optimum.
+pub fn ext_mu_mode(ctx: &Ctx) {
+    heading("Ext G: mu-evaluation ablation (interpolated vs Poisson mixture)");
+    println!(
+        "{:>6} {:>10} {:>10} {:>10} {:>10}",
+        "rho", "p*_interp", "reach_i", "p*_pois", "reach_p"
+    );
+    let obj = Objective::MaxReachAtLatency {
+        phases: LATENCY_BUDGET,
+    };
+    let grid = ctx.analysis_grid();
+    let mut csv = Vec::new();
+    for rho in ctx.rhos() {
+        let mut interp: RingModelConfig = ctx.ring_base();
+        interp.rho = rho;
+        let a = ProbabilitySweep::run(interp, &grid).optimum(obj).unwrap();
+        let mut pois = interp;
+        pois.mu_mode = MuMode::Poisson;
+        let b = ProbabilitySweep::run(pois, &grid).optimum(obj).unwrap();
+        println!(
+            "{rho:>6.0} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
+            a.prob, a.value, b.prob, b.value
+        );
+        csv.push(format!("{rho},{},{},{},{}", a.prob, a.value, b.prob, b.value));
+    }
+    ctx.write_csv(
+        "ext_mu_mode.csv",
+        "rho,p_opt_interp,reach_interp,p_opt_poisson,reach_poisson",
+        &csv,
+    );
+    println!("\nexpected shape: both modes agree on the trend; levels differ slightly");
+}

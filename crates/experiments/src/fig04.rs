@@ -1,0 +1,92 @@
+//! Fig. 4 — analytical reachability of PB_CAM within 5 time phases.
+//!
+//! (a) reachability vs (ρ, p); (b) the optimal probability per density with
+//! the reachability it achieves. Paper findings: bell-shaped curves, p*
+//! decreasing rapidly with ρ, achieved reachability ≈ constant (~0.72 in
+//! the paper's calibration), flooding far below the optimum at high ρ.
+
+use crate::common::{fmt_opt, heading, Ctx};
+use nss_analysis::optimize::Objective;
+use nss_analysis::sweep::DensitySweep;
+
+/// Latency budget used throughout Figs. 4, 5, and 12 (paper: 5 phases).
+pub const LATENCY_BUDGET: f64 = 5.0;
+
+/// Runs the Fig. 4 reproduction; returns the per-density optima `(ρ, p*,
+/// reach*)` for downstream figures.
+pub fn run(ctx: &Ctx, sweep: &DensitySweep) -> Vec<(f64, f64, f64)> {
+    heading("Fig 4(a): analytical reachability within 5 phases");
+    let obj = Objective::MaxReachAtLatency {
+        phases: LATENCY_BUDGET,
+    };
+    let values = sweep.evaluate(obj);
+
+    // Panel (a): one series per density.
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>8}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let v = values[ri][pi];
+            print!(" {}", fmt_opt(v, 8, 3));
+            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.6}"))));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("reach_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig04a_reachability.csv", &header, &csv);
+
+    // Panel (b): optimal probability and achieved reachability.
+    heading("Fig 4(b): optimal probability and corresponding reachability");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (rho, opt) in sweep.optima(obj) {
+        let opt = opt.expect("max objective is always feasible");
+        println!("{rho:>6.0} {:>8.2} {:>10.3}", opt.prob, opt.value);
+        csv.push(format!("{rho},{},{}", opt.prob, opt.value));
+        out.push((rho, opt.prob, opt.value));
+    }
+    ctx.write_csv("fig04b_optimal.csv", "rho,p_opt,reach_opt", &csv);
+    ctx.write_svg(
+        "fig04a.svg",
+        &crate::common::panel_a_chart(
+            "Fig 4(a): analytical reachability within 5 phases",
+            "reachability",
+            &sweep.probs,
+            &sweep.rhos,
+            &values,
+        ),
+    );
+    ctx.write_svg(
+        "fig04b.svg",
+        &crate::common::panel_b_chart("Fig 4(b): optimal probability", "reachability at p*", &out),
+    );
+
+    // Headline check: p* decreasing, plateau flat.
+    let first = out.first().expect("non-empty density axis");
+    let last = out.last().expect("non-empty density axis");
+    println!(
+        "\nshape: p* {:.2} -> {:.2} (decreasing: {}), plateau spread {:.3}",
+        first.1,
+        last.1,
+        last.1 < first.1,
+        out.iter().map(|o| o.2).fold(f64::MIN, f64::max)
+            - out.iter().map(|o| o.2).fold(f64::MAX, f64::min)
+    );
+    out
+}

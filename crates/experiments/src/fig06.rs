@@ -1,0 +1,92 @@
+//! Fig. 6 — analytical energy cost (broadcast count) of PB_CAM to a fixed
+//! reachability target.
+//!
+//! Paper findings: M grows with both ρ and p; the energy-optimal
+//! probability stays within [0, ~0.1] across all densities, with M* ≤ ~40
+//! — two orders of magnitude below flooding at high density.
+
+use crate::common::{fmt_opt, heading, Ctx};
+use nss_analysis::optimize::Objective;
+use nss_analysis::sweep::DensitySweep;
+
+/// Runs the Fig. 6 reproduction at the given reachability target (the
+/// Fig. 4 plateau). Returns per-density optima `(ρ, p*, M*)`.
+pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)> {
+    heading(&format!(
+        "Fig 6(a): analytical broadcast count to {:.0}% reachability",
+        target * 100.0
+    ));
+    let obj = Objective::MinBroadcastsForReach { target };
+    let values = sweep.evaluate(obj);
+
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>9}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let v = values[ri][pi];
+            print!(" {}", fmt_opt(v, 9, 1));
+            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.3}"))));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("broadcasts_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig06a_broadcasts.csv", &header, &csv);
+
+    heading("Fig 6(b): energy-optimal probability and broadcast count");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (rho, opt) in sweep.optima(obj) {
+        match opt {
+            Some(opt) => {
+                println!("{rho:>6.0} {:>8.2} {:>10.1}", opt.prob, opt.value);
+                csv.push(format!("{rho},{},{}", opt.prob, opt.value));
+                out.push((rho, opt.prob, opt.value));
+            }
+            None => {
+                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                csv.push(format!("{rho},,"));
+            }
+        }
+    }
+    ctx.write_csv("fig06b_optimal.csv", "rho,p_opt,broadcasts_opt", &csv);
+    ctx.write_svg(
+        "fig06a.svg",
+        &crate::common::panel_a_chart(
+            &format!("Fig 6(a): analytical broadcasts to {:.0}% reachability", target * 100.0),
+            "broadcast count M",
+            &sweep.probs,
+            &sweep.rhos,
+            &values,
+        ),
+    );
+    ctx.write_svg(
+        "fig06b.svg",
+        &crate::common::panel_b_chart("Fig 6(b): energy-optimal probability", "M at p*", &out),
+    );
+
+    if let (Some(first), Some(last)) = (out.first(), out.last()) {
+        println!(
+            "\nshape: energy-optimal p stays small ({:.2} -> {:.2}); M* max {:.0}",
+            first.1,
+            last.1,
+            out.iter().map(|o| o.2).fold(f64::MIN, f64::max)
+        );
+    }
+    out
+}

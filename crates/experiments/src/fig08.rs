@@ -1,0 +1,79 @@
+//! Fig. 8 — simulated reachability of PB_CAM within 5 time phases
+//! (30-run averages; the GloMoSim experiment of the paper, §5).
+//!
+//! Paper findings: matches the analytical Fig. 4 shape; achievable
+//! reachability ≈ constant across ρ (63% in the paper's calibration).
+
+use crate::common::{heading, Ctx, SimSweep};
+use crate::fig04::LATENCY_BUDGET;
+
+/// Runs the Fig. 8 reproduction; returns per-density optima `(ρ, p*,
+/// reach*)`.
+pub fn run(ctx: &Ctx, sweep: &SimSweep) -> Vec<(f64, f64, f64)> {
+    heading("Fig 8(a): simulated reachability within 5 phases (mean over runs)");
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>8}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    let mut means = vec![vec![0.0f64; sweep.probs.len()]; sweep.rhos.len()];
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let s = sweep.grid[ri][pi].reachability_at_latency(LATENCY_BUDGET);
+            means[ri][pi] = s.mean;
+            print!(" {:>8.3}", s.mean);
+            row.push_str(&format!(",{:.6},{:.6}", s.mean, s.std_dev));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("reach_rho{r:.0},std_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig08a_sim_reachability.csv", &header, &csv);
+
+    heading("Fig 8(b): simulated optimal probability and reachability");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (ri, &rho) in sweep.rhos.iter().enumerate() {
+        let (pi, &best) = means[ri]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN means"))
+            .expect("non-empty grid");
+        let p = sweep.probs[pi];
+        println!("{rho:>6.0} {p:>8.2} {best:>10.3}");
+        csv.push(format!("{rho},{p},{best}"));
+        out.push((rho, p, best));
+    }
+    ctx.write_csv("fig08b_sim_optimal.csv", "rho,p_opt,reach_opt", &csv);
+    let opt_values: Vec<Vec<Option<f64>>> = means
+        .iter()
+        .map(|row| row.iter().map(|&v| Some(v)).collect())
+        .collect();
+    ctx.write_svg(
+        "fig08a.svg",
+        &crate::common::panel_a_chart(
+            "Fig 8(a): simulated reachability within 5 phases",
+            "reachability",
+            &sweep.probs,
+            &sweep.rhos,
+            &opt_values,
+        ),
+    );
+    ctx.write_svg(
+        "fig08b.svg",
+        &crate::common::panel_b_chart("Fig 8(b): simulated optimal probability", "reachability at p*", &out),
+    );
+    out
+}

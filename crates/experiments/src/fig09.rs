@@ -1,0 +1,92 @@
+//! Fig. 9 — simulated latency of PB_CAM to the simulated plateau
+//! reachability (paper: 63%; ours computed from Fig. 8).
+//!
+//! Paper findings: the latency-optimal probability matches Fig. 8(b) and
+//! the achieved latency is ≈ 5 phases (the duality again, measured).
+
+use crate::common::{fmt_opt, heading, Ctx, SimSweep};
+
+/// Runs the Fig. 9 reproduction at the given reachability target. Returns
+/// per-density optima `(ρ, p*, latency*)`.
+pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
+    heading(&format!(
+        "Fig 9(a): simulated latency (phases) to {:.0}% reachability",
+        target * 100.0
+    ));
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>8}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    // mean latency over feasible runs; None when < half the runs achieve it
+    let mut means: Vec<Vec<Option<f64>>> =
+        vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let (s, frac) = sweep.grid[ri][pi].latency_to_reach(target);
+            let v = if frac >= 0.5 { Some(s.mean) } else { None };
+            means[ri][pi] = v;
+            print!(" {}", fmt_opt(v, 8, 2));
+            row.push_str(&format!(
+                ",{},{:.3}",
+                v.map_or(String::new(), |x| format!("{x:.4}")),
+                frac
+            ));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("latency_rho{r:.0},feasible_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig09a_sim_latency.csv", &header, &csv);
+
+    heading("Fig 9(b): simulated optimal probability and latency");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "latency*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (ri, &rho) in sweep.rhos.iter().enumerate() {
+        let best = means[ri]
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, v)| v.map(|x| (pi, x)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        match best {
+            Some((pi, lat)) => {
+                let p = sweep.probs[pi];
+                println!("{rho:>6.0} {p:>8.2} {lat:>10.2}");
+                csv.push(format!("{rho},{p},{lat}"));
+                out.push((rho, p, lat));
+            }
+            None => {
+                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                csv.push(format!("{rho},,"));
+            }
+        }
+    }
+    ctx.write_csv("fig09b_sim_optimal.csv", "rho,p_opt,latency_opt", &csv);
+    ctx.write_svg(
+        "fig09a.svg",
+        &crate::common::panel_a_chart(
+            &format!("Fig 9(a): simulated latency to {:.0}% reachability", target * 100.0),
+            "latency (phases)",
+            &sweep.probs,
+            &sweep.rhos,
+            &means,
+        ),
+    );
+    ctx.write_svg(
+        "fig09b.svg",
+        &crate::common::panel_b_chart("Fig 9(b): simulated optimal probability", "latency at p*", &out),
+    );
+    out
+}

@@ -1,0 +1,90 @@
+//! Fig. 10 — simulated energy cost (broadcast count) of PB_CAM to the
+//! simulated plateau reachability (paper: 63%).
+//!
+//! Paper findings: energy-optimal probability within 0.2 across densities;
+//! corresponding broadcast count ≈ 80.
+
+use crate::common::{fmt_opt, heading, Ctx, SimSweep};
+
+/// Runs the Fig. 10 reproduction. Returns per-density optima `(ρ, p*, M*)`.
+pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
+    heading(&format!(
+        "Fig 10(a): simulated broadcast count to {:.0}% reachability",
+        target * 100.0
+    ));
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>9}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    let mut means: Vec<Vec<Option<f64>>> =
+        vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let (s, frac) = sweep.grid[ri][pi].broadcasts_to_reach(target);
+            let v = if frac >= 0.5 { Some(s.mean) } else { None };
+            means[ri][pi] = v;
+            print!(" {}", fmt_opt(v, 9, 1));
+            row.push_str(&format!(
+                ",{},{:.3}",
+                v.map_or(String::new(), |x| format!("{x:.3}")),
+                frac
+            ));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("broadcasts_rho{r:.0},feasible_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig10a_sim_broadcasts.csv", &header, &csv);
+
+    heading("Fig 10(b): simulated energy-optimal probability and broadcast count");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (ri, &rho) in sweep.rhos.iter().enumerate() {
+        let best = means[ri]
+            .iter()
+            .enumerate()
+            .filter_map(|(pi, v)| v.map(|x| (pi, x)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        match best {
+            Some((pi, m)) => {
+                let p = sweep.probs[pi];
+                println!("{rho:>6.0} {p:>8.2} {m:>10.1}");
+                csv.push(format!("{rho},{p},{m}"));
+                out.push((rho, p, m));
+            }
+            None => {
+                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                csv.push(format!("{rho},,"));
+            }
+        }
+    }
+    ctx.write_csv("fig10b_sim_optimal.csv", "rho,p_opt,broadcasts_opt", &csv);
+    ctx.write_svg(
+        "fig10a.svg",
+        &crate::common::panel_a_chart(
+            &format!("Fig 10(a): simulated broadcasts to {:.0}% reachability", target * 100.0),
+            "broadcast count M",
+            &sweep.probs,
+            &sweep.rhos,
+            &means,
+        ),
+    );
+    ctx.write_svg(
+        "fig10b.svg",
+        &crate::common::panel_b_chart("Fig 10(b): simulated energy-optimal probability", "M at p*", &out),
+    );
+    out
+}

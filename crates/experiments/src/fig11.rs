@@ -1,0 +1,80 @@
+//! Fig. 11 — simulated reachability of PB_CAM under a broadcast budget
+//! (paper: 80, ≈ its Fig. 10 optimum; ours computed from Fig. 10).
+//!
+//! Paper findings: optimal probability within 0.2 across densities —
+//! the measured counterpart of the Fig. 7 duality.
+
+use crate::common::{heading, Ctx, SimSweep};
+
+/// Runs the Fig. 11 reproduction with the given broadcast budget. Returns
+/// per-density optima `(ρ, p*, reach*)`.
+pub fn run(ctx: &Ctx, sweep: &SimSweep, budget: f64) -> Vec<(f64, f64, f64)> {
+    heading(&format!(
+        "Fig 11(a): simulated reachability using <= {budget:.0} broadcasts"
+    ));
+    print!("{:>6}", "p");
+    for &rho in &sweep.rhos {
+        print!(" {:>8}", format!("rho={rho:.0}"));
+    }
+    println!();
+    let mut csv = Vec::new();
+    let mut means = vec![vec![0.0f64; sweep.probs.len()]; sweep.rhos.len()];
+    for (pi, &p) in sweep.probs.iter().enumerate() {
+        print!("{p:>6.2}");
+        let mut row = format!("{p}");
+        for ri in 0..sweep.rhos.len() {
+            let s = sweep.grid[ri][pi].reachability_under_budget(budget);
+            means[ri][pi] = s.mean;
+            print!(" {:>8.3}", s.mean);
+            row.push_str(&format!(",{:.6},{:.6}", s.mean, s.std_dev));
+        }
+        println!();
+        csv.push(row);
+    }
+    let header = format!(
+        "p,{}",
+        sweep
+            .rhos
+            .iter()
+            .map(|r| format!("reach_rho{r:.0},std_rho{r:.0}"))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    ctx.write_csv("fig11a_sim_reach_budget.csv", &header, &csv);
+
+    heading("Fig 11(b): simulated optimal probability and reachability");
+    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    let mut out = Vec::new();
+    let mut csv = Vec::new();
+    for (ri, &rho) in sweep.rhos.iter().enumerate() {
+        let (pi, &best) = means[ri]
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
+            .expect("non-empty grid");
+        let p = sweep.probs[pi];
+        println!("{rho:>6.0} {p:>8.2} {best:>10.3}");
+        csv.push(format!("{rho},{p},{best}"));
+        out.push((rho, p, best));
+    }
+    ctx.write_csv("fig11b_sim_optimal.csv", "rho,p_opt,reach_opt", &csv);
+    let opt_values: Vec<Vec<Option<f64>>> = means
+        .iter()
+        .map(|row| row.iter().map(|&v| Some(v)).collect())
+        .collect();
+    ctx.write_svg(
+        "fig11a.svg",
+        &crate::common::panel_a_chart(
+            &format!("Fig 11(a): simulated reachability within {budget:.0} broadcasts"),
+            "reachability",
+            &sweep.probs,
+            &sweep.rhos,
+            &opt_values,
+        ),
+    );
+    ctx.write_svg(
+        "fig11b.svg",
+        &crate::common::panel_b_chart("Fig 11(b): simulated optimal probability", "reachability at p*", &out),
+    );
+    out
+}

@@ -1,0 +1,279 @@
+//! `repro` — regenerates every figure of the paper's evaluation plus the
+//! extension experiments.
+//!
+//! ```sh
+//! cargo run --release -p nss-experiments --bin repro -- all
+//! cargo run --release -p nss-experiments --bin repro -- fig4 fig12
+//! cargo run --release -p nss-experiments --bin repro -- --fast sim
+//! ```
+//!
+//! Commands: `fig4 fig5 fig6 fig7` (analysis), `fig8 fig9 fig10 fig11`
+//! (simulation), `fig12`, `ext-cs ext-cfmgap ext-grid ext-adaptive ext-ack
+//! ext-async ext-mumode`, and the groups `analysis`, `sim`, `ext`, `all`.
+//! Options: `--fast` (smoke-scale), `--out DIR`, `--runs N`, `--threads N`,
+//! `--seed S`.
+
+#![allow(clippy::needless_range_loop)] // tabular row/column code reads better indexed
+
+mod common;
+mod extensions;
+mod fig04;
+mod fig05;
+mod fig06;
+mod fig07;
+mod fig08;
+mod fig09;
+mod fig10;
+mod fig11;
+mod fig12;
+mod report;
+
+use common::Ctx;
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn main() {
+    let mut ctx = Ctx::new();
+    let mut commands: BTreeSet<String> = BTreeSet::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fast" => ctx.fast = true,
+            "--out" => {
+                ctx.out_dir = args.next().expect("--out needs a directory").into();
+            }
+            "--runs" => {
+                ctx.runs = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--runs needs a number");
+            }
+            "--threads" => {
+                ctx.threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+            }
+            "--seed" => {
+                ctx.seed = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number");
+            }
+            "--help" | "-h" => {
+                print_usage();
+                return;
+            }
+            cmd => {
+                commands.insert(cmd.to_string());
+            }
+        }
+    }
+    if commands.is_empty() {
+        print_usage();
+        return;
+    }
+
+    // Expand groups.
+    let mut selected: BTreeSet<&str> = BTreeSet::new();
+    for cmd in &commands {
+        match cmd.as_str() {
+            "analysis" => {
+                selected.extend(["fig4", "fig5", "fig6", "fig7"]);
+            }
+            "sim" => {
+                selected.extend(["fig8", "fig9", "fig10", "fig11"]);
+            }
+            "ext" => {
+                selected.extend([
+                    "ext-cs",
+                    "ext-cfmgap",
+                    "ext-grid",
+                    "ext-adaptive",
+                    "ext-ack",
+                    "ext-async",
+                    "ext-mumode",
+                    "ext-survival",
+                    "ext-cfmcost",
+                    "ext-schemes",
+                    "ext-converge",
+                    "ext-failures",
+                    "ext-tdma",
+                    "ext-slots",
+                    "ext-hetero",
+                    "ext-fieldsize",
+                ]);
+            }
+            "all" => {
+                selected.extend([
+                    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+                    "ext-cs", "ext-cfmgap", "ext-grid", "ext-adaptive", "ext-ack", "ext-async",
+                    "ext-mumode", "ext-survival", "ext-cfmcost", "ext-schemes", "ext-converge",
+                    "ext-failures", "ext-tdma", "ext-slots", "ext-hetero", "ext-fieldsize", "report",
+                ]);
+            }
+            other => {
+                selected.insert(other);
+            }
+        }
+    }
+    let known = [
+        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ext-cs",
+        "ext-cfmgap", "ext-grid", "ext-adaptive", "ext-ack", "ext-async", "ext-mumode",
+        "ext-survival", "ext-cfmcost", "ext-schemes", "ext-converge", "ext-failures",
+        "ext-tdma", "ext-slots", "ext-hetero", "ext-fieldsize", "report",
+    ];
+    for cmd in &selected {
+        if !known.contains(cmd) {
+            eprintln!("unknown command: {cmd}");
+            print_usage();
+            std::process::exit(2);
+        }
+    }
+
+    let started = Instant::now();
+    println!(
+        "repro: {} (fast={}, runs={}, seed={})",
+        selected.iter().copied().collect::<Vec<_>>().join(" "),
+        ctx.fast,
+        ctx.sim_runs(),
+        ctx.seed
+    );
+
+    // Shared analytical sweep for Figs. 4–7.
+    let needs_analysis = ["fig4", "fig5", "fig6", "fig7"]
+        .iter()
+        .any(|f| selected.contains(f));
+    let analysis = if needs_analysis {
+        eprintln!("running analytical sweep...");
+        Some(common::analysis_sweep(&ctx))
+    } else {
+        None
+    };
+
+    // Fig. 4 (and the plateau target Figs. 5/6 reuse).
+    let mut plateau = 0.72; // the paper's value, used if fig4 is skipped
+    let mut energy_budget = 35.0; // the paper's Fig. 7 budget
+    if let Some(sweep) = &analysis {
+        if selected.contains("fig4") {
+            let optima = fig04::run(&ctx, sweep);
+            plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
+        }
+        if selected.contains("fig5") {
+            fig05::run(&ctx, sweep, plateau);
+        }
+        if selected.contains("fig6") {
+            let optima = fig06::run(&ctx, sweep, plateau);
+            if !optima.is_empty() {
+                // The paper sets the Fig. 7 budget just below its Fig. 6
+                // optimum; mirror that on our calibration.
+                energy_budget =
+                    optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
+            }
+        }
+        if selected.contains("fig7") {
+            fig07::run(&ctx, sweep, energy_budget.round());
+        }
+    }
+
+    // Shared simulated sweep for Figs. 8–11.
+    let needs_sim = ["fig8", "fig9", "fig10", "fig11"]
+        .iter()
+        .any(|f| selected.contains(f));
+    if needs_sim {
+        eprintln!(
+            "running simulated sweep ({} runs per point)...",
+            ctx.sim_runs()
+        );
+        let sweep = common::sim_sweep(&ctx, false);
+        let mut sim_plateau = 0.63; // the paper's simulated plateau
+        let mut sim_budget = 80.0; // the paper's Fig. 11 budget
+        if selected.contains("fig8") {
+            let optima = fig08::run(&ctx, &sweep);
+            sim_plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
+        }
+        if selected.contains("fig9") {
+            fig09::run(&ctx, &sweep, sim_plateau);
+        }
+        if selected.contains("fig10") {
+            let optima = fig10::run(&ctx, &sweep, sim_plateau);
+            if !optima.is_empty() {
+                sim_budget = optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
+            }
+        }
+        if selected.contains("fig11") {
+            fig11::run(&ctx, &sweep, sim_budget.round());
+        }
+    }
+
+    if selected.contains("fig12") {
+        fig12::run(&ctx);
+    }
+    if selected.contains("ext-cs") {
+        extensions::ext_carrier_sense(&ctx);
+    }
+    if selected.contains("ext-cfmgap") {
+        extensions::ext_cfm_gap(&ctx);
+    }
+    if selected.contains("ext-grid") {
+        extensions::ext_grid_percolation(&ctx);
+    }
+    if selected.contains("ext-adaptive") {
+        extensions::ext_adaptive(&ctx);
+    }
+    if selected.contains("ext-ack") {
+        extensions::ext_ack_flood(&ctx);
+    }
+    if selected.contains("ext-async") {
+        extensions::ext_async(&ctx);
+    }
+    if selected.contains("ext-mumode") {
+        extensions::ext_mu_mode(&ctx);
+    }
+    if selected.contains("ext-survival") {
+        extensions::ext_survival(&ctx);
+    }
+    if selected.contains("ext-cfmcost") {
+        extensions::ext_cfm_cost(&ctx);
+    }
+    if selected.contains("ext-schemes") {
+        extensions::ext_schemes(&ctx);
+    }
+    if selected.contains("ext-converge") {
+        extensions::ext_convergecast(&ctx);
+    }
+    if selected.contains("ext-failures") {
+        extensions::ext_failures(&ctx);
+    }
+    if selected.contains("ext-tdma") {
+        extensions::ext_tdma(&ctx);
+    }
+    if selected.contains("ext-slots") {
+        extensions::ext_slots(&ctx);
+    }
+    if selected.contains("ext-hetero") {
+        extensions::ext_hetero(&ctx);
+    }
+    if selected.contains("ext-fieldsize") {
+        extensions::ext_fieldsize(&ctx);
+    }
+    if selected.contains("report") {
+        report::run(&ctx);
+    }
+
+    println!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+fn print_usage() {
+    println!(
+        "usage: repro [--fast] [--out DIR] [--runs N] [--threads N] [--seed S] COMMAND...\n\
+         commands:\n  \
+         fig4 fig5 fig6 fig7      analytical figures (ring model)\n  \
+         fig8 fig9 fig10 fig11    simulated figures (30-run averages)\n  \
+         fig12                    success-rate correlation\n  \
+         ext-cs ext-cfmgap ext-grid ext-adaptive ext-ack ext-async ext-mumode\n  \
+         ext-survival ext-cfmcost ext-schemes ext-converge ext-failures ext-tdma ext-slots ext-hetero ext-fieldsize\n  \
+         report                   compose results/REPORT.md from the CSVs\n  \
+         analysis | sim | ext | all"
+    );
+}

@@ -1,0 +1,209 @@
+//! Link-wise communication models: CFM and CAM (§3.2 of the paper).
+//!
+//! * **CFM (Collision Free Model)** — every packet transmission is an atomic
+//!   operation guaranteed to succeed, with time cost `t_f` and energy cost
+//!   `e_f` charged to the sender and to each receiver.
+//! * **CAM (Collision Aware Model)** — transmissions are not guaranteed:
+//!   when a node is the target of concurrent transmissions from multiple
+//!   neighbors, *none* of them succeeds (Assumption 6). Time/energy costs
+//!   are `t_a ≤ t_f`, `e_a ≤ e_f`.
+//!
+//! The collision scope is configurable: the base model collides concurrent
+//! transmissions within the *transmission range* `r`; the Appendix-A variant
+//! additionally treats any concurrent transmission within the *carrier-sense
+//! range* (typically `2r`) as destructive interference.
+
+use serde::{Deserialize, Serialize};
+
+/// Which concurrent transmissions destroy a reception (CAM only).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Default)]
+pub enum CollisionRule {
+    /// A reception at `v` succeeds iff exactly one node within distance `r`
+    /// of `v` transmits during the reception (the paper's Assumption 6).
+    #[default]
+    TransmissionRange,
+    /// Additionally, any concurrent transmitter within `factor · r` of `v`
+    /// (but beyond `r`) destroys the reception (Appendix A; the paper uses
+    /// `factor = 2`).
+    CarrierSense {
+        /// Carrier-sense range as a multiple of the transmission range.
+        factor: f64,
+    },
+}
+
+impl CollisionRule {
+    /// The paper's Appendix-A default: carrier-sense range `2r`.
+    pub const CARRIER_SENSE_2R: CollisionRule = CollisionRule::CarrierSense { factor: 2.0 };
+
+    /// The interference radius (in units of `r`) within which a concurrent
+    /// transmitter invalidates a reception.
+    pub fn interference_factor(&self) -> f64 {
+        match self {
+            CollisionRule::TransmissionRange => 1.0,
+            CollisionRule::CarrierSense { factor } => *factor,
+        }
+    }
+}
+
+
+/// Per-packet time and energy costs (Assumption 1: identical for sending
+/// and receiving a unit-size packet).
+///
+/// Kept symbolic: the paper's evaluation reports latency in *time phases*
+/// and energy as *broadcast count*, so these enter only when converting to
+/// physical units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostParams {
+    /// Time cost of a guaranteed (CFM) transmission, `t_f`.
+    pub t_f: f64,
+    /// Energy cost of a guaranteed (CFM) transmission, `e_f`.
+    pub e_f: f64,
+    /// Time cost of a best-effort (CAM) transmission, `t_a ≤ t_f`.
+    pub t_a: f64,
+    /// Energy cost of a best-effort (CAM) transmission, `e_a ≤ e_f`.
+    pub e_a: f64,
+}
+
+impl CostParams {
+    /// Unit costs: one abstract time unit and energy unit per packet in both
+    /// models. The paper's evaluation is insensitive to these values.
+    pub const UNIT: CostParams = CostParams {
+        t_f: 1.0,
+        e_f: 1.0,
+        t_a: 1.0,
+        e_a: 1.0,
+    };
+
+    /// Validates the model constraint `t_a ≤ t_f ∧ e_a ≤ e_f` and positivity.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.t_f > 0.0 && self.e_f > 0.0 && self.t_a > 0.0 && self.e_a > 0.0) {
+            return Err("all costs must be positive".into());
+        }
+        if self.t_a > self.t_f {
+            return Err(format!("t_a ({}) must not exceed t_f ({})", self.t_a, self.t_f));
+        }
+        if self.e_a > self.e_f {
+            return Err(format!("e_a ({}) must not exceed e_f ({})", self.e_a, self.e_f));
+        }
+        Ok(())
+    }
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams::UNIT
+    }
+}
+
+/// The link-wise communication model an algorithm is designed against.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum CommunicationModel {
+    /// Collision Free Model: transmissions are atomic and always succeed.
+    Cfm,
+    /// Collision Aware Model with the given collision scope.
+    Cam(CollisionRule),
+}
+
+impl CommunicationModel {
+    /// The paper's default CAM (transmission-range collisions).
+    pub const CAM: CommunicationModel = CommunicationModel::Cam(CollisionRule::TransmissionRange);
+
+    /// Whether concurrent transmissions can destroy receptions.
+    pub fn collisions_possible(&self) -> bool {
+        matches!(self, CommunicationModel::Cam(_))
+    }
+
+    /// Per-packet time cost under this model.
+    pub fn time_cost(&self, costs: &CostParams) -> f64 {
+        match self {
+            CommunicationModel::Cfm => costs.t_f,
+            CommunicationModel::Cam(_) => costs.t_a,
+        }
+    }
+
+    /// Per-packet energy cost under this model.
+    pub fn energy_cost(&self, costs: &CostParams) -> f64 {
+        match self {
+            CommunicationModel::Cfm => costs.e_f,
+            CommunicationModel::Cam(_) => costs.e_a,
+        }
+    }
+}
+
+/// The communication primitives the link-layer models expose (§3.2).
+///
+/// Both primitives obey the same collision semantics; they differ only in
+/// intended recipients. Algorithm-level code declares which primitive it
+/// uses so cost accounting can distinguish them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// One-to-all-neighbors transmission.
+    Broadcast,
+    /// One-to-one transmission (still overheard/collided per the model).
+    Unicast,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interference_factors() {
+        assert_eq!(CollisionRule::TransmissionRange.interference_factor(), 1.0);
+        assert_eq!(CollisionRule::CARRIER_SENSE_2R.interference_factor(), 2.0);
+        assert_eq!(
+            CollisionRule::CarrierSense { factor: 3.5 }.interference_factor(),
+            3.5
+        );
+    }
+
+    #[test]
+    fn cost_validation() {
+        assert!(CostParams::UNIT.validate().is_ok());
+        let bad = CostParams {
+            t_f: 1.0,
+            e_f: 1.0,
+            t_a: 2.0,
+            e_a: 1.0,
+        };
+        assert!(bad.validate().is_err());
+        let bad = CostParams {
+            t_f: 1.0,
+            e_f: 0.5,
+            t_a: 1.0,
+            e_a: 0.9,
+        };
+        assert!(bad.validate().is_err());
+        let bad = CostParams {
+            t_f: 0.0,
+            e_f: 1.0,
+            t_a: 0.0,
+            e_a: 1.0,
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn model_costs_select_correct_params() {
+        let costs = CostParams {
+            t_f: 2.0,
+            e_f: 3.0,
+            t_a: 1.0,
+            e_a: 1.5,
+        };
+        assert_eq!(CommunicationModel::Cfm.time_cost(&costs), 2.0);
+        assert_eq!(CommunicationModel::Cfm.energy_cost(&costs), 3.0);
+        assert_eq!(CommunicationModel::CAM.time_cost(&costs), 1.0);
+        assert_eq!(CommunicationModel::CAM.energy_cost(&costs), 1.5);
+    }
+
+    #[test]
+    fn collision_possibility() {
+        assert!(!CommunicationModel::Cfm.collisions_possible());
+        assert!(CommunicationModel::CAM.collisions_possible());
+        assert!(
+            CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R).collisions_possible()
+        );
+    }
+}

@@ -1,0 +1,190 @@
+//! Linear data→pixel scales and "nice" axis tick generation.
+
+/// An affine map from a data interval to a pixel interval.
+///
+/// Handles inverted pixel ranges (SVG's y axis grows downward) and
+/// degenerate data ranges (a single value maps to the pixel midpoint).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearScale {
+    d0: f64,
+    d1: f64,
+    p0: f64,
+    p1: f64,
+}
+
+impl LinearScale {
+    /// Creates a scale mapping `[d0, d1]` onto `[p0, p1]`.
+    pub fn new(d0: f64, d1: f64, p0: f64, p1: f64) -> Self {
+        assert!(d0.is_finite() && d1.is_finite(), "data range must be finite");
+        LinearScale { d0, d1, p0, p1 }
+    }
+
+    /// Maps a data value to pixels.
+    pub fn map(&self, v: f64) -> f64 {
+        let span = self.d1 - self.d0;
+        if span == 0.0 {
+            return 0.5 * (self.p0 + self.p1);
+        }
+        self.p0 + (v - self.d0) / span * (self.p1 - self.p0)
+    }
+
+    /// The data range.
+    pub fn domain(&self) -> (f64, f64) {
+        (self.d0, self.d1)
+    }
+}
+
+/// Produces "nice" lattice-aligned tick positions spanning `[lo, hi]` with
+/// roughly `target` ticks, using the conventional 1–2–5 progression. The
+/// first/last ticks may fall up to one step inside or outside the range
+/// (renderers filter to the visible axis).
+///
+/// Always returns at least two ticks; for a degenerate range it brackets
+/// the value.
+pub fn nice_ticks(lo: f64, hi: f64, target: usize) -> Vec<f64> {
+    assert!(lo.is_finite() && hi.is_finite());
+    let (lo, hi) = if lo <= hi { (lo, hi) } else { (hi, lo) };
+    let span = hi - lo;
+    if span <= 0.0 {
+        // Degenerate: bracket the value with a unit-ish interval.
+        let pad = if lo == 0.0 { 1.0 } else { lo.abs() * 0.1 };
+        return vec![lo - pad, lo, lo + pad];
+    }
+    let target = target.max(2) as f64;
+    let raw_step = span / target;
+    let mag = 10f64.powf(raw_step.log10().floor());
+    let norm = raw_step / mag;
+    let step = if norm < 1.5 {
+        1.0
+    } else if norm < 3.5 {
+        2.0
+    } else if norm < 7.5 {
+        5.0
+    } else {
+        10.0
+    } * mag;
+    let first = (lo / step).floor() * step;
+    let mut ticks = Vec::new();
+    let mut t = first;
+    // Guard against float drift producing an extra/missing final tick.
+    while t <= hi + step * 0.5 {
+        if t >= lo - step * 0.5 {
+            // Snap near-zero drift to exactly zero for clean labels.
+            ticks.push(if t.abs() < step * 1e-9 { 0.0 } else { t });
+        }
+        t += step;
+    }
+    if ticks.len() < 2 {
+        ticks = vec![lo, hi];
+    }
+    ticks
+}
+
+/// Formats a tick label compactly (strips trailing zeros, switches to
+/// scientific notation for extreme magnitudes).
+pub fn format_tick(v: f64) -> String {
+    if v == 0.0 {
+        return "0".to_string();
+    }
+    let a = v.abs();
+    if !(1e-4..1e6).contains(&a) {
+        return format!("{v:.1e}");
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_maps_endpoints_and_midpoint() {
+        let s = LinearScale::new(0.0, 10.0, 100.0, 200.0);
+        assert_eq!(s.map(0.0), 100.0);
+        assert_eq!(s.map(10.0), 200.0);
+        assert_eq!(s.map(5.0), 150.0);
+        // Extrapolation is linear.
+        assert_eq!(s.map(20.0), 300.0);
+    }
+
+    #[test]
+    fn scale_inverted_pixels() {
+        // SVG y: data up = pixel down.
+        let s = LinearScale::new(0.0, 1.0, 400.0, 50.0);
+        assert_eq!(s.map(0.0), 400.0);
+        assert_eq!(s.map(1.0), 50.0);
+        assert!(s.map(0.25) > s.map(0.75));
+    }
+
+    #[test]
+    fn scale_degenerate_domain() {
+        let s = LinearScale::new(3.0, 3.0, 0.0, 100.0);
+        assert_eq!(s.map(3.0), 50.0);
+        assert_eq!(s.map(99.0), 50.0);
+    }
+
+    #[test]
+    fn ticks_cover_range_with_nice_steps() {
+        let t = nice_ticks(0.0, 1.0, 5);
+        assert!(t.len() >= 4 && t.len() <= 8, "{t:?}");
+        assert!(t[0] <= 0.0 + 1e-12);
+        assert!(*t.last().unwrap() >= 1.0 - 1e-12);
+        // Steps are uniform.
+        let step = t[1] - t[0];
+        for w in t.windows(2) {
+            assert!((w[1] - w[0] - step).abs() < 1e-9);
+        }
+        // 1-2-5 progression.
+        let mag = 10f64.powf(step.log10().floor());
+        let norm = step / mag;
+        assert!(
+            [1.0, 2.0, 5.0].iter().any(|&n| (norm - n).abs() < 1e-9),
+            "step {step} not nice"
+        );
+    }
+
+    #[test]
+    fn ticks_various_ranges() {
+        for (lo, hi) in [(0.0, 140.0), (-5.0, 5.0), (0.01, 0.02), (1e4, 5e4)] {
+            let t = nice_ticks(lo, hi, 6);
+            assert!(t.len() >= 2, "({lo},{hi}) → {t:?}");
+            assert!(t.first().unwrap() <= &(lo + 1e-9 * hi.abs().max(1.0)));
+            assert!(t.last().unwrap() >= &(hi - 1e-9 * hi.abs().max(1.0)));
+        }
+    }
+
+    #[test]
+    fn ticks_degenerate_range() {
+        let t = nice_ticks(2.0, 2.0, 5);
+        assert!(t.len() >= 2);
+        assert!(t.first().unwrap() < &2.0 && t.last().unwrap() > &2.0);
+        let t = nice_ticks(0.0, 0.0, 5);
+        assert!(t.contains(&0.0));
+    }
+
+    #[test]
+    fn ticks_reversed_input() {
+        let a = nice_ticks(1.0, 0.0, 5);
+        let b = nice_ticks(0.0, 1.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_snapping() {
+        let t = nice_ticks(-1.0, 1.0, 4);
+        assert!(t.contains(&0.0), "{t:?}");
+    }
+
+    #[test]
+    fn tick_formatting() {
+        assert_eq!(format_tick(0.0), "0");
+        assert_eq!(format_tick(0.2), "0.2");
+        assert_eq!(format_tick(1.0), "1");
+        assert_eq!(format_tick(140.0), "140");
+        assert_eq!(format_tick(0.05), "0.05");
+        assert!(format_tick(1e-7).contains('e'));
+        assert!(format_tick(3.2e7).contains('e'));
+    }
+}

@@ -1,0 +1,160 @@
+//! Tiny SVG document builder: just the elements the chart renderer emits,
+//! with XML-escaped text.
+
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+#[derive(Debug, Clone)]
+pub struct SvgDoc {
+    width: u32,
+    height: u32,
+    body: String,
+}
+
+impl SvgDoc {
+    /// Starts a document of the given pixel size.
+    pub fn new(width: u32, height: u32) -> Self {
+        SvgDoc {
+            width,
+            height,
+            body: String::new(),
+        }
+    }
+
+    /// A straight line segment.
+    pub fn line(&mut self, x1: f64, y1: f64, x2: f64, y2: f64, stroke: &str, width: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// An open polyline through the given pixel points.
+    pub fn polyline(&mut self, pts: &[(f64, f64)], stroke: &str, width: f64) {
+        if pts.len() < 2 {
+            return;
+        }
+        let mut path = String::with_capacity(pts.len() * 12);
+        for (i, (x, y)) in pts.iter().enumerate() {
+            let _ = write!(path, "{}{x:.2},{y:.2}", if i == 0 { "" } else { " " });
+        }
+        let _ = writeln!(
+            self.body,
+            r#"<polyline points="{path}" fill="none" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// A filled circle (series marker).
+    pub fn circle(&mut self, cx: f64, cy: f64, r: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{r:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// A filled rectangle.
+    pub fn rect(&mut self, x: f64, y: f64, w: f64, h: f64, fill: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<rect x="{x:.2}" y="{y:.2}" width="{w:.2}" height="{h:.2}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Text anchored per `anchor` ("start" | "middle" | "end").
+    pub fn text(&mut self, x: f64, y: f64, content: &str, size: f64, anchor: &str) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" text-anchor="{anchor}">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Text rotated 90° counter-clockwise around its anchor (y-axis label).
+    pub fn vtext(&mut self, x: f64, y: f64, content: &str, size: f64) {
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif" text-anchor="middle" transform="rotate(-90 {x:.2} {y:.2})">{}</text>"#,
+            escape(content)
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" viewBox=\"0 0 {w} {h}\">\n\
+             <rect x=\"0\" y=\"0\" width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n{body}</svg>\n",
+            w = self.width,
+            h = self.height,
+            body = self.body
+        )
+    }
+}
+
+/// Escapes XML-special characters in text content.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_structure() {
+        let mut doc = SvgDoc::new(640, 480);
+        doc.line(0.0, 0.0, 10.0, 10.0, "#000", 1.0);
+        doc.circle(5.0, 5.0, 2.0, "red");
+        doc.text(1.0, 2.0, "hello", 12.0, "start");
+        let svg = doc.finish();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains(r#"width="640""#));
+        assert!(svg.contains("<line"));
+        assert!(svg.contains("<circle"));
+        assert!(svg.contains(">hello</text>"));
+    }
+
+    #[test]
+    fn polyline_needs_two_points() {
+        let mut doc = SvgDoc::new(10, 10);
+        doc.polyline(&[(1.0, 1.0)], "#000", 1.0);
+        assert!(!doc.clone().finish().contains("polyline"));
+        doc.polyline(&[(1.0, 1.0), (2.0, 2.0)], "#000", 1.0);
+        assert!(doc.finish().contains("polyline"));
+    }
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape("a<b&c>\"d'"), "a&lt;b&amp;c&gt;&quot;d&apos;");
+        let mut doc = SvgDoc::new(10, 10);
+        doc.text(0.0, 0.0, "p < 0.5 & q > 0.1", 10.0, "middle");
+        let svg = doc.finish();
+        assert!(svg.contains("p &lt; 0.5 &amp; q &gt; 0.1"));
+        assert!(!svg.contains("p < 0.5"));
+    }
+
+    #[test]
+    fn balanced_tags() {
+        let mut doc = SvgDoc::new(100, 100);
+        for i in 0..5 {
+            doc.text(0.0, f64::from(i), "t", 10.0, "start");
+            doc.vtext(1.0, f64::from(i), "v", 10.0);
+        }
+        let svg = doc.finish();
+        assert_eq!(svg.matches("<text").count(), 10);
+        assert_eq!(svg.matches("</text>").count(), 10);
+        assert_eq!(svg.matches("<svg").count(), 1);
+        assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests: any finite input data must render to a well-formed SVG
+//! with every mark inside the canvas.
+
+use nss_plot::{Chart, Series};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_series_render_inside_canvas(
+        series_data in proptest::collection::vec(
+            proptest::collection::vec((-1e4f64..1e4, -1e4f64..1e4), 1..40),
+            1..6,
+        ),
+    ) {
+        let mut chart = Chart::new("prop", "x", "y");
+        for (i, pts) in series_data.iter().enumerate() {
+            chart = chart.with_series(Series::new(format!("s{i}"), pts.clone()));
+        }
+        let svg = chart.render_svg();
+        prop_assert!(svg.starts_with("<svg"));
+        prop_assert!(svg.trim_end().ends_with("</svg>"));
+        // Balanced text tags.
+        prop_assert_eq!(svg.matches("<text").count(), svg.matches("</text>").count());
+        // Every polyline point inside the 720x480 canvas (with float slack).
+        for cap in svg.split("points=\"").skip(1) {
+            let coords = cap.split('"').next().unwrap();
+            for pair in coords.split_whitespace() {
+                let mut it = pair.split(',');
+                let x: f64 = it.next().unwrap().parse().unwrap();
+                let y: f64 = it.next().unwrap().parse().unwrap();
+                prop_assert!((-1.0..=721.0).contains(&x), "x={x} outside canvas");
+                prop_assert!((-1.0..=481.0).contains(&y), "y={y} outside canvas");
+            }
+        }
+    }
+
+    #[test]
+    fn gappy_series_never_panic(
+        pts in proptest::collection::vec(
+            (0.0f64..10.0, proptest::option::of(-5.0f64..5.0)),
+            0..30,
+        ),
+    ) {
+        let svg = Chart::new("g", "x", "y")
+            .with_series(Series::with_gaps("g", pts))
+            .render_svg();
+        prop_assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn nice_ticks_cover_within_one_step(lo in -1e6f64..1e6, span in 0.0f64..1e6) {
+        let hi = lo + span;
+        let ticks = nss_plot::nice_ticks(lo, hi, 6);
+        prop_assert!(ticks.len() >= 2);
+        // Ticks are lattice-aligned, so the first may sit up to one step
+        // inside the range (and symmetrically at the top) — but never
+        // further, and never outside by more than a step.
+        let step = ticks[1] - ticks[0];
+        prop_assert!(step > 0.0);
+        prop_assert!(*ticks.first().unwrap() <= lo + step, "first tick too deep");
+        prop_assert!(*ticks.last().unwrap() >= hi - step, "last tick too shallow");
+        prop_assert!(*ticks.first().unwrap() >= lo - step, "first tick too far out");
+        prop_assert!(*ticks.last().unwrap() <= hi + step, "last tick too far out");
+        // Sorted, uniform.
+        for w in ticks.windows(2) {
+            prop_assert!(w[0] < w[1], "ticks not increasing: {ticks:?}");
+            prop_assert!((w[1] - w[0] - step).abs() < step * 1e-6, "non-uniform");
+        }
+    }
+}

@@ -1,0 +1,263 @@
+//! Generic discrete-event simulation core.
+//!
+//! The paper's analysis assumes perfectly aligned time phases, but notes
+//! (§4.2) that PB_CAM itself "does not require synchronized time slots".
+//! The slotted executor ([`crate::slotted`]) implements the aligned
+//! idealization; this engine supports the *asynchronous* execution model
+//! (see [`crate::protocols::async_gossip`]), where transmissions are
+//! intervals on a continuous timeline and collisions are overlaps at the
+//! receiver — the behavior of real 802.11 broadcast without RTS/CTS/ACK.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A simulation timestamp. Total order over non-NaN `f64`s; constructing a
+/// NaN time is a logic error and panics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Time(f64);
+
+impl Time {
+    /// The origin of simulated time.
+    pub const ZERO: Time = Time(0.0);
+
+    /// Wraps a finite timestamp.
+    pub fn new(t: f64) -> Self {
+        assert!(!t.is_nan(), "NaN simulation time");
+        Time(t)
+    }
+
+    /// The raw value.
+    pub fn as_f64(&self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for Time {}
+
+impl PartialOrd for Time {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Time {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.partial_cmp(&other.0).expect("times are never NaN")
+    }
+}
+
+/// An event scheduled for execution.
+#[derive(Debug)]
+struct Scheduled<E> {
+    at: Time,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so earliest (then lowest seq,
+        // i.e. FIFO among ties) pops first.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic future-event list.
+///
+/// Events at equal timestamps pop in insertion order, making executions
+/// reproducible independent of heap internals.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    seq: u64,
+    now: Time,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: Time::ZERO,
+        }
+    }
+
+    /// Current simulation time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules `event` at absolute time `at`. Scheduling into the past is
+    /// a logic error (panics): the causality violation would silently
+    /// reorder history otherwise.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "causality violation: scheduling at {} but now is {}",
+            at.as_f64(),
+            self.now.as_f64()
+        );
+        self.heap.push(Scheduled {
+            at,
+            seq: self.seq,
+            event,
+        });
+        self.seq += 1;
+    }
+
+    /// Schedules `event` `delay` time units from now.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(delay >= 0.0, "negative delay {delay}");
+        self.schedule(Time::new(self.now.as_f64() + delay), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let s = self.heap.pop()?;
+        self.now = s.at;
+        Some((s.at, s.event))
+    }
+
+    /// Runs events through `handler` until the queue drains or `handler`
+    /// returns `false` (early stop). Returns the number of events handled.
+    pub fn run(&mut self, mut handler: impl FnMut(&mut Self, Time, E) -> bool) -> u64 {
+        let mut handled = 0;
+        while let Some((t, e)) = self.pop() {
+            handled += 1;
+            if !handler(self, t, e) {
+                break;
+            }
+        }
+        handled
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering() {
+        assert!(Time::new(1.0) < Time::new(2.0));
+        assert_eq!(Time::new(3.0), Time::new(3.0));
+        assert_eq!(Time::ZERO.as_f64(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_time_rejected() {
+        let _ = Time::new(f64::NAN);
+    }
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(3.0), "c");
+        q.schedule(Time::new(1.0), "a");
+        q.schedule(Time::new(2.0), "b");
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn ties_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Time::new(5.0), i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(2.5), ());
+        q.schedule(Time::new(7.0), ());
+        assert_eq!(q.now(), Time::ZERO);
+        q.pop();
+        assert_eq!(q.now(), Time::new(2.5));
+        q.pop();
+        assert_eq!(q.now(), Time::new(7.0));
+        assert!(q.pop().is_none());
+        assert_eq!(q.now(), Time::new(7.0), "clock stays at last event");
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(4.0), "first");
+        q.pop();
+        q.schedule_in(1.5, "second");
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, Time::new(5.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "causality violation")]
+    fn past_scheduling_rejected() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(5.0), ());
+        q.pop();
+        q.schedule(Time::new(4.0), ());
+    }
+
+    #[test]
+    fn run_drains_and_allows_rescheduling() {
+        let mut q = EventQueue::new();
+        q.schedule(Time::new(1.0), 0u32);
+        let mut seen = Vec::new();
+        let handled = q.run(|q, _t, gen| {
+            seen.push(gen);
+            if gen < 4 {
+                q.schedule_in(1.0, gen + 1);
+            }
+            true
+        });
+        assert_eq!(handled, 5);
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+        assert_eq!(q.now(), Time::new(5.0));
+    }
+
+    #[test]
+    fn run_early_stop() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.schedule(Time::new(f64::from(i)), i);
+        }
+        let handled = q.run(|_, _, e| e < 3);
+        assert_eq!(handled, 4); // events 0,1,2 continue; 3 stops
+        assert_eq!(q.len(), 6);
+    }
+}

@@ -1,0 +1,272 @@
+//! Per-slot medium arbitration: who receives what, under CFM or CAM.
+//!
+//! The slotted executor hands the medium the set of nodes transmitting in
+//! one slot; the medium applies the communication model's reception rule
+//! (§3.2 / Assumption 6 / Appendix A) and reports every clean delivery as a
+//! `(receiver, transmitter)` pair:
+//!
+//! * **CFM** — every transmission reaches every neighbor (atomic, reliable).
+//! * **CAM, transmission range** — `v` receives iff exactly one node within
+//!   `r` of `v` transmitted in the slot.
+//! * **CAM, carrier sense `f·r`** — additionally, no node in the annulus
+//!   `(r, f·r]` of `v` may have transmitted.
+
+use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::ids::NodeId;
+use nss_model::topology::Topology;
+
+/// Reusable scratch buffers for slot resolution (sized to the topology).
+#[derive(Debug)]
+pub struct MediumScratch {
+    rx_count: Vec<u16>,
+    cs_count: Vec<u16>,
+    last_tx: Vec<u32>,
+    touched: Vec<u32>,
+}
+
+impl MediumScratch {
+    /// Allocates scratch space for an `n`-node topology.
+    pub fn new(n: usize) -> Self {
+        MediumScratch {
+            rx_count: vec![0; n],
+            cs_count: vec![0; n],
+            last_tx: vec![0; n],
+            touched: Vec::with_capacity(256),
+        }
+    }
+
+    fn reset(&mut self) {
+        for &v in &self.touched {
+            self.rx_count[v as usize] = 0;
+            self.cs_count[v as usize] = 0;
+        }
+        self.touched.clear();
+    }
+}
+
+/// The arbitration engine for one communication model.
+#[derive(Debug, Clone, Copy)]
+pub struct Medium {
+    model: CommunicationModel,
+}
+
+impl Medium {
+    /// Creates a medium implementing the given communication model.
+    pub fn new(model: CommunicationModel) -> Self {
+        Medium { model }
+    }
+
+    /// The model this medium implements.
+    pub fn model(&self) -> CommunicationModel {
+        self.model
+    }
+
+    /// Resolves one slot: `transmitters` all transmit simultaneously;
+    /// `on_delivery(receiver, transmitter)` fires for every clean delivery.
+    ///
+    /// Deliveries are reported for *all* in-range nodes, informed or not —
+    /// duplicate-suppression is protocol logic, not medium logic.
+    pub fn resolve_slot(
+        &self,
+        topo: &Topology,
+        transmitters: &[u32],
+        scratch: &mut MediumScratch,
+        mut on_delivery: impl FnMut(NodeId, NodeId),
+    ) {
+        if transmitters.is_empty() {
+            return;
+        }
+        match self.model {
+            CommunicationModel::Cfm => {
+                // Reliable: every neighbor hears every transmission.
+                for &t in transmitters {
+                    for &v in topo.neighbors(NodeId(t)) {
+                        on_delivery(NodeId(v), NodeId(t));
+                    }
+                }
+            }
+            CommunicationModel::Cam(rule) => {
+                scratch.reset();
+                for &t in transmitters {
+                    for &v in topo.neighbors(NodeId(t)) {
+                        if scratch.rx_count[v as usize] == 0
+                            && scratch.cs_count[v as usize] == 0
+                        {
+                            scratch.touched.push(v);
+                        }
+                        scratch.rx_count[v as usize] += 1;
+                        scratch.last_tx[v as usize] = t;
+                    }
+                    if let CollisionRule::CarrierSense { factor } = rule {
+                        let pos = topo.position(NodeId(t));
+                        let r = topo.comm_radius();
+                        let r2 = r * r;
+                        topo.for_each_within(&pos, factor * r, |v| {
+                            if v.0 == t {
+                                return;
+                            }
+                            let d2 = topo.position(v).dist_sq(&pos);
+                            if d2 > r2 {
+                                if scratch.rx_count[v.index()] == 0
+                                    && scratch.cs_count[v.index()] == 0
+                                {
+                                    scratch.touched.push(v.0);
+                                }
+                                scratch.cs_count[v.index()] += 1;
+                            }
+                        });
+                    }
+                }
+                for &v in &scratch.touched {
+                    if scratch.rx_count[v as usize] == 1 && scratch.cs_count[v as usize] == 0 {
+                        on_delivery(NodeId(v), NodeId(scratch.last_tx[v as usize]));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nss_model::deployment::DeployedNetwork;
+    use nss_model::geometry::Point2;
+
+    /// Line of nodes at unit spacing with radius 1: i—(i±1) adjacency.
+    fn line(n: usize) -> Topology {
+        let pts = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        Topology::build(&DeployedNetwork::from_positions(pts, 1.0))
+    }
+
+    fn collect_deliveries(
+        medium: &Medium,
+        topo: &Topology,
+        tx: &[u32],
+    ) -> Vec<(u32, u32)> {
+        let mut scratch = MediumScratch::new(topo.len());
+        let mut out = Vec::new();
+        medium.resolve_slot(topo, tx, &mut scratch, |rx, t| out.push((rx.0, t.0)));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn cfm_delivers_to_all_neighbors_despite_concurrency() {
+        let topo = line(4); // 0-1-2-3
+        let medium = Medium::new(CommunicationModel::Cfm);
+        // 1 and 2 transmit concurrently: CFM delivers everything.
+        let d = collect_deliveries(&medium, &topo, &[1, 2]);
+        assert_eq!(d, vec![(0, 1), (1, 2), (2, 1), (3, 2)]);
+    }
+
+    #[test]
+    fn cam_single_transmitter_reaches_neighbors() {
+        let topo = line(4);
+        let medium = Medium::new(CommunicationModel::CAM);
+        let d = collect_deliveries(&medium, &topo, &[1]);
+        assert_eq!(d, vec![(0, 1), (2, 1)]);
+    }
+
+    #[test]
+    fn cam_collision_at_common_neighbor() {
+        let topo = line(4); // 0-1-2-3
+        let medium = Medium::new(CommunicationModel::CAM);
+        // 1 and 3 both cover node 2 → collision at 2; nodes 0 and 4... node
+        // 0 hears only 1, node 2 hears both (collided).
+        let d = collect_deliveries(&medium, &topo, &[1, 3]);
+        assert_eq!(d, vec![(0, 1)]);
+    }
+
+    #[test]
+    fn cam_all_concurrent_transmissions_collide() {
+        // Assumption 6: *none* of the concurrent transmissions to a common
+        // destination succeeds — not "one wins".
+        let pts = vec![
+            Point2::new(0.0, 0.0),   // receiver
+            Point2::new(0.5, 0.0),   // tx A
+            Point2::new(-0.5, 0.0),  // tx B
+        ];
+        let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+        let medium = Medium::new(CommunicationModel::CAM);
+        let d = collect_deliveries(&medium, &topo, &[1, 2]);
+        // A and B hear each other cleanly (each hears exactly one tx);
+        // the middle receiver hears both → nothing.
+        assert_eq!(d, vec![(1, 2), (2, 1)]);
+    }
+
+    #[test]
+    fn carrier_sense_blocks_annulus_interference() {
+        // Receiver at 0; its neighbor tx at 0.9; interferer at 2.4 — outside
+        // transmission range of the receiver but inside carrier range 2r
+        // of the receiver (distance 2.4 ≤ 2? No — 2.4 > 2). Place at 1.8:
+        // distance 1.8 ∈ (1, 2] → destroys reception under CS, not under TR.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.9, 0.0),
+            Point2::new(1.8, 0.0),
+        ];
+        let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+        let tr = Medium::new(CommunicationModel::CAM);
+        let cs = Medium::new(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R));
+        // Under TR: node 0 hears only node 1 → delivery; node 2's packet to
+        // node 1 collides with node 1's own tx? Node 1 is transmitting, but
+        // the model doesn't forbid a transmitter from receiving — physical
+        // half-duplex is a refinement the protocols enforce by ignoring
+        // deliveries to transmitters.
+        let d = collect_deliveries(&tr, &topo, &[1, 2]);
+        assert!(d.contains(&(0, 1)), "TR should deliver 1→0: {d:?}");
+        // Under CS: the interferer at 1.8 kills the delivery at 0.
+        let d = collect_deliveries(&cs, &topo, &[1, 2]);
+        assert!(!d.iter().any(|&(rx, _)| rx == 0), "CS must block 1→0: {d:?}");
+    }
+
+    #[test]
+    fn carrier_sense_equals_tr_when_no_annulus_interferers() {
+        let topo = line(5);
+        let tr = Medium::new(CommunicationModel::CAM);
+        let cs = Medium::new(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R));
+        // Single transmitter: identical outcomes.
+        assert_eq!(
+            collect_deliveries(&tr, &topo, &[2]),
+            collect_deliveries(&cs, &topo, &[2])
+        );
+    }
+
+    #[test]
+    fn carrier_sense_annulus_interferer_two_hops_away() {
+        let topo = line(5); // 0-1-2-3-4, spacing 1
+        let cs = Medium::new(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R));
+        // tx: 1 and 3. Node 2 hears both → collision either way. Node 0:
+        // neighbor 1 transmits; node 3 is at distance 3 > 2 → clean. Node 4
+        // symmetric.
+        let d = collect_deliveries(&cs, &topo, &[1, 3]);
+        assert_eq!(d, vec![(0, 1), (4, 3)]);
+        // tx: 0 and 2. Node 1 hears both → collided. Node 3: neighbor 2
+        // transmits, node 0 at distance 3 → clean. But wait: node 0 at
+        // distance 2 from node 2's receiver... receiver 3: distance to tx 0
+        // is 3 → outside 2r. Clean.
+        let d = collect_deliveries(&cs, &topo, &[0, 2]);
+        assert_eq!(d, vec![(1, 0), (3, 2)].into_iter().filter(|&(rx, _)| rx == 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_transmitter_set_is_noop() {
+        let topo = line(3);
+        let medium = Medium::new(CommunicationModel::CAM);
+        assert!(collect_deliveries(&medium, &topo, &[]).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_across_slots() {
+        let topo = line(4);
+        let medium = Medium::new(CommunicationModel::CAM);
+        let mut scratch = MediumScratch::new(topo.len());
+        for _ in 0..3 {
+            let mut out = Vec::new();
+            medium.resolve_slot(&topo, &[1], &mut scratch, |rx, t| out.push((rx.0, t.0)));
+            out.sort_unstable();
+            assert_eq!(out, vec![(0, 1), (2, 1)]);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Distance-based (area-based) broadcast suppression.
+//!
+//! The second member of the Williams et al. taxonomy the paper cites
+//! (§2): a node rebroadcasts only if the *additional area* its
+//! transmission would cover is large enough, approximated by the distance
+//! to the closest heard sender — if some sender was within `d·r`, the
+//! node's own broadcast would add little coverage, so it stays silent.
+//! Extending the paper's analysis to this scheme is its declared future
+//! work; here it runs under identical CAM semantics for empirical
+//! comparison with PB_CAM.
+//!
+//! Distance knowledge is assumed available from received signal strength
+//! (the standard assumption in the cited work); the simulator reads it
+//! from ground-truth positions.
+
+use crate::medium::{Medium, MediumScratch};
+use crate::trace::SimTrace;
+use nss_model::comm::CommunicationModel;
+use nss_model::ids::NodeId;
+use nss_model::topology::Topology;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of a distance-based broadcast execution.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DistanceConfig {
+    /// Slots per phase.
+    pub s: u32,
+    /// Suppression distance as a fraction of the transmission radius:
+    /// a node stays silent if it heard a sender within `threshold · r`.
+    pub threshold: f64,
+    /// Communication model.
+    pub model: CommunicationModel,
+    /// Hard cap on phases.
+    pub max_phases: usize,
+}
+
+impl DistanceConfig {
+    /// A common setting: suppress when the closest sender is within 0.4·r.
+    pub fn paper(threshold: f64) -> Self {
+        DistanceConfig {
+            s: 3,
+            threshold,
+            model: CommunicationModel::CAM,
+            max_phases: 10_000,
+        }
+    }
+}
+
+/// Runs one distance-based broadcast execution.
+pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) -> SimTrace {
+    assert!(cfg.s >= 1, "need at least one slot");
+    assert!(
+        (0.0..=1.0).contains(&cfg.threshold),
+        "threshold must be a fraction of r"
+    );
+    let n = topo.len();
+    let mut trace = SimTrace::new(n);
+    if n == 0 {
+        return trace;
+    }
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let medium = Medium::new(cfg.model);
+    let mut scratch = MediumScratch::new(n);
+    let suppress_r = cfg.threshold * topo.comm_radius();
+
+    let mut informed = vec![false; n];
+    informed[NodeId::SOURCE.index()] = true;
+    // Closest distance at which each node has heard the packet so far.
+    let mut closest = vec![f64::INFINITY; n];
+
+    let mut scheduled: Vec<(u32, u32)> = vec![(NodeId::SOURCE.0, 0)];
+    let mut slots: Vec<Vec<u32>> = vec![Vec::new(); cfg.s as usize];
+
+    for phase in 1..=cfg.max_phases as u32 {
+        for sl in &mut slots {
+            sl.clear();
+        }
+        for &(u, sl) in &scheduled {
+            slots[sl as usize].push(u);
+        }
+
+        let mut tx_count = 0u32;
+        let mut newly: Vec<u32> = Vec::new();
+        let mut deliveries = 0u64;
+        let mut transmitters: Vec<u32> = Vec::new();
+        for sl in &slots {
+            transmitters.clear();
+            transmitters.extend(sl.iter().copied().filter(|&u| {
+                phase == 1 || closest[u as usize] > suppress_r
+            }));
+            tx_count += transmitters.len() as u32;
+            medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, tx| {
+                deliveries += 1;
+                let rxi = rx.index();
+                let d = topo.position(rx).dist(&topo.position(tx));
+                if d < closest[rxi] {
+                    closest[rxi] = d;
+                }
+                if !informed[rxi] {
+                    informed[rxi] = true;
+                    trace.first_rx_phase[rxi] = phase;
+                    newly.push(rx.0);
+                }
+            });
+        }
+        trace.broadcasts_by_phase.push(tx_count);
+        trace.deliveries_by_phase.push(deliveries);
+
+        scheduled = newly
+            .into_iter()
+            .map(|v| (v, rng.random_range(0..cfg.s)))
+            .collect();
+        if scheduled.is_empty() {
+            break;
+        }
+    }
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slotted::{run_gossip, GossipConfig};
+    use nss_model::deployment::{DeployedNetwork, Deployment};
+    use nss_model::geometry::Point2;
+
+    fn line(n: usize) -> Topology {
+        let pts = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();
+        Topology::build(&DeployedNetwork::from_positions(pts, 1.0))
+    }
+
+    #[test]
+    fn zero_threshold_is_flooding() {
+        // threshold 0 never suppresses (closest heard distance > 0 always).
+        let topo = line(6);
+        let t = run_distance_broadcast(&topo, &DistanceConfig::paper(0.0), 3);
+        let f = run_gossip(&topo, &GossipConfig::flooding_cam(), 3);
+        assert_eq!(t.informed_count() > 4, f.informed_count() > 4);
+        assert!(t.total_broadcasts() <= t.informed_count() as u64);
+    }
+
+    #[test]
+    fn full_threshold_suppresses_almost_everything() {
+        // threshold 1: any heard sender (necessarily within r) suppresses,
+        // so only the source transmits.
+        let topo = line(6);
+        let t = run_distance_broadcast(&topo, &DistanceConfig::paper(1.0), 3);
+        assert_eq!(t.total_broadcasts(), 1);
+        assert_eq!(t.informed_count(), 2); // source + its one neighbor
+    }
+
+    #[test]
+    fn line_far_nodes_relay() {
+        // Unit-spaced line: each hop hears its sender at distance exactly 1
+        // — beyond a 0.5 threshold — so the packet relays the whole line
+        // (modulo collisions; on a line the chain is collision-light).
+        let topo = line(8);
+        let completed = (0..30)
+            .filter(|&s| {
+                run_distance_broadcast(&topo, &DistanceConfig::paper(0.5), s)
+                    .final_reachability()
+                    == 1.0
+            })
+            .count();
+        assert!(completed > 15, "only {completed}/30 completed");
+    }
+
+    #[test]
+    fn suppression_cuts_broadcasts_under_cfm() {
+        // Under CFM, duplicates arrive cleanly, so close-by nodes hear
+        // nearby senders and stay silent.
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 60.0).sample(9));
+        let mut cfg = DistanceConfig::paper(0.6);
+        cfg.model = CommunicationModel::Cfm;
+        let mut dist_tx = 0u64;
+        let mut flood_tx = 0u64;
+        let mut reach = 0.0;
+        for seed in 0..5 {
+            let t = run_distance_broadcast(&topo, &cfg, seed);
+            dist_tx += t.total_broadcasts();
+            reach += t.final_reachability();
+            flood_tx +=
+                run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
+        }
+        assert!(
+            dist_tx * 2 < flood_tx,
+            "distance suppression should halve traffic: {dist_tx} vs {flood_tx}"
+        );
+        assert!(reach / 5.0 > 0.9, "coverage should survive suppression");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let topo = Topology::build(&Deployment::disk(3, 1.0, 40.0).sample(2));
+        let a = run_distance_broadcast(&topo, &DistanceConfig::paper(0.4), 6);
+        let b = run_distance_broadcast(&topo, &DistanceConfig::paper(0.4), 6);
+        assert_eq!(a.first_rx_phase, b.first_rx_phase);
+    }
+
+    #[test]
+    fn trace_valid() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(5));
+        for seed in 0..4 {
+            run_distance_broadcast(&topo, &DistanceConfig::paper(0.4), seed)
+                .phase_series()
+                .validate()
+                .unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction of r")]
+    fn invalid_threshold_rejected() {
+        let topo = line(2);
+        let _ = run_distance_broadcast(&topo, &DistanceConfig::paper(1.5), 0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Protocol variants beyond plain slotted gossip.
+//!
+//! * [`async_gossip`] — PB_CAM on a continuous timeline (no slot/phase
+//!   alignment), the execution model the paper's §3.1 acknowledges as the
+//!   realistic one ("communication among nodes may happen in an
+//!   asynchronous fashion"); the analysis assumes alignment optimistically.
+//! * [`ack_flood`] — reliable flooding via per-neighbor acknowledgments and
+//!   retransmission: the "naive implementation of CFM on CSMA/CA" whose
+//!   cost §3.2.1 warns about.
+//! * [`counter`] — the counter-based broadcast suppression scheme from the
+//!   Williams et al. taxonomy the paper cites as the neighboring design
+//!   point (its analysis is the paper's declared future work).
+//! * [`distance`] — the distance/area-based suppression scheme from the
+//!   same taxonomy (also declared future work).
+//! * [`convergecast`] — data gathering over the **unicast** primitive:
+//!   per-hop reliable report forwarding up a BFS tree under CAM.
+
+pub mod ack_flood;
+pub mod async_gossip;
+pub mod convergecast;
+pub mod counter;
+pub mod distance;
+
+pub use ack_flood::{run_ack_flood, AckFloodConfig, AckFloodOutcome};
+pub use async_gossip::{run_async_gossip, AsyncGossipConfig};
+pub use convergecast::{run_convergecast, ConvergecastConfig, ConvergecastOutcome};
+pub use counter::{run_counter_broadcast, CounterConfig};
+pub use distance::{run_distance_broadcast, DistanceConfig};

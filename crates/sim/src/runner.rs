@@ -1,0 +1,265 @@
+//! Seeded, parallel replication of simulated executions.
+//!
+//! The paper's simulation results average 30 random runs per parameter
+//! point. Each replication gets an independent deployment and protocol RNG
+//! stream derived from one master seed ([`nss_model::rng::SeedFactory`]),
+//! so results are bit-reproducible regardless of thread scheduling.
+
+use crate::slotted::{run_gossip, GossipConfig};
+use crate::stats::Summary;
+use crate::trace::SimTrace;
+use crossbeam::channel;
+use nss_model::deployment::Deployment;
+use nss_model::metrics::PhaseSeries;
+use nss_model::rng::{SeedFactory, Stream};
+use nss_model::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// A replicated experiment: one deployment spec, one protocol config,
+/// `replications` independent runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Replication {
+    /// Deployment specification (re-sampled each run).
+    pub deployment: Deployment,
+    /// Protocol configuration.
+    pub gossip: GossipConfig,
+    /// Number of independent runs (the paper uses 30).
+    pub replications: u32,
+    /// Master seed.
+    pub master_seed: u64,
+    /// Worker threads (0 = available parallelism).
+    pub threads: usize,
+}
+
+impl Replication {
+    /// The paper's simulation protocol: 30 runs.
+    pub fn paper(deployment: Deployment, gossip: GossipConfig, master_seed: u64) -> Self {
+        Replication {
+            deployment,
+            gossip,
+            replications: 30,
+            master_seed,
+            threads: 0,
+        }
+    }
+
+    /// Runs all replications and collects their traces (ordered by
+    /// replication index).
+    pub fn run(&self) -> ReplicatedTraces {
+        let factory = SeedFactory::new(self.master_seed);
+        let n = self.replications as usize;
+        let nworkers = if self.threads == 0 {
+            std::thread::available_parallelism().map_or(1, |t| t.get())
+        } else {
+            self.threads
+        }
+        .min(n.max(1));
+
+        let mut traces: Vec<Option<SimTrace>> = vec![None; n];
+        if nworkers <= 1 {
+            for (i, slot) in traces.iter_mut().enumerate() {
+                *slot = Some(self.run_one(&factory, i as u64));
+            }
+        } else {
+            let (tx, rx) = channel::unbounded::<(usize, SimTrace)>();
+            let cursor = std::sync::atomic::AtomicUsize::new(0);
+            std::thread::scope(|scope| {
+                for _ in 0..nworkers {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let factory = &factory;
+                    scope.spawn(move || loop {
+                        let i = cursor.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let trace = self.run_one(factory, i as u64);
+                        tx.send((i, trace)).expect("collector alive");
+                    });
+                }
+                drop(tx);
+                for (i, trace) in rx {
+                    traces[i] = Some(trace);
+                }
+            });
+        }
+        ReplicatedTraces {
+            traces: traces.into_iter().map(|t| t.expect("all runs complete")).collect(),
+        }
+    }
+
+    fn run_one(&self, factory: &SeedFactory, rep: u64) -> SimTrace {
+        let net = self
+            .deployment
+            .sample(factory.seed(Stream::Deployment, rep));
+        let topo = Topology::build(&net);
+        run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep))
+    }
+}
+
+/// The traces of all replications, with metric aggregation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ReplicatedTraces {
+    /// One trace per replication, in replication order.
+    pub traces: Vec<SimTrace>,
+}
+
+impl ReplicatedTraces {
+    /// Phase series of every replication.
+    pub fn series(&self) -> Vec<PhaseSeries> {
+        self.traces.iter().map(SimTrace::phase_series).collect()
+    }
+
+    /// Mean reachability within a latency budget (phases).
+    pub fn reachability_at_latency(&self, phases: f64) -> Summary {
+        let vals: Vec<f64> = self
+            .series()
+            .iter()
+            .map(|s| s.reachability_at_latency(phases))
+            .collect();
+        Summary::of(&vals)
+    }
+
+    /// Mean latency to a reachability target over the runs that achieve it,
+    /// plus the achieving fraction.
+    pub fn latency_to_reach(&self, target: f64) -> (Summary, f64) {
+        let vals: Vec<Option<f64>> = self
+            .series()
+            .iter()
+            .map(|s| s.latency_to_reach(target))
+            .collect();
+        Summary::of_feasible(&vals)
+    }
+
+    /// Mean broadcasts to a reachability target over achieving runs, plus
+    /// the achieving fraction.
+    pub fn broadcasts_to_reach(&self, target: f64) -> (Summary, f64) {
+        let vals: Vec<Option<f64>> = self
+            .series()
+            .iter()
+            .map(|s| s.broadcasts_to_reach(target))
+            .collect();
+        Summary::of_feasible(&vals)
+    }
+
+    /// Mean reachability under a broadcast budget.
+    pub fn reachability_under_budget(&self, budget: f64) -> Summary {
+        let vals: Vec<f64> = self
+            .series()
+            .iter()
+            .map(|s| s.reachability_under_budget(budget))
+            .collect();
+        Summary::of(&vals)
+    }
+
+    /// Mean final reachability.
+    pub fn final_reachability(&self) -> Summary {
+        let vals: Vec<f64> = self
+            .series()
+            .iter()
+            .map(PhaseSeries::final_reachability)
+            .collect();
+        Summary::of(&vals)
+    }
+
+    /// Mean total broadcasts.
+    pub fn total_broadcasts(&self) -> Summary {
+        let vals: Vec<f64> = self
+            .traces
+            .iter()
+            .map(|t| t.total_broadcasts() as f64)
+            .collect();
+        Summary::of(&vals)
+    }
+
+    /// Mean per-broadcast success rate over runs that recorded one.
+    pub fn mean_success_rate(&self) -> (Summary, f64) {
+        let vals: Vec<Option<f64>> = self.traces.iter().map(SimTrace::mean_success_rate).collect();
+        Summary::of_feasible(&vals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_replication(threads: usize) -> Replication {
+        Replication {
+            deployment: Deployment::disk(4, 1.0, 30.0),
+            gossip: GossipConfig::pb_cam(0.4),
+            replications: 8,
+            master_seed: 42,
+            threads,
+        }
+    }
+
+    #[test]
+    fn reproducible_across_thread_counts() {
+        let seq = small_replication(1).run();
+        let par = small_replication(4).run();
+        assert_eq!(seq.traces.len(), 8);
+        for (a, b) in seq.traces.iter().zip(&par.traces) {
+            assert_eq!(a.first_rx_phase, b.first_rx_phase);
+            assert_eq!(a.broadcasts_by_phase, b.broadcasts_by_phase);
+        }
+    }
+
+    #[test]
+    fn different_master_seeds_differ() {
+        let a = small_replication(0).run();
+        let mut rep = small_replication(0);
+        rep.master_seed = 43;
+        let b = rep.run();
+        assert_ne!(
+            a.traces[0].first_rx_phase, b.traces[0].first_rx_phase,
+            "different master seeds should give different runs"
+        );
+    }
+
+    #[test]
+    fn replications_are_independent() {
+        let r = small_replication(0).run();
+        // At least two runs should differ (independent deployments).
+        let distinct = r
+            .traces
+            .windows(2)
+            .any(|w| w[0].first_rx_phase != w[1].first_rx_phase);
+        assert!(distinct, "replications look identical");
+    }
+
+    #[test]
+    fn aggregation_shapes() {
+        let r = small_replication(0).run();
+        let reach = r.reachability_at_latency(5.0);
+        assert_eq!(reach.n, 8);
+        assert!(reach.mean > 0.0 && reach.mean <= 1.0);
+        let (lat, frac) = r.latency_to_reach(0.2);
+        assert!(frac > 0.0, "some run should reach 20%");
+        assert!(lat.n >= 1);
+        let bc = r.total_broadcasts();
+        assert!(bc.mean >= 1.0);
+        let budget = r.reachability_under_budget(10.0);
+        assert!(budget.mean <= reach.mean + 1.0);
+    }
+
+    #[test]
+    fn paper_protocol_is_30_runs() {
+        let rep = Replication::paper(
+            Deployment::disk(4, 1.0, 20.0),
+            GossipConfig::pb_cam(0.2),
+            7,
+        );
+        assert_eq!(rep.replications, 30);
+    }
+
+    #[test]
+    fn success_rate_aggregation() {
+        let mut rep = small_replication(0);
+        rep.gossip.track_success_rate = true;
+        rep.gossip.prob = 1.0;
+        let r = rep.run();
+        let (sr, frac) = r.mean_success_rate();
+        assert!(frac > 0.99);
+        assert!(sr.mean > 0.0 && sr.mean <= 1.0);
+    }
+}

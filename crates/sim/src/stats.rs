@@ -1,0 +1,122 @@
+//! Replication statistics: mean, spread, and confidence intervals for the
+//! 30-run averages the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+/// Summary of a sample of replicated measurements.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Number of samples that contributed.
+    pub n: usize,
+    /// Sample mean (0 if no samples).
+    pub mean: f64,
+    /// Sample standard deviation (Bessel-corrected; 0 for n < 2).
+    pub std_dev: f64,
+    /// Half-width of the normal-approximation 95% confidence interval.
+    pub ci95: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. NaN values are rejected by assertion: upstream
+    /// code must filter infeasible runs explicitly rather than let them
+    /// poison the mean.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(
+            values.iter().all(|v| !v.is_nan()),
+            "NaN in replication sample"
+        );
+        let n = values.len();
+        if n == 0 {
+            return Summary {
+                n: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                ci95: 0.0,
+            };
+        }
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std_dev = if n < 2 {
+            0.0
+        } else {
+            let ss: f64 = values.iter().map(|v| (v - mean) * (v - mean)).sum();
+            (ss / (n as f64 - 1.0)).sqrt()
+        };
+        let ci95 = if n < 2 {
+            0.0
+        } else {
+            1.96 * std_dev / (n as f64).sqrt()
+        };
+        Summary {
+            n,
+            mean,
+            std_dev,
+            ci95,
+        }
+    }
+
+    /// Summarizes the feasible subset of optional measurements, returning
+    /// the summary and the feasible fraction. Mirrors how the paper's
+    /// constrained metrics (e.g. latency to 63% reachability) are averaged
+    /// only over runs that satisfy the constraint.
+    pub fn of_feasible(values: &[Option<f64>]) -> (Summary, f64) {
+        let feasible: Vec<f64> = values.iter().copied().flatten().collect();
+        let frac = if values.is_empty() {
+            0.0
+        } else {
+            feasible.len() as f64 / values.len() as f64
+        };
+        (Summary::of(&feasible), frac)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_moments() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert!((s.mean - 5.0).abs() < 1e-12);
+        // Bessel-corrected std of this classic sample is ~2.138.
+        assert!((s.std_dev - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!(s.ci95 > 0.0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let s = Summary::of(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean, 0.0);
+        let s = Summary::of(&[3.5]);
+        assert_eq!(s.n, 1);
+        assert_eq!(s.mean, 3.5);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn constant_sample_zero_spread() {
+        let s = Summary::of(&[2.0; 30]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.ci95, 0.0);
+    }
+
+    #[test]
+    fn feasible_filtering() {
+        let vals = [Some(1.0), None, Some(3.0), None];
+        let (s, frac) = Summary::of_feasible(&vals);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        assert!((frac - 0.5).abs() < 1e-12);
+        let (s, frac) = Summary::of_feasible(&[]);
+        assert_eq!(s.n, 0);
+        assert_eq!(frac, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Summary::of(&[1.0, f64::NAN]);
+    }
+}

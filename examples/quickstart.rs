@@ -1,0 +1,21 @@
+//! Quickstart: pick an optimal broadcast probability analytically, then
+//! check the prediction with one simulated execution.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nss::analysis::prelude::*;
+
+fn main() {
+    println!("PB_CAM analytical optimization (paper configuration: P = 5, s = 3)");
+    println!("{:>6} {:>10} {:>14}", "rho", "p*", "reach@5phases");
+    for rho in DensitySweep::paper_rhos() {
+        let base = RingModelConfig::paper(rho, 0.0);
+        let sweep = ProbabilitySweep::run(base, &ProbabilitySweep::paper_grid());
+        let opt = sweep
+            .optimum(Objective::MaxReachAtLatency { phases: 5.0 })
+            .expect("max objective is always feasible");
+        println!("{rho:>6.0} {:>10.2} {:>14.3}", opt.prob, opt.value);
+    }
+}

@@ -1,0 +1,48 @@
+//! Implementing CFM two ways (§3.2.1 of the paper): TDMA time-diversity
+//! vs accepting collisions under CSMA-style CAM.
+//!
+//! TDMA buys perfect reliability at the cost of a frame proportional to
+//! the distance-2 degree (≈ 4ρ slots); CAM flooding is fast but lossy.
+//! This is the trade-off that motivates the paper's study of
+//! collision-aware algorithms.
+//!
+//! ```sh
+//! cargo run --release --example tdma_vs_csma
+//! ```
+
+use nss::model::prelude::*;
+use nss::sim::prelude::*;
+
+fn main() {
+    println!(
+        "{:>6} {:>8} {:>12} {:>12} {:>11} {:>11}",
+        "rho", "frame", "tdma_slots", "csma_slots", "tdma_reach", "csma_reach"
+    );
+    for rho in [20.0, 60.0, 100.0] {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, rho).sample(1));
+
+        // TDMA: distance-2 schedule executed over the CAM medium.
+        let schedule = TdmaSchedule::build(&topo);
+        assert!(schedule.verify(&topo), "schedule must be distance-2 valid");
+        let tdma = run_tdma_flooding(&topo, &schedule);
+        assert_eq!(tdma.collisions, 0, "TDMA implements CFM: no collisions");
+
+        // CSMA-style CAM flooding (3 jitter slots per phase).
+        let csma = run_gossip(&topo, &GossipConfig::flooding_cam(), 1);
+
+        println!(
+            "{rho:>6.0} {:>8} {:>12} {:>12} {:>11.3} {:>11.3}",
+            schedule.frame_len,
+            tdma.slots_elapsed,
+            csma.phases() * 3,
+            tdma.reachability(),
+            csma.final_reachability(),
+        );
+    }
+    println!(
+        "\nTDMA: reliability 1.0, zero collisions, one transmission per node —\n\
+         but latency grows with the frame (≈ 4·rho slots). CAM flooding ends in\n\
+         a handful of phases but loses coverage to collisions. The paper's CAM\n\
+         algorithms (PB_CAM) tune between these extremes."
+    );
+}

@@ -1,0 +1,182 @@
+//! Cross-crate validation: the analytical ring model (nss-analysis) against
+//! the packet-level simulator (nss-sim) — the paper's §5 claim that the
+//! two agree on shape.
+
+use nss::analysis::prelude::*;
+use nss::model::prelude::*;
+use nss::sim::prelude::*;
+
+fn analytical_reach(rho: f64, p: f64, phases: f64) -> f64 {
+    let mut cfg = RingModelConfig::paper(rho, p);
+    cfg.quad_points = 48;
+    RingModel::new(cfg)
+        .run()
+        .phase_series()
+        .reachability_at_latency(phases)
+}
+
+fn simulated_reach(rho: f64, p: f64, phases: f64, runs: u32) -> f64 {
+    Replication {
+        deployment: Deployment::disk(5, 1.0, rho),
+        gossip: GossipConfig::pb_cam(p),
+        replications: runs,
+        master_seed: 20_05,
+        threads: 0,
+    }
+    .run()
+    .reachability_at_latency(phases)
+    .mean
+}
+
+#[test]
+fn analysis_is_an_optimistic_predictor() {
+    // The analytical model assumes perfect phase alignment and mean-field
+    // contention — it should upper-bound the simulated reachability (up to
+    // replication noise) at every operating point.
+    let points = [
+        (20.0, 0.4),
+        (20.0, 1.0),
+        (60.0, 0.2),
+        (60.0, 0.6),
+        (100.0, 0.1),
+        (100.0, 0.5),
+        (140.0, 0.1),
+        (140.0, 1.0),
+    ];
+    for &(rho, p) in &points {
+        let a = analytical_reach(rho, p, 5.0);
+        let s = simulated_reach(rho, p, 5.0, 8);
+        assert!(
+            s <= a + 0.12,
+            "simulation should not beat analysis by much at rho={rho}, p={p}: sim {s} vs anal {a}"
+        );
+    }
+}
+
+#[test]
+fn both_agree_on_the_bell_shape_within_a_density() {
+    // For fixed rho, both models agree that a moderate probability beats
+    // both extremes (the bell curve of Figs. 4a and 8a). The exact argmax
+    // differs (analysis peaks earlier), so compare only clearly separated
+    // points.
+    let rho = 100.0;
+    let (lo, mid, hi) = (0.02, 0.3, 1.0);
+
+    let a_lo = analytical_reach(rho, lo, 5.0);
+    let a_mid = analytical_reach(rho, mid, 5.0);
+    let a_hi = analytical_reach(rho, hi, 5.0);
+    assert!(a_mid > a_lo + 0.05, "analysis: mid {a_mid} vs lo {a_lo}");
+    assert!(a_mid > a_hi + 0.05, "analysis: mid {a_mid} vs hi {a_hi}");
+
+    let s_lo = simulated_reach(rho, lo, 5.0, 8);
+    let s_mid = simulated_reach(rho, mid, 5.0, 8);
+    let s_hi = simulated_reach(rho, hi, 5.0, 8);
+    assert!(s_mid > s_lo + 0.05, "simulation: mid {s_mid} vs lo {s_lo}");
+    assert!(s_mid > s_hi + 0.05, "simulation: mid {s_mid} vs hi {s_hi}");
+}
+
+#[test]
+fn both_agree_flooding_is_suboptimal_at_high_density() {
+    let phases = 5.0;
+    let rho = 140.0;
+    let a_flood = analytical_reach(rho, 1.0, phases);
+    let a_tuned = analytical_reach(rho, 0.1, phases);
+    assert!(a_tuned > a_flood + 0.1, "analysis: {a_tuned} vs {a_flood}");
+
+    let s_flood = simulated_reach(rho, 1.0, phases, 10);
+    let s_tuned = simulated_reach(rho, 0.15, phases, 10);
+    assert!(s_tuned > s_flood + 0.05, "simulation: {s_tuned} vs {s_flood}");
+}
+
+#[test]
+fn optimal_probability_decreases_with_density_in_both() {
+    let grid: Vec<f64> = (1..=20).map(|i| f64::from(i) / 20.0).collect();
+    let argmax = |values: &[f64]| -> f64 {
+        let (i, _) = values
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        grid[i]
+    };
+
+    // Analytical.
+    let anal: Vec<f64> = [20.0, 140.0]
+        .iter()
+        .map(|&rho| {
+            let vals: Vec<f64> = grid.iter().map(|&p| analytical_reach(rho, p, 5.0)).collect();
+            argmax(&vals)
+        })
+        .collect();
+    assert!(anal[1] < anal[0], "analysis p*: {anal:?}");
+
+    // Simulated (coarser, noisier — use fewer points and a margin).
+    let sim: Vec<f64> = [20.0, 140.0]
+        .iter()
+        .map(|&rho| {
+            let vals: Vec<f64> = grid
+                .iter()
+                .map(|&p| simulated_reach(rho, p, 5.0, 6))
+                .collect();
+            argmax(&vals)
+        })
+        .collect();
+    assert!(
+        sim[1] < sim[0],
+        "simulation p* should fall with density: {sim:?}"
+    );
+}
+
+#[test]
+fn extinction_correction_moves_prediction_toward_simulation() {
+    // At rho=80, p=0.03 the mean-field ring model wildly overpredicts the
+    // mean simulated reachability because real cascades often go extinct;
+    // the Galton–Watson adjustment must land closer.
+    use nss_analysis::survival::survival_estimate;
+
+    let mut cfg = RingModelConfig::paper(80.0, 0.03);
+    cfg.quad_points = 32;
+    let estimate = survival_estimate(&RingModel::new(cfg).run());
+
+    let mut total = 0.0;
+    let runs = 20;
+    for seed in 0..runs {
+        let topo = Topology::build(&Deployment::disk(5, 1.0, 80.0).sample(seed));
+        let trace = run_gossip(&topo, &GossipConfig::pb_cam(0.03), seed ^ 0x5555);
+        total += trace.final_reachability();
+    }
+    let simulated = total / runs as f64;
+    let raw_err = (estimate.mean_field_reachability - simulated).abs();
+    let adj_err = (estimate.adjusted_reachability - simulated).abs();
+    assert!(
+        adj_err < raw_err,
+        "correction should help: raw err {raw_err:.3}, adjusted err {adj_err:.3} \
+         (sim {simulated:.3}, mean-field {:.3}, adjusted {:.3})",
+        estimate.mean_field_reachability,
+        estimate.adjusted_reachability
+    );
+}
+
+#[test]
+fn phase_series_semantics_identical_across_sources() {
+    // Same metric code must agree on hand-checkable executions from both
+    // producers: a CFM flooding run has informed counts equal to BFS level
+    // population and one broadcast per reached node.
+    let topo = Topology::build(&Deployment::disk(3, 1.0, 25.0).sample(4));
+    let mut cfg = GossipConfig::flooding_cam();
+    cfg.model = CommunicationModel::Cfm;
+    let trace = run_gossip(&topo, &cfg, 9);
+    let series = trace.phase_series();
+    series.validate().unwrap();
+
+    let levels = topo.bfs_levels(NodeId::SOURCE);
+    let ecc = topo.source_eccentricity(NodeId::SOURCE) as usize;
+    for phase in 1..=ecc {
+        let expect = levels.iter().filter(|&&l| l != u32::MAX && (l as usize) <= phase).count();
+        let got = series.informed_cum[phase - 1];
+        assert!(
+            (got - expect as f64).abs() < 1e-9,
+            "phase {phase}: {got} vs BFS {expect}"
+        );
+    }
+}

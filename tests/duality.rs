@@ -1,0 +1,104 @@
+//! The §4.1 metric dualities, verified end-to-end on both the analytical
+//! model and simulated executions:
+//!
+//! * metric 1 (max reach @ latency) ↔ metric 3 (min latency @ reach),
+//! * metric 4 (min energy @ reach) ↔ metric 5 (max reach @ energy).
+
+use nss::analysis::prelude::*;
+use nss::model::prelude::*;
+use nss::sim::prelude::*;
+
+#[test]
+fn latency_reach_duality_on_analytical_curves() {
+    for rho in [40.0, 100.0] {
+        let mut base = RingModelConfig::paper(rho, 0.0);
+        base.quad_points = 40;
+        let probs: Vec<f64> = (1..=20).map(|i| f64::from(i) / 20.0).collect();
+        let sweep = ProbabilitySweep::run(base, &probs);
+
+        let opt1 = sweep
+            .optimum(Objective::MaxReachAtLatency { phases: 5.0 })
+            .unwrap();
+        // Dual: minimizing latency to (almost) that reachability should pick
+        // (nearly) the same probability.
+        let opt3 = sweep
+            .optimum(Objective::MinLatencyForReach {
+                target: opt1.value - 1e-6,
+            })
+            .unwrap();
+        assert!(
+            (opt1.prob - opt3.prob).abs() < 0.101,
+            "rho={rho}: dual optima p={} vs p={}",
+            opt1.prob,
+            opt3.prob
+        );
+        // And the achieved latency is (within interpolation error) the
+        // original budget.
+        assert!(
+            opt3.value <= 5.0 + 1e-6,
+            "rho={rho}: dual latency {} should be ≤ 5",
+            opt3.value
+        );
+    }
+}
+
+#[test]
+fn energy_reach_duality_on_analytical_curves() {
+    let mut base = RingModelConfig::paper(60.0, 0.0);
+    base.quad_points = 40;
+    let probs: Vec<f64> = (1..=40).map(|i| f64::from(i) / 40.0).collect();
+    let sweep = ProbabilitySweep::run(base, &probs);
+
+    let target = 0.6;
+    let opt4 = sweep
+        .optimum(Objective::MinBroadcastsForReach { target })
+        .unwrap();
+    // Dual: with exactly that broadcast budget, the best achievable
+    // reachability is ≥ the target (achieved at a nearby probability).
+    let opt5 = sweep
+        .optimum(Objective::MaxReachUnderBudget { budget: opt4.value })
+        .unwrap();
+    assert!(
+        opt5.value >= target - 1e-6,
+        "budget {} should buy ≥ {}: got {}",
+        opt4.value,
+        target,
+        opt5.value
+    );
+}
+
+#[test]
+fn duality_holds_per_series_for_simulated_traces() {
+    // Per-series inverse relationships (exact, by construction of the
+    // interpolation) on real simulated traces.
+    let rep = Replication {
+        deployment: Deployment::disk(4, 1.0, 50.0),
+        gossip: GossipConfig::pb_cam(0.3),
+        replications: 6,
+        master_seed: 77,
+        threads: 0,
+    }
+    .run();
+    for series in rep.series() {
+        series.validate().unwrap();
+        let final_reach = series.final_reachability();
+        for target in [0.1, 0.25, 0.5] {
+            if target >= final_reach {
+                assert!(series.latency_to_reach(target).is_none() || target <= final_reach);
+                continue;
+            }
+            let t = series.latency_to_reach(target).unwrap();
+            let back = series.reachability_at_latency(t);
+            assert!(
+                (back - target).abs() < 1e-9,
+                "latency inverse broken: target {target}, back {back}"
+            );
+            let b = series.broadcasts_to_reach(target).unwrap();
+            let r = series.reachability_under_budget(b);
+            assert!(
+                r >= target - 1e-9,
+                "budget duality broken: target {target}, got {r}"
+            );
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Ground-truth validation: the exhaustive enumeration of PB_CAM on tiny
+//! topologies (`nss_sim::exact`) against the Monte Carlo simulator, plus a
+//! minimal closed-form instance of the paper's core phenomenon.
+
+use nss::model::prelude::*;
+use nss::sim::prelude::*;
+
+fn custom(pts: Vec<Point2>, r: f64) -> Topology {
+    Topology::build(&DeployedNetwork::from_positions(pts, r))
+}
+
+/// The "kite": a triangle (source + two relays) with a tail node reachable
+/// only through the two relays, whose simultaneous transmissions collide.
+fn kite() -> Topology {
+    custom(
+        vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.8, 0.5),
+            Point2::new(0.8, -0.5),
+            Point2::new(1.7, 0.0),
+        ],
+        1.05,
+    )
+}
+
+#[test]
+fn kite_interior_optimal_probability_exact() {
+    // On the kite with s = 3, E[informed] = 3 + 2p(1−p) + p²·(2/3)
+    //                                     = 3 + 2p − (4/3)p²,
+    // maximized at p* = 3/4 — an *interior* optimum: the paper's "flooding
+    // is not optimal under CAM" phenomenon in its smallest closed-form
+    // instance, verified against the exhaustive enumeration.
+    let topo = kite();
+    let s = 3;
+    for p in [0.1, 0.25, 0.5, 0.75, 0.9, 1.0] {
+        let exact = exact_expected_informed(&topo, s, p);
+        let formula = 3.0 + 2.0 * p - 4.0 / 3.0 * p * p;
+        assert!(
+            (exact - formula).abs() < 1e-12,
+            "p={p}: exact {exact} vs closed form {formula}"
+        );
+    }
+    // Grid argmax lands on 0.75, strictly beating flooding.
+    let mut best = (0.0, 0.0);
+    for i in 1..=100 {
+        let p = f64::from(i) / 100.0;
+        let e = exact_expected_informed(&topo, s, p);
+        if e > best.1 {
+            best = (p, e);
+        }
+    }
+    assert!((best.0 - 0.75).abs() < 0.011, "argmax {}", best.0);
+    let flooding = exact_expected_informed(&topo, s, 1.0);
+    assert!(best.1 > flooding + 0.05, "interior optimum must beat flooding");
+}
+
+#[test]
+fn simulator_matches_exact_on_assorted_topologies() {
+    // Several shapes with distinct collision structure; 20k seeded runs
+    // per point must agree with the exhaustive expectation within 5 sigma.
+    let cases: Vec<(Topology, f64)> = vec![
+        (kite(), 0.6),
+        (kite(), 1.0),
+        // Y junction: three arms of length 2 around the source.
+        (
+            custom(
+                vec![
+                    Point2::new(0.0, 0.0),
+                    Point2::new(1.0, 0.0),
+                    Point2::new(2.0, 0.0),
+                    Point2::new(-0.5, 0.85),
+                    Point2::new(-1.0, 1.7),
+                    Point2::new(-0.5, -0.85),
+                    Point2::new(-1.0, -1.7),
+                ],
+                1.05,
+            ),
+            0.7,
+        ),
+        // Dense clique of 5 + pendant.
+        (
+            custom(
+                vec![
+                    Point2::new(0.0, 0.0),
+                    Point2::new(0.3, 0.2),
+                    Point2::new(0.3, -0.2),
+                    Point2::new(-0.3, 0.2),
+                    Point2::new(-0.3, -0.2),
+                    Point2::new(1.2, 0.0),
+                ],
+                1.0,
+            ),
+            0.5,
+        ),
+    ];
+    for (topo, p) in cases {
+        let exact = exact_expected_reachability(&topo, 3, p);
+        let runs = 20_000u64;
+        let mut total = 0.0;
+        let cfg = GossipConfig::pb_cam(p);
+        for seed in 0..runs {
+            total += run_gossip(&topo, &cfg, seed).final_reachability();
+        }
+        let mc = total / runs as f64;
+        // Per-run reachability std ≤ 0.5 → SE ≤ 0.0036; 5σ ≈ 0.018.
+        assert!(
+            (mc - exact).abs() < 0.018,
+            "n={}, p={p}: MC {mc:.4} vs exact {exact:.4}",
+            topo.len()
+        );
+    }
+}
+
+#[test]
+fn exact_flooding_on_clique_single_informant() {
+    // Clique of n nodes, flooding with s slots: phase 1 informs everyone
+    // (the source transmits alone). E = n regardless of collisions later.
+    let pts = (0..5)
+        .map(|i| Point2::from_polar(0.3, f64::from(i) * 1.2566))
+        .collect();
+    let topo = custom(pts, 1.0);
+    assert_eq!(topo.degree(NodeId::SOURCE), 4);
+    for s in [1, 2, 3] {
+        assert!((exact_expected_informed(&topo, s, 1.0) - 5.0).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn exact_shows_slot_count_matters_only_under_contention() {
+    // On a pure line there is never contention (one pending transmitter
+    // per phase): expected informed is independent of s.
+    let line = custom(
+        (0..5).map(|i| Point2::new(f64::from(i), 0.0)).collect(),
+        1.0,
+    );
+    let p = 0.7;
+    let e1 = exact_expected_informed(&line, 1, p);
+    let e4 = exact_expected_informed(&line, 4, p);
+    assert!((e1 - e4).abs() < 1e-12, "line: s must not matter ({e1} vs {e4})");
+    // On the kite, contention makes s matter.
+    let k1 = exact_expected_informed(&kite(), 1, 1.0);
+    let k4 = exact_expected_informed(&kite(), 4, 1.0);
+    assert!(k4 > k1 + 0.5, "kite: slots must matter ({k1} vs {k4})");
+}
