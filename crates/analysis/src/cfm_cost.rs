@@ -52,7 +52,9 @@ impl RefinedCfm {
     pub fn from_samples(mut samples: Vec<(f64, f64)>) -> Self {
         assert!(!samples.is_empty(), "need at least one sample");
         assert!(
-            samples.iter().all(|&(r, s)| r > 0.0 && (0.0..=1.0).contains(&s)),
+            samples
+                .iter()
+                .all(|&(r, s)| r > 0.0 && (0.0..=1.0).contains(&s)),
             "samples must have positive rho and sr in [0,1]"
         );
         samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rho is never NaN"));
@@ -185,7 +187,10 @@ mod tests {
         // ...and grows superlinearly with density (retries compound on top
         // of the larger node count).
         assert!(t140 > t20);
-        assert!(e140 / e20 > 3500.0 / 500.0, "energy must grow faster than N");
+        assert!(
+            e140 / e20 > 3500.0 / 500.0,
+            "energy must grow faster than N"
+        );
     }
 
     #[test]

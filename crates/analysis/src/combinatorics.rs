@@ -201,7 +201,14 @@ mod tests {
 
     #[test]
     fn binomial_pmf_sums_to_one() {
-        for &(k, q) in &[(0u64, 0.5), (1, 0.3), (10, 0.0), (10, 1.0), (50, 0.2), (300, 1.0 / 3.0)] {
+        for &(k, q) in &[
+            (0u64, 0.5),
+            (1, 0.3),
+            (10, 0.0),
+            (10, 1.0),
+            (50, 0.2),
+            (300, 1.0 / 3.0),
+        ] {
             let total: f64 = BinomialPmf::new(k, q).map(|(_, p)| p).sum();
             assert!((total - 1.0).abs() < 1e-9, "K={k} q={q}: sum {total}");
         }

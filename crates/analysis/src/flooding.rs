@@ -17,7 +17,7 @@ use serde::{Deserialize, Serialize};
 pub fn flooding_success_rate(base: RingModelConfig) -> f64 {
     let mut cfg = base;
     cfg.prob = 1.0;
-    RingModel::new(cfg)
+    RingModel::cached(cfg)
         .with_success_rate_tracking()
         .run()
         .mean_success_rate()

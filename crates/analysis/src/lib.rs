@@ -16,9 +16,12 @@
 //!    partitions `A(x, k)`, `B(x, k)` (§4.2.2, Appendix A).
 //! 3. [`ring_model`] — the phase recursion for `n_j^i` (Eq. 4 / A.3),
 //!    producing phase-granular execution profiles.
-//! 4. [`optimize`] / [`sweep`] — probability sweeps and per-density optima
+//! 4. [`tables`] — precomputed geometry/μ kernels ([`tables::GeometryTables`],
+//!    [`tables::KernelCache`]) shared across every cell of a sweep; bitwise
+//!    equivalent to direct evaluation, ~an order of magnitude cheaper.
+//! 5. [`optimize`] / [`sweep`] — probability sweeps and per-density optima
 //!    for the four §4.1 metrics (the Fig. 4–7 machinery).
-//! 5. [`flooding`] — the Fig. 12 success-rate correlation.
+//! 6. [`flooding`] — the Fig. 12 success-rate correlation.
 //!
 //! ```
 //! use nss_analysis::prelude::*;
@@ -43,6 +46,7 @@ pub mod ring_geometry;
 pub mod ring_model;
 pub mod survival;
 pub mod sweep;
+pub mod tables;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
@@ -55,6 +59,7 @@ pub mod prelude {
     pub use crate::ring_model::{RingModel, RingModelConfig, RingProfile};
     pub use crate::survival::{poisson_extinction, survival_estimate, SurvivalEstimate};
     pub use crate::sweep::DensitySweep;
+    pub use crate::tables::{GeometryTables, KernelCache, KernelKey, SharedKernel};
 }
 
 pub use prelude::*;

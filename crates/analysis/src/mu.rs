@@ -79,6 +79,21 @@ impl MuTable {
         self.tables.read()[self.s as usize - 1][k as usize]
     }
 
+    /// Pre-grows the DP tables to cover `k`, so that subsequent [`MuTable::mu`]
+    /// queries up to `k` take only the shared-lock fast path. Call this once
+    /// before fanning a table out to sweep workers; otherwise the first
+    /// worker to query a large `K` rebuilds the table under the write lock
+    /// while every other worker blocks on it.
+    pub fn ensure(&self, k: u64) {
+        let covered = {
+            let tables = self.tables.read();
+            (k as usize) < tables[self.s as usize - 1].len()
+        };
+        if !covered {
+            self.extend_to(k);
+        }
+    }
+
     /// Rebuilds the DP tables up to at least index `k` (geometric growth).
     fn extend_to(&self, k: u64) {
         let mut tables = self.tables.write();
@@ -88,7 +103,9 @@ impl MuTable {
         }
         let target = ((k as usize) + 1).next_power_of_two().max(64);
         // s' = 1: μ(k, 1) = [k == 1]
-        let mut prev: Vec<f64> = (0..target).map(|i| if i == 1 { 1.0 } else { 0.0 }).collect();
+        let mut prev: Vec<f64> = (0..target)
+            .map(|i| if i == 1 { 1.0 } else { 0.0 })
+            .collect();
         tables[0] = prev.clone();
         for sp in 2..=self.s {
             let q = 1.0 / f64::from(sp);
@@ -167,7 +184,7 @@ pub fn mu_closed_form(k: u64, s: u32) -> f64 {
 }
 
 /// How to evaluate `μ` at a *real-valued* expected contender count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
 pub enum MuMode {
     /// Linear interpolation between the integer lattice points — the
     /// paper's (implicit) choice; `μ(k) = k` for `k ∈ [0, 1]`.
@@ -316,7 +333,11 @@ mod tests {
         let mut prev = mu_closed_form(6, 3);
         for k in 7..60 {
             let v = mu_closed_form(k, 3);
-            assert!(v <= prev + 1e-12, "μ({k},3) = {v} > μ({},3) = {prev}", k - 1);
+            assert!(
+                v <= prev + 1e-12,
+                "μ({k},3) = {v} > μ({},3) = {prev}",
+                k - 1
+            );
             prev = v;
         }
         // The non-monotone bump near the origin, pinned exactly.
@@ -343,6 +364,20 @@ mod tests {
         for (k, &v) in small.iter().enumerate() {
             assert_eq!(lazy.mu(k as u64), v, "value changed after extension");
         }
+    }
+
+    #[test]
+    fn ensure_pregrows_without_changing_values() {
+        let lazy = MuTable::new(3);
+        let eager = MuTable::new(3);
+        eager.ensure(250);
+        for k in 0..=250u64 {
+            assert_eq!(lazy.mu(k).to_bits(), eager.mu(k).to_bits(), "k = {k}");
+        }
+        // Idempotent, including for already-covered indices.
+        eager.ensure(10);
+        eager.ensure(250);
+        assert_eq!(eager.mu(250).to_bits(), lazy.mu(250).to_bits());
     }
 
     #[test]

@@ -135,8 +135,7 @@ pub fn mu_cs_poisson(lambda1: f64, lambda2: f64, s: u32) -> f64 {
     let mut binom_st = 1.0f64;
     for t in 1..=s as u64 {
         binom_st *= (sf - (t - 1) as f64) / t as f64;
-        let term =
-            binom_st * (l1 / sf).powf(t as f64) * (-(l1 + l2) * t as f64 / sf).exp();
+        let term = binom_st * (l1 / sf).powf(t as f64) * (-(l1 + l2) * t as f64 / sf).exp();
         if t % 2 == 1 {
             acc += term;
         } else {
@@ -158,6 +157,16 @@ impl MuCsEvaluator {
     pub fn new(s: u32, mode: MuMode) -> Self {
         assert!(s >= 1, "need at least one slot");
         MuCsEvaluator { s, mode }
+    }
+
+    /// The slot count.
+    pub fn slots(&self) -> u32 {
+        self.s
+    }
+
+    /// The real-`k` evaluation mode.
+    pub fn mode(&self) -> MuMode {
+        self.mode
     }
 
     /// `μ'(k1, k2, s)` for real `k1, k2 ≥ 0`.

@@ -7,8 +7,10 @@
 //! want more resolution than the grid.
 
 use crate::ring_model::{RingModel, RingModelConfig};
+use crate::tables::KernelCache;
 use nss_model::metrics::PhaseSeries;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// One of the four §4.1 optimization objectives.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -49,9 +51,7 @@ impl Objective {
     /// target), which the paper renders as a gap in the curve.
     pub fn evaluate(&self, series: &PhaseSeries) -> Option<f64> {
         match *self {
-            Objective::MaxReachAtLatency { phases } => {
-                Some(series.reachability_at_latency(phases))
-            }
+            Objective::MaxReachAtLatency { phases } => Some(series.reachability_at_latency(phases)),
             Objective::MinLatencyForReach { target } => series.latency_to_reach(target),
             Objective::MinBroadcastsForReach { target } => series.broadcasts_to_reach(target),
             Objective::MaxReachUnderBudget { budget } => {
@@ -91,14 +91,18 @@ pub struct ProbabilitySweep {
 }
 
 impl ProbabilitySweep {
-    /// Runs the ring model at every probability in `probs`.
+    /// Runs the ring model at every probability in `probs`. All grid points
+    /// share one interned kernel (see [`KernelCache`]).
     pub fn run(base: RingModelConfig, probs: &[f64]) -> Self {
+        let kernel = KernelCache::global().get(&base);
         let series = probs
             .iter()
             .map(|&p| {
                 let mut cfg = base;
                 cfg.prob = p;
-                RingModel::new(cfg).run().phase_series()
+                RingModel::with_kernel(cfg, Arc::clone(&kernel))
+                    .run()
+                    .phase_series()
             })
             .collect();
         ProbabilitySweep {
@@ -155,10 +159,13 @@ pub fn refine_golden(
     iters: u32,
 ) -> Optimum {
     assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0);
+    let kernel = KernelCache::global().get(&base);
     let eval = |p: f64| -> f64 {
         let mut cfg = base;
         cfg.prob = p;
-        let s = RingModel::new(cfg).run().phase_series();
+        let s = RingModel::with_kernel(cfg, Arc::clone(&kernel))
+            .run()
+            .phase_series();
         match obj.evaluate(&s) {
             Some(v) => {
                 if obj.is_max() {

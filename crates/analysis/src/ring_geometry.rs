@@ -142,12 +142,11 @@ mod tests {
         let g = RingGeometry::new(6, 1.0);
         let j = 3u32;
         for &x in &[0.1, 0.4, 0.8] {
-            let expect_jm1 =
-                nss_model::geometry::lens_area_border(f64::from(j - 1), 1.0, x);
+            let expect_jm1 = nss_model::geometry::lens_area_border(f64::from(j - 1), 1.0, x);
             assert!((g.a_area(j, x, j - 1) - expect_jm1).abs() < 1e-12);
             // A(x, j) = f(rj, r, x−r) − A(x, j−1)
-            let expect_j = nss_model::geometry::lens_area_border(f64::from(j), 1.0, x - 1.0)
-                - expect_jm1;
+            let expect_j =
+                nss_model::geometry::lens_area_border(f64::from(j), 1.0, x - 1.0) - expect_jm1;
             assert!((g.a_area(j, x, j) - expect_j).abs() < 1e-12);
             // A(x, j+1) = πr² − A(x,j−1) − A(x,j)
             let expect_jp1 = PI - expect_jm1 - expect_j;

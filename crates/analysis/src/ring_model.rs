@@ -15,14 +15,13 @@
 //! `μ'(g(x)·p, h(x)·p, s)` with `h(x)` the expected informed count in the
 //! carrier annulus (Eq. A.2/A.3).
 
-use crate::mu::{MuEvaluator, MuMode};
-use crate::mu_cs::MuCsEvaluator;
-use crate::quadrature::simpson;
-use crate::ring_geometry::RingGeometry;
+use crate::mu::MuMode;
+use crate::tables::{KernelCache, MuCsMemo, MuMemo, SharedKernel};
 use nss_model::comm::CollisionRule;
 use nss_model::metrics::PhaseSeries;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
+use std::sync::Arc;
 
 /// Configuration of one analytical PB_CAM evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -180,27 +179,73 @@ impl RingProfile {
 }
 
 /// The analytical PB_CAM model.
+///
+/// All ρ/p-independent state (geometry tables, μ evaluators) lives in a
+/// [`SharedKernel`]; [`RingModel::new`] builds a private one, while
+/// [`RingModel::cached`] / [`RingModel::with_kernel`] share an interned
+/// kernel across every cell of a parameter sweep. The three constructors
+/// produce **bitwise identical** results — the kernel's tables store the
+/// exact values the closure-driven seed implementation recomputed per call.
 #[derive(Debug, Clone)]
 pub struct RingModel {
     config: RingModelConfig,
-    geom: RingGeometry,
-    mu: MuEvaluator,
-    mu_cs: MuCsEvaluator,
+    kernel: Arc<SharedKernel>,
     track_success_rate: bool,
 }
 
 impl RingModel {
     /// Creates a model for the given configuration (panics on invalid
     /// configurations; use [`RingModelConfig::validate`] to check first).
+    /// Builds a private kernel; prefer [`RingModel::cached`] when evaluating
+    /// many configurations that differ only in `ρ` or `prob`.
     pub fn new(config: RingModelConfig) -> Self {
-        config.validate().unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
         RingModel {
             config,
-            geom: RingGeometry::new(config.p, config.r),
-            mu: MuEvaluator::new(config.s, config.mu_mode),
-            mu_cs: MuCsEvaluator::new(config.s, config.mu_mode),
+            kernel: Arc::new(SharedKernel::build(&config)),
             track_success_rate: false,
         }
+    }
+
+    /// Creates a model whose kernel is interned in the process-wide
+    /// [`KernelCache`]: the first call per `(P, r, quad_points, s, mode,
+    /// cs_factor)` fingerprint builds the tables, every later call — from
+    /// any thread — reuses them.
+    pub fn cached(config: RingModelConfig) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+        RingModel {
+            config,
+            kernel: KernelCache::global().get(&config),
+            track_success_rate: false,
+        }
+    }
+
+    /// Creates a model over an explicitly shared kernel (e.g. one
+    /// [`KernelCache::get`] handed to every worker of a sweep). Panics if
+    /// the kernel was built for a different fingerprint.
+    pub fn with_kernel(config: RingModelConfig, kernel: Arc<SharedKernel>) -> Self {
+        config
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+        assert!(
+            kernel.matches(&config),
+            "kernel fingerprint {:?} does not serve this configuration",
+            kernel.key()
+        );
+        RingModel {
+            config,
+            kernel,
+            track_success_rate: false,
+        }
+    }
+
+    /// The shared kernel backing this model.
+    pub fn kernel(&self) -> &Arc<SharedKernel> {
+        &self.kernel
     }
 
     /// Enables per-phase success-rate tracking (costs one extra integral
@@ -229,10 +274,21 @@ impl RingModel {
     /// ```
     pub fn run(&self) -> RingProfile {
         let cfg = &self.config;
+        let kernel = &*self.kernel;
+        let tables = &kernel.tables;
         let p_rings = cfg.p as usize;
         let delta = cfg.delta();
-        let ring_areas: Vec<f64> = (1..=cfg.p).map(|j| self.geom.ring_area(j)).collect();
+        let ring_areas: &[f64] = &kernel.ring_areas;
         let capacity: Vec<f64> = ring_areas.iter().map(|&c| delta * c).collect();
+
+        // Per-run μ memos: lattice values are pure, so caching them changes
+        // nothing but the cost of the inner loop.
+        let mut mu_memo = MuMemo::new(kernel.mu);
+        let mut mu_cs_memo = MuCsMemo::new(kernel.mu_cs);
+        // Per-abscissa transmitter-count scratch, reused across rings/phases.
+        let n_abs = tables.abscissae().len();
+        let mut gtx = vec![0.0f64; n_abs];
+        let mut hcs = vec![0.0f64; n_abs];
 
         // Phase 1: the source's broadcast informs all of ring R_1.
         let mut first = vec![0.0; p_rings];
@@ -269,45 +325,60 @@ impl RingModel {
                 let remaining = (capacity[ji] - cum[ji]).max(0.0);
                 let inner_radius = (f64::from(j) - 1.0) * cfg.r;
 
+                let need_main = remaining > 1e-12;
+                if !need_main && !self.track_success_rate {
+                    continue;
+                }
+
                 // Expected informed-in-previous-phase neighbors of a node at
-                // offset x in ring j, thinned to expected transmitters.
-                let g_tx = |x: f64| -> f64 {
-                    let lo = j.saturating_sub(1).max(1);
-                    let hi = (j + 1).min(cfg.p);
-                    let mut g = 0.0;
-                    for k in lo..=hi {
-                        let ki = k as usize - 1;
-                        if prev[ki] > 0.0 {
-                            g += prev[ki] * self.geom.a_area(j, x, k) / ring_areas[ki];
+                // each quadrature offset x_i in ring j, thinned to expected
+                // transmitters: g(x_i)·p. Accumulated per point in ascending
+                // k order — the same term order as the seed's closure, with
+                // A(x, k) read from the table instead of recomputed.
+                let lo = j.saturating_sub(1).max(1);
+                let hi = (j + 1).min(cfg.p);
+                gtx.fill(0.0);
+                for k in lo..=hi {
+                    let ki = k as usize - 1;
+                    if prev[ki] > 0.0 {
+                        let (pk, area) = (prev[ki], ring_areas[ki]);
+                        for (g, &a) in gtx.iter_mut().zip(tables.a_row(j, k)) {
+                            *g += pk * a / area;
                         }
                     }
-                    g * cfg.prob
-                };
+                }
+                for g in gtx.iter_mut() {
+                    *g *= cfg.prob;
+                }
 
-                if remaining > 1e-12 {
-                    let integrand = |x: f64| -> f64 {
-                        let k_tx = g_tx(x);
-                        let success = match cfg.collision {
-                            CollisionRule::TransmissionRange => self.mu.eval(k_tx),
-                            CollisionRule::CarrierSense { factor } => {
-                                let lo = j.saturating_sub(2).max(1);
-                                let hi = (j + 2).min(cfg.p);
-                                let mut h = 0.0;
-                                for k in lo..=hi {
-                                    let ki = k as usize - 1;
-                                    if prev[ki] > 0.0 {
-                                        h += prev[ki] * self.geom.b_area(j, x, k, factor)
-                                            / ring_areas[ki];
-                                    }
+                if need_main {
+                    // Carrier sense also needs h(x_i): expected informed count
+                    // in the carrier annulus (one ring further each way).
+                    if let CollisionRule::CarrierSense { .. } = cfg.collision {
+                        let lo = j.saturating_sub(2).max(1);
+                        let hi = (j + 2).min(cfg.p);
+                        hcs.fill(0.0);
+                        for k in lo..=hi {
+                            let ki = k as usize - 1;
+                            if prev[ki] > 0.0 {
+                                let (pk, area) = (prev[ki], ring_areas[ki]);
+                                for (h, &b) in hcs.iter_mut().zip(tables.b_row(j, k)) {
+                                    *h += pk * b / area;
                                 }
-                                self.mu_cs.eval(k_tx, h * cfg.prob)
+                            }
+                        }
+                    }
+                    let integral = tables.integrate(|i, x| {
+                        let k_tx = gtx[i];
+                        let success = match cfg.collision {
+                            CollisionRule::TransmissionRange => mu_memo.eval(k_tx),
+                            CollisionRule::CarrierSense { .. } => {
+                                mu_cs_memo.eval(k_tx, hcs[i] * cfg.prob)
                             }
                         };
                         (inner_radius + x) * success
-                    };
-                    let integral = simpson(integrand, 0.0, cfg.r, cfg.quad_points);
-                    new[ji] = (2.0 * PI * integral * remaining / ring_areas[ji])
-                        .min(remaining);
+                    });
+                    new[ji] = (2.0 * PI * integral * remaining / ring_areas[ji]).min(remaining);
                 }
 
                 if self.track_success_rate {
@@ -317,33 +388,23 @@ impl RingModel {
                     // with K(x) the expected transmitter count in range and
                     // q = (s−1)/s the per-slot avoidance probability.
                     let q = (f64::from(cfg.s) - 1.0) / f64::from(cfg.s);
-                    let num = simpson(
-                        |x| {
-                            let k = g_tx(x);
-                            let clean = if k <= 0.0 {
-                                0.0
-                            } else if q == 0.0 {
-                                // s = 1: only an uncontended sender delivers.
-                                if k <= 1.0 {
-                                    k
-                                } else {
-                                    0.0
-                                }
+                    let num = tables.integrate(|i, x| {
+                        let k = gtx[i];
+                        let clean = if k <= 0.0 {
+                            0.0
+                        } else if q == 0.0 {
+                            // s = 1: only an uncontended sender delivers.
+                            if k <= 1.0 {
+                                k
                             } else {
-                                k * q.powf((k - 1.0).max(0.0))
-                            };
-                            (inner_radius + x) * clean
-                        },
-                        0.0,
-                        cfg.r,
-                        cfg.quad_points,
-                    );
-                    let den = simpson(
-                        |x| (inner_radius + x) * g_tx(x),
-                        0.0,
-                        cfg.r,
-                        cfg.quad_points,
-                    );
+                                0.0
+                            }
+                        } else {
+                            k * q.powf((k - 1.0).max(0.0))
+                        };
+                        (inner_radius + x) * clean
+                    });
+                    let den = tables.integrate(|i, x| (inner_radius + x) * gtx[i]);
                     sr_num += 2.0 * PI * delta * num;
                     sr_den += 2.0 * PI * delta * den;
                 }
@@ -375,9 +436,59 @@ impl RingModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::ring_geometry::RingGeometry;
 
     fn run(rho: f64, prob: f64) -> RingProfile {
         RingModel::new(RingModelConfig::paper(rho, prob)).run()
+    }
+
+    #[test]
+    fn constructors_agree_bitwise() {
+        for collision in [
+            CollisionRule::TransmissionRange,
+            CollisionRule::CARRIER_SENSE_2R,
+        ] {
+            let mut cfg = RingModelConfig::paper(80.0, 0.4);
+            cfg.collision = collision;
+            let fresh = RingModel::new(cfg).with_success_rate_tracking().run();
+            let cached = RingModel::cached(cfg).with_success_rate_tracking().run();
+            let explicit = RingModel::with_kernel(cfg, KernelCache::global().get(&cfg))
+                .with_success_rate_tracking()
+                .run();
+            for other in [&cached, &explicit] {
+                assert_eq!(fresh.new_by_phase.len(), other.new_by_phase.len());
+                for (a, b) in fresh.new_by_phase.iter().zip(&other.new_by_phase) {
+                    for (x, y) in a.iter().zip(b) {
+                        assert_eq!(x.to_bits(), y.to_bits());
+                    }
+                }
+                for (x, y) in fresh
+                    .broadcasts_by_phase
+                    .iter()
+                    .zip(&other.broadcasts_by_phase)
+                {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
+                for (&(r1, w1), &(r2, w2)) in fresh
+                    .success_rate_by_phase
+                    .iter()
+                    .zip(&other.success_rate_by_phase)
+                {
+                    assert_eq!(r1.to_bits(), r2.to_bits());
+                    assert_eq!(w1.to_bits(), w2.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "does not serve")]
+    fn mismatched_kernel_rejected() {
+        let cfg = RingModelConfig::paper(80.0, 0.4);
+        let kernel = KernelCache::global().get(&cfg);
+        let mut other = cfg;
+        other.quad_points = 48;
+        let _ = RingModel::with_kernel(other, kernel);
     }
 
     #[test]
@@ -504,8 +615,14 @@ mod tests {
         let base = RingModelConfig::paper(60.0, 0.3);
         let mut cs = base;
         cs.collision = CollisionRule::CARRIER_SENSE_2R;
-        let r_base = RingModel::new(base).run().phase_series().reachability_at_latency(5.0);
-        let r_cs = RingModel::new(cs).run().phase_series().reachability_at_latency(5.0);
+        let r_base = RingModel::new(base)
+            .run()
+            .phase_series()
+            .reachability_at_latency(5.0);
+        let r_cs = RingModel::new(cs)
+            .run()
+            .phase_series()
+            .reachability_at_latency(5.0);
         assert!(
             r_cs < r_base,
             "carrier sensing must not help: cs {r_cs} vs base {r_base}"

@@ -72,8 +72,7 @@ pub fn survival_estimate(profile: &RingProfile) -> SurvivalEstimate {
     // Extinct outcome: ring R_1 (informed by the collision-free source
     // broadcast) plus the source — rho + 1 of N nodes.
     let extinct_reach = ((cfg.rho + 1.0) / cfg.n_total()).min(1.0);
-    let adjusted =
-        cascade_survival * mean_field + (1.0 - cascade_survival) * extinct_reach;
+    let adjusted = cascade_survival * mean_field + (1.0 - cascade_survival) * extinct_reach;
 
     SurvivalEstimate {
         offspring_mean,
@@ -124,7 +123,10 @@ mod tests {
         assert_eq!(poisson_extinction(0.0), 1.0);
         // m = 2: q = e^{2(q-1)} → q ≈ 0.2032.
         let q = poisson_extinction(2.0);
-        assert!((q - (2.0 * (q - 1.0)).exp()).abs() < 1e-12, "not a fixed point");
+        assert!(
+            (q - (2.0 * (q - 1.0)).exp()).abs() < 1e-12,
+            "not a fixed point"
+        );
         assert!((q - 0.2032).abs() < 1e-3, "q(2) = {q}");
         // Extinction falls toward 0 as m grows.
         assert!(poisson_extinction(5.0) < 0.01);

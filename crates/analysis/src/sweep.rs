@@ -7,9 +7,11 @@
 
 use crate::optimize::{Objective, Optimum};
 use crate::ring_model::{RingModel, RingModelConfig};
+use crate::tables::KernelCache;
 use nss_model::metrics::PhaseSeries;
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 
 /// Results of a full (ρ × p) sweep of the analytical model.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -43,16 +45,28 @@ impl DensitySweep {
         }
         .min(cells.len().max(1));
 
+        // One shared kernel serves every cell: the geometry/μ tables do not
+        // depend on ρ or p, so workers only run the phase recursion.
+        let kernel = KernelCache::global().get(&base);
+        // Pre-grow the shared μ DP table past the largest contender count
+        // any cell can see (g(x)·p ≤ ρ_max), so no worker ever takes the
+        // RwLock write path mid-sweep.
+        let rho_max = rhos.iter().copied().fold(0.0f64, f64::max);
+        kernel.mu_table.ensure(rho_max.ceil() as u64 + 1);
+
         let mut results: Vec<Option<PhaseSeries>> = vec![None; cells.len()];
         {
-            // Work-stealing via a shared atomic cursor; results land in
-            // per-worker slices reassembled afterwards.
+            // Work-stealing via a shared atomic cursor; finished cells are
+            // streamed back over a channel (same idiom as `sim::runner`) and
+            // placed by index by the scope's owning thread.
             let cursor = AtomicUsize::new(0);
-            let slots: Vec<parking_lot::Mutex<&mut Option<PhaseSeries>>> =
-                results.iter_mut().map(parking_lot::Mutex::new).collect();
+            let (cursor, cells) = (&cursor, &cells);
+            let (tx, rx) = crossbeam::channel::unbounded::<(usize, PhaseSeries)>();
             std::thread::scope(|scope| {
                 for _ in 0..nworkers {
-                    scope.spawn(|| loop {
+                    let tx = tx.clone();
+                    let kernel = Arc::clone(&kernel);
+                    scope.spawn(move || loop {
                         let i = cursor.fetch_add(1, Ordering::Relaxed);
                         if i >= cells.len() {
                             break;
@@ -61,9 +75,15 @@ impl DensitySweep {
                         let mut cfg = base;
                         cfg.rho = rhos[ri];
                         cfg.prob = probs[pi];
-                        let series = RingModel::new(cfg).run().phase_series();
-                        **slots[i].lock() = Some(series);
+                        let series = RingModel::with_kernel(cfg, Arc::clone(&kernel))
+                            .run()
+                            .phase_series();
+                        tx.send((i, series)).expect("collector alive");
                     });
+                }
+                drop(tx); // workers hold the remaining senders
+                for (i, series) in rx {
+                    results[i] = Some(series);
                 }
             });
         }
@@ -183,6 +203,9 @@ mod tests {
 
     #[test]
     fn paper_rhos_axis() {
-        assert_eq!(DensitySweep::paper_rhos(), vec![20.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0]);
+        assert_eq!(
+            DensitySweep::paper_rhos(),
+            vec![20.0, 40.0, 60.0, 80.0, 100.0, 120.0, 140.0]
+        );
     }
 }

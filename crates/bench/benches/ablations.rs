@@ -16,7 +16,10 @@ use std::hint::black_box;
 fn bench_mu_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_mu_mode");
     group.sample_size(20);
-    for (name, mode) in [("interpolate", MuMode::Interpolate), ("poisson", MuMode::Poisson)] {
+    for (name, mode) in [
+        ("interpolate", MuMode::Interpolate),
+        ("poisson", MuMode::Poisson),
+    ] {
         group.bench_function(name, |b| {
             let mut cfg = ring_cfg(60.0, 0.2);
             cfg.mu_mode = mode;
@@ -114,7 +117,6 @@ fn bench_scratch_reuse(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the suite's value is the recorded relative
 /// numbers, not publication-grade confidence intervals.
 fn fast_criterion() -> Criterion {
@@ -124,7 +126,7 @@ fn fast_criterion() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_mu_mode,

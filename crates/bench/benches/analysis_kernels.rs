@@ -8,10 +8,12 @@ use nss_analysis::mu_cs::{mu_cs_closed_form, mu_cs_poisson};
 use nss_analysis::quadrature::simpson;
 use nss_analysis::ring_geometry::RingGeometry;
 use nss_analysis::ring_model::RingModel;
+use nss_analysis::tables::{GeometryTables, KernelCache};
 use nss_bench::ring_cfg;
 use nss_model::comm::CollisionRule;
 use nss_model::geometry::lens_area;
 use std::hint::black_box;
+use std::sync::Arc;
 
 fn bench_geometry(c: &mut Criterion) {
     c.bench_function("lens_area/partial_overlap", |b| {
@@ -64,7 +66,14 @@ fn bench_mu(c: &mut Criterion) {
 
 fn bench_quadrature(c: &mut Criterion) {
     c.bench_function("quadrature/simpson_64", |b| {
-        b.iter(|| simpson(|x| (4.0 + x) * (1.0 - (-3.0 * x).exp()), 0.0, 1.0, black_box(64)))
+        b.iter(|| {
+            simpson(
+                |x| (4.0 + x) * (1.0 - (-3.0 * x).exp()),
+                0.0,
+                1.0,
+                black_box(64),
+            )
+        })
     });
 }
 
@@ -92,6 +101,74 @@ fn bench_ring_model(c: &mut Criterion) {
     group.finish();
 }
 
+/// The tentpole comparison: constructing a model per sweep cell (rebuilding
+/// geometry tables) vs sharing one interned kernel across cells.
+fn bench_kernel_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kernel_cache");
+    group.sample_size(20);
+    group.bench_function("tables_build_quad64", |b| {
+        b.iter(|| GeometryTables::build(black_box(5), black_box(1.0), 64, Some(2.0)))
+    });
+    let warm = KernelCache::new();
+    let _ = warm.get(&ring_cfg(60.0, 0.2));
+    group.bench_function("cache_hit", |b| {
+        b.iter(|| warm.get(&ring_cfg(black_box(60.0), black_box(0.2))))
+    });
+    group.bench_function("construct_run_uncached", |b| {
+        b.iter(|| RingModel::new(ring_cfg(black_box(60.0), black_box(0.2))).run())
+    });
+    group.bench_function("construct_run_cached", |b| {
+        b.iter(|| RingModel::cached(ring_cfg(black_box(60.0), black_box(0.2))).run())
+    });
+    let kernel = KernelCache::global().get(&ring_cfg(60.0, 0.2));
+    group.bench_function("construct_run_shared_kernel", |b| {
+        b.iter(|| {
+            RingModel::with_kernel(
+                ring_cfg(black_box(60.0), black_box(0.2)),
+                Arc::clone(&kernel),
+            )
+            .run()
+        })
+    });
+    group.finish();
+}
+
+/// Table lookup + precomputed-weight integration vs recomputing the lens
+/// areas through a closure at every quadrature point (the seed's hot path).
+fn bench_table_vs_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table_vs_closure");
+    let geom = RingGeometry::new(5, 1.0);
+    let tables = GeometryTables::build(5, 1.0, 64, None);
+    let weights = [1.0, 0.7, 0.2, 0.05, 0.01];
+    group.bench_function("g_integral_closure", |b| {
+        b.iter(|| {
+            simpson(
+                |x| {
+                    let mut g = 0.0;
+                    for k in 2..=4u32 {
+                        g += weights[k as usize - 1] * geom.a_area(3, x, k);
+                    }
+                    (2.0 + x) * g
+                },
+                0.0,
+                1.0,
+                black_box(64),
+            )
+        })
+    });
+    group.bench_function("g_integral_table", |b| {
+        b.iter(|| {
+            tables.integrate(|i, x| {
+                let mut g = 0.0;
+                for k in 2..=4u32 {
+                    g += weights[k as usize - 1] * tables.a(3, k, i);
+                }
+                (2.0 + x) * g
+            })
+        })
+    });
+    group.finish();
+}
 
 /// Short measurement windows: the suite's value is the recorded relative
 /// numbers, not publication-grade confidence intervals.
@@ -102,12 +179,14 @@ fn fast_criterion() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_geometry,
     bench_mu,
     bench_quadrature,
-    bench_ring_model
+    bench_ring_model,
+    bench_kernel_cache,
+    bench_table_vs_closure
 }
 criterion_main!(benches);

@@ -128,9 +128,10 @@ fn bench_rendering(c: &mut Criterion) {
             .collect();
         chart = chart.with_series(nss_plot::Series::new(format!("rho={rho}"), pts));
     }
-    c.bench_function("figures_render/svg_7x100", |b| b.iter(|| chart.render_svg()));
+    c.bench_function("figures_render/svg_7x100", |b| {
+        b.iter(|| chart.render_svg())
+    });
 }
-
 
 /// Short measurement windows: the suite's value is the recorded relative
 /// numbers, not publication-grade confidence intervals.
@@ -141,7 +142,7 @@ fn fast_criterion() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_analysis_figures,

@@ -6,11 +6,11 @@ use nss_bench::topo;
 use nss_model::comm::{CollisionRule, CommunicationModel};
 use nss_model::deployment::Deployment;
 use nss_model::topology::Topology;
+use nss_sim::exact::exact_expected_informed;
 use nss_sim::medium::{Medium, MediumScratch};
+use nss_sim::probe::probe_per_node_success;
 use nss_sim::protocols::ack_flood::{run_ack_flood, AckFloodConfig};
 use nss_sim::protocols::async_gossip::{run_async_gossip, AsyncGossipConfig};
-use nss_sim::exact::exact_expected_informed;
-use nss_sim::probe::probe_per_node_success;
 use nss_sim::protocols::convergecast::{run_convergecast, ConvergecastConfig};
 use nss_sim::protocols::counter::{run_counter_broadcast, CounterConfig};
 use nss_sim::protocols::distance::{run_distance_broadcast, DistanceConfig};
@@ -131,7 +131,6 @@ fn bench_extensions(c: &mut Criterion) {
     group.finish();
 }
 
-
 /// Short measurement windows: the suite's value is the recorded relative
 /// numbers, not publication-grade confidence intervals.
 fn fast_criterion() -> Criterion {
@@ -141,7 +140,7 @@ fn fast_criterion() -> Criterion {
         .sample_size(20)
 }
 
-criterion_group!{
+criterion_group! {
     name = benches;
     config = fast_criterion();
     targets = bench_substrate, bench_protocols, bench_extensions

@@ -1,0 +1,235 @@
+//! End-to-end wall-time comparison for the paper-scale Fig. 4 sweep
+//! (7 densities × 100 probabilities, 64-point quadrature), written to
+//! `BENCH_sweep.json`.
+//!
+//! The baseline is a faithful reimplementation of the seed's closure-driven
+//! phase recursion (per-cell `RingGeometry`/`MuEvaluator` construction,
+//! lens areas recomputed at every quadrature point through `a_area`
+//! closures) built from the crate's public API. Before timing anything the
+//! two paths are asserted **bitwise equal** on every cell of the grid, so
+//! the recorded speedup compares implementations of the same function.
+//!
+//! Usage: `cargo run --release -p nss-bench --bin bench_summary [out.json]`
+
+use nss_analysis::mu::MuEvaluator;
+use nss_analysis::mu_cs::MuCsEvaluator;
+use nss_analysis::quadrature::simpson;
+use nss_analysis::ring_geometry::RingGeometry;
+use nss_analysis::ring_model::{RingModel, RingModelConfig};
+use nss_analysis::sweep::DensitySweep;
+use nss_analysis::tables::KernelCache;
+use nss_model::comm::CollisionRule;
+use nss_model::metrics::PhaseSeries;
+use std::f64::consts::PI;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// The seed implementation of the Eq. 4 recursion, preserved verbatim as
+/// the comparison baseline: geometry and μ evaluators are built per call,
+/// and every integrand evaluation recomputes `A`/`B` lens areas.
+fn legacy_phase_series(cfg: RingModelConfig) -> PhaseSeries {
+    let geom = RingGeometry::new(cfg.p, cfg.r);
+    let mu = MuEvaluator::new(cfg.s, cfg.mu_mode);
+    let mu_cs = MuCsEvaluator::new(cfg.s, cfg.mu_mode);
+    let p_rings = cfg.p as usize;
+    let delta = cfg.delta();
+    let ring_areas: Vec<f64> = (1..=cfg.p).map(|j| geom.ring_area(j)).collect();
+    let capacity: Vec<f64> = ring_areas.iter().map(|&c| delta * c).collect();
+
+    let mut first = vec![0.0; p_rings];
+    first[0] = capacity[0];
+    let mut cum: Vec<f64> = first.clone();
+    let mut new_by_phase = vec![first];
+    let mut broadcasts = vec![1.0f64];
+
+    for _phase in 2..=cfg.max_phases {
+        let prev = new_by_phase.last().expect("at least phase 1 exists");
+        let prev_total: f64 = prev.iter().sum();
+        let tx_total = cfg.prob * prev_total;
+        broadcasts.push(tx_total);
+        if tx_total <= 0.0 {
+            new_by_phase.push(vec![0.0; p_rings]);
+            break;
+        }
+
+        let mut new = vec![0.0; p_rings];
+        for j in 1..=cfg.p {
+            let ji = j as usize - 1;
+            let remaining = (capacity[ji] - cum[ji]).max(0.0);
+            let inner_radius = (f64::from(j) - 1.0) * cfg.r;
+
+            let g_tx = |x: f64| -> f64 {
+                let lo = j.saturating_sub(1).max(1);
+                let hi = (j + 1).min(cfg.p);
+                let mut g = 0.0;
+                for k in lo..=hi {
+                    let ki = k as usize - 1;
+                    if prev[ki] > 0.0 {
+                        g += prev[ki] * geom.a_area(j, x, k) / ring_areas[ki];
+                    }
+                }
+                g * cfg.prob
+            };
+
+            if remaining > 1e-12 {
+                let integrand = |x: f64| -> f64 {
+                    let k_tx = g_tx(x);
+                    let success = match cfg.collision {
+                        CollisionRule::TransmissionRange => mu.eval(k_tx),
+                        CollisionRule::CarrierSense { factor } => {
+                            let lo = j.saturating_sub(2).max(1);
+                            let hi = (j + 2).min(cfg.p);
+                            let mut h = 0.0;
+                            for k in lo..=hi {
+                                let ki = k as usize - 1;
+                                if prev[ki] > 0.0 {
+                                    h += prev[ki] * geom.b_area(j, x, k, factor) / ring_areas[ki];
+                                }
+                            }
+                            mu_cs.eval(k_tx, h * cfg.prob)
+                        }
+                    };
+                    (inner_radius + x) * success
+                };
+                let integral = simpson(integrand, 0.0, cfg.r, cfg.quad_points);
+                new[ji] = (2.0 * PI * integral * remaining / ring_areas[ji]).min(remaining);
+            }
+        }
+
+        for (c, n) in cum.iter_mut().zip(&new) {
+            *c += n;
+        }
+        let total_new: f64 = new.iter().sum();
+        new_by_phase.push(new);
+        if total_new < cfg.min_new {
+            break;
+        }
+    }
+
+    // Collapse to PhaseSeries exactly as RingProfile::phase_series does.
+    let n = cfg.n_total();
+    let mut informed = Vec::with_capacity(new_by_phase.len());
+    let mut c = 1.0;
+    for per_ring in &new_by_phase {
+        c += per_ring.iter().sum::<f64>();
+        informed.push(c.min(n));
+    }
+    let mut bc = Vec::with_capacity(broadcasts.len());
+    let mut b = 0.0;
+    for &x in &broadcasts {
+        b += x;
+        bc.push(b);
+    }
+    PhaseSeries {
+        n_total: n,
+        informed_cum: informed,
+        broadcasts_cum: bc,
+    }
+}
+
+fn assert_series_bitwise_eq(a: &PhaseSeries, b: &PhaseSeries, rho: f64, prob: f64) {
+    let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        a.n_total.to_bits(),
+        b.n_total.to_bits(),
+        "n @ ({rho},{prob})"
+    );
+    assert_eq!(
+        bits(&a.informed_cum),
+        bits(&b.informed_cum),
+        "informed_cum @ (rho={rho}, p={prob})"
+    );
+    assert_eq!(
+        bits(&a.broadcasts_cum),
+        bits(&b.broadcasts_cum),
+        "broadcasts_cum @ (rho={rho}, p={prob})"
+    );
+}
+
+fn main() {
+    let out = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string());
+    let base = RingModelConfig::paper(20.0, 0.5);
+    let rhos: Vec<f64> = (1..=7).map(|i| f64::from(i) * 20.0).collect();
+    let probs: Vec<f64> = (1..=100).map(|i| f64::from(i) / 100.0).collect();
+    let cells = rhos.len() * probs.len();
+    eprintln!(
+        "fig4-scale sweep: {} rho x {} p = {cells} cells, quad = 64",
+        rhos.len(),
+        probs.len()
+    );
+
+    // Correctness gate: the table-driven path must be bitwise identical to
+    // the legacy closure path on every cell before we time anything.
+    let kernel = KernelCache::global().get(&base);
+    for &rho in &rhos {
+        for &prob in &probs {
+            let mut cfg = base;
+            cfg.rho = rho;
+            cfg.prob = prob;
+            let legacy = legacy_phase_series(cfg);
+            let cached = RingModel::with_kernel(cfg, Arc::clone(&kernel))
+                .run()
+                .phase_series();
+            assert_series_bitwise_eq(&legacy, &cached, rho, prob);
+        }
+    }
+    eprintln!("bitwise identity: OK on all {cells} cells");
+
+    let time = |f: &dyn Fn()| -> f64 {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+
+    // Sequential apples-to-apples: per-cell construction + closures vs one
+    // shared kernel + tables, same thread, same cells.
+    let baseline_s = time(&|| {
+        for &rho in &rhos {
+            for &prob in &probs {
+                let mut cfg = base;
+                cfg.rho = rho;
+                cfg.prob = prob;
+                std::hint::black_box(legacy_phase_series(cfg));
+            }
+        }
+    });
+    let cached_s = time(&|| {
+        let kernel = KernelCache::global().get(&base);
+        for &rho in &rhos {
+            for &prob in &probs {
+                let mut cfg = base;
+                cfg.rho = rho;
+                cfg.prob = prob;
+                std::hint::black_box(
+                    RingModel::with_kernel(cfg, Arc::clone(&kernel))
+                        .run()
+                        .phase_series(),
+                );
+            }
+        }
+    });
+    // The production entry point (parallel workers over the shared kernel).
+    let parallel_s = time(&|| {
+        std::hint::black_box(DensitySweep::run(base, &rhos, &probs, 0));
+    });
+
+    let speedup = baseline_s / cached_s;
+    let json = format!(
+        "{{\n  \"sweep\": \"fig4 (7 rho x 100 p, quad_points = 64)\",\n  \
+           \"cells\": {cells},\n  \
+           \"bitwise_identical\": true,\n  \
+           \"baseline_closure_seq_s\": {baseline_s:.4},\n  \
+           \"cached_tables_seq_s\": {cached_s:.4},\n  \
+           \"cached_tables_parallel_s\": {parallel_s:.4},\n  \
+           \"speedup_seq\": {speedup:.2}\n}}\n"
+    );
+    std::fs::write(&out, &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    eprintln!("wrote {out}");
+    assert!(
+        speedup >= 3.0,
+        "table-driven kernel must be at least 3x the closure baseline, got {speedup:.2}x"
+    );
+}

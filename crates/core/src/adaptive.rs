@@ -34,12 +34,8 @@ impl AdaptiveController {
     /// (the Fig. 12 computation), averaging `p*/sr` across densities.
     pub fn calibrate(base: RingModelConfig, rhos: &[f64], latency_phases: f64) -> Self {
         assert!(!rhos.is_empty(), "need at least one calibration density");
-        let rows = success_rate_correlation(
-            base,
-            rhos,
-            &ProbabilitySweep::paper_grid(),
-            latency_phases,
-        );
+        let rows =
+            success_rate_correlation(base, rhos, &ProbabilitySweep::paper_grid(), latency_phases);
         let ratios: Vec<f64> = rows
             .iter()
             .map(|r| r.ratio)
@@ -148,7 +144,12 @@ pub fn evaluate_adaptive(
             .deployment
             .sample(factory.seed(Stream::Deployment, u64::from(rep)));
         let topo = Topology::build(&net);
-        let sr = measure_success_rate(&topo, model.slots, 1, factory.seed(Stream::Jitter, u64::from(rep)));
+        let sr = measure_success_rate(
+            &topo,
+            model.slots,
+            1,
+            factory.seed(Stream::Jitter, u64::from(rep)),
+        );
         sr_total += sr;
         let p_adaptive = controller.probability(sr);
 
@@ -212,7 +213,10 @@ mod tests {
         let sr_hi = measure_success_rate(&hi, 3, 3, 7);
         assert!(sr_lo > 0.0 && sr_lo <= 1.0);
         assert!(sr_hi > 0.0 && sr_hi <= 1.0);
-        assert!(sr_hi < sr_lo, "denser → more collisions: {sr_hi} !< {sr_lo}");
+        assert!(
+            sr_hi < sr_lo,
+            "denser → more collisions: {sr_hi} !< {sr_lo}"
+        );
     }
 
     #[test]

@@ -119,7 +119,9 @@ mod tests {
     #[test]
     fn instantiation() {
         let cam = CommunicationModel::CAM;
-        let cfg = BroadcastAlgorithm::SimpleFlooding.instantiate(cam, 3).unwrap();
+        let cfg = BroadcastAlgorithm::SimpleFlooding
+            .instantiate(cam, 3)
+            .unwrap();
         assert_eq!(cfg.prob, 1.0);
         let cfg = BroadcastAlgorithm::ProbabilityBased { prob: 0.2 }
             .instantiate(cam, 4)

@@ -74,9 +74,7 @@ mod tests {
     #[test]
     fn grid_model_has_no_rho() {
         let m = NetworkModel {
-            deployment: Deployment::Grid(nss_model::deployment::GridDeployment::new(
-                10, 1.0, 1.2,
-            )),
+            deployment: Deployment::Grid(nss_model::deployment::GridDeployment::new(10, 1.0, 1.2)),
             ..NetworkModel::paper(1.0)
         };
         assert!(m.rho().is_none());

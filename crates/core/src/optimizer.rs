@@ -173,9 +173,7 @@ mod tests {
         m.comm = CommunicationModel::Cfm;
         assert!(DesignOptimizer::new(m).is_err());
         let m = NetworkModel {
-            deployment: Deployment::Grid(nss_model::deployment::GridDeployment::new(
-                5, 1.0, 1.0,
-            )),
+            deployment: Deployment::Grid(nss_model::deployment::GridDeployment::new(5, 1.0, 1.0)),
             ..NetworkModel::paper(40.0)
         };
         assert!(DesignOptimizer::new(m).is_err());

@@ -3,9 +3,9 @@
 use nss_analysis::optimize::ProbabilitySweep;
 use nss_analysis::ring_model::RingModelConfig;
 use nss_analysis::sweep::DensitySweep;
+use nss_model::deployment::Deployment;
 use nss_sim::runner::{ReplicatedTraces, Replication};
 use nss_sim::slotted::GossipConfig;
-use nss_model::deployment::Deployment;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
@@ -114,7 +114,12 @@ fn display_path(p: &Path) -> String {
 
 /// The analytical sweep shared by Figs. 4–7 (computed once per invocation).
 pub fn analysis_sweep(ctx: &Ctx) -> DensitySweep {
-    DensitySweep::run(ctx.ring_base(), &ctx.rhos(), &ctx.analysis_grid(), ctx.threads)
+    DensitySweep::run(
+        ctx.ring_base(),
+        &ctx.rhos(),
+        &ctx.analysis_grid(),
+        ctx.threads,
+    )
 }
 
 /// A full simulated sweep: `grid[rho_idx][p_idx]` of replicated traces.
@@ -179,7 +184,11 @@ pub fn panel_a_chart(
 
 /// Builds the paper's panel-(b) chart: the optimal probability (and, when
 /// it shares the [0, 1] scale, the achieved metric value) versus density.
-pub fn panel_b_chart(title: &str, value_label: &str, optima: &[(f64, f64, f64)]) -> nss_plot::Chart {
+pub fn panel_b_chart(
+    title: &str,
+    value_label: &str,
+    optima: &[(f64, f64, f64)],
+) -> nss_plot::Chart {
     let popt: Vec<(f64, f64)> = optima.iter().map(|&(rho, p, _)| (rho, p)).collect();
     let vals: Vec<(f64, f64)> = optima.iter().map(|&(rho, _, v)| (rho, v)).collect();
     let mut chart = nss_plot::Chart::new(title, "node density rho", "value")

@@ -109,7 +109,11 @@ pub fn ext_grid_percolation(ctx: &Ctx) {
             let dep = Deployment::Grid(GridDeployment::new(side, 1.0, 1.0));
             let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
             let cfg = GossipConfig::gossip_cfm(p);
-            let trace = run_gossip(&topo, &cfg, factory.seed(Stream::Protocol, rep ^ (i as u64) << 8));
+            let trace = run_gossip(
+                &topo,
+                &cfg,
+                factory.seed(Stream::Protocol, rep ^ (i as u64) << 8),
+            );
             total += trace.final_reachability();
         }
         let mean = total / runs as f64;
@@ -266,11 +270,7 @@ pub fn ext_async(ctx: &Ctx) {
         println!("{rho:>6.0} {p:>6.2} {sync_mean:>12.3} {async_mean:>12.3}");
         csv.push(format!("{rho},{p},{sync_mean},{async_mean}"));
     }
-    ctx.write_csv(
-        "ext_async.csv",
-        "rho,p,sync_reach,async_reach",
-        &csv,
-    );
+    ctx.write_csv("ext_async.csv", "rho,p,sync_reach,async_reach", &csv);
     println!(
         "\nnote: async trades slot-alignment (collision prob 1/s) for interval overlap\n\
          (higher), but pipelines across phase boundaries — under a wall-clock latency\n\
@@ -291,18 +291,28 @@ pub fn ext_survival(ctx: &Ctx) {
     let runs = if ctx.fast { 5 } else { 20 };
     let factory = SeedFactory::new(ctx.seed);
     let mut csv = Vec::new();
-    for &(rho, p) in &[(40.0, 0.03), (40.0, 0.10), (80.0, 0.02), (80.0, 0.05), (140.0, 0.02)] {
+    for &(rho, p) in &[
+        (40.0, 0.03),
+        (40.0, 0.10),
+        (80.0, 0.02),
+        (80.0, 0.05),
+        (140.0, 0.02),
+    ] {
         let mut cfg = ctx.ring_base();
         cfg.rho = rho;
         cfg.prob = p;
-        let est = survival_estimate(&RingModel::new(cfg).run());
+        let est = survival_estimate(&RingModel::cached(cfg).run());
         let mut total = 0.0;
         for rep in 0..runs {
             let topo = Topology::build(
                 &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
             );
-            total += run_gossip(&topo, &GossipConfig::pb_cam(p), factory.seed(Stream::Protocol, rep))
-                .final_reachability();
+            total += run_gossip(
+                &topo,
+                &GossipConfig::pb_cam(p),
+                factory.seed(Stream::Protocol, rep),
+            )
+            .final_reachability();
         }
         let sim = total / runs as f64;
         println!(
@@ -399,9 +409,8 @@ pub fn ext_schemes(ctx: &Ctx) {
             acc[2].0 += t.final_reachability();
             acc[2].1 += t.total_broadcasts();
         }
-        let fmt = |(r, b): (f64, u64)| {
-            format!("{:.2}/{:>6.0}", r / runs as f64, b as f64 / runs as f64)
-        };
+        let fmt =
+            |(r, b): (f64, u64)| format!("{:.2}/{:>6.0}", r / runs as f64, b as f64 / runs as f64);
         println!(
             "{rho:>6.0} {:>16} {:>16} {:>16}",
             fmt(acc[0]),
@@ -614,7 +623,7 @@ pub fn ext_slots(ctx: &Ctx) {
         let flooding = {
             let mut f = cfg;
             f.prob = 1.0;
-            nss_analysis::ring_model::RingModel::new(f)
+            nss_analysis::ring_model::RingModel::cached(f)
                 .run()
                 .phase_series()
                 .reachability_at_latency(LATENCY_BUDGET)
@@ -669,7 +678,10 @@ pub fn ext_hetero(ctx: &Ctx) {
             let seed = factory.seed(Stream::Protocol, rep);
             let eval = |trace: nss_sim::trace::SimTrace| {
                 let s = trace.phase_series();
-                (s.reachability_at_latency(LATENCY_BUDGET), s.final_reachability())
+                (
+                    s.reachability_at_latency(LATENCY_BUDGET),
+                    s.final_reachability(),
+                )
             };
 
             // (a) fixed p tuned for the MEAN density via the 13/rho rule.
@@ -714,15 +726,17 @@ pub fn ext_hetero(ctx: &Ctx) {
             local.0 / r,
             local.1 / r
         );
-        csv.push(format!(
-            "{children},{bg},{},{},{},{},{},{}",
-            deg_sum / r,
-            fixed.0 / r,
-            fixed.1 / r,
-            global.0 / r,
-            global.1 / r,
-            local.0 / r
-        ) + &format!(",{}", local.1 / r));
+        csv.push(
+            format!(
+                "{children},{bg},{},{},{},{},{},{}",
+                deg_sum / r,
+                fixed.0 / r,
+                fixed.1 / r,
+                global.0 / r,
+                global.1 / r,
+                local.0 / r
+            ) + &format!(",{}", local.1 / r),
+        );
     }
     ctx.write_csv(
         "ext_hetero.csv",
@@ -763,7 +777,12 @@ pub fn ext_fieldsize(ctx: &Ctx) {
             opt.prob,
             opt.value
         );
-        csv.push(format!("{p_rings},{},{},{}", cfg.n_total(), opt.prob, opt.value));
+        csv.push(format!(
+            "{p_rings},{},{},{}",
+            cfg.n_total(),
+            opt.prob,
+            opt.value
+        ));
     }
     ctx.write_csv("ext_fieldsize.csv", "P,N,p_opt,reach_opt", &csv);
     println!(
@@ -798,7 +817,10 @@ pub fn ext_mu_mode(ctx: &Ctx) {
             "{rho:>6.0} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
             a.prob, a.value, b.prob, b.value
         );
-        csv.push(format!("{rho},{},{},{},{}", a.prob, a.value, b.prob, b.value));
+        csv.push(format!(
+            "{rho},{},{},{},{}",
+            a.prob, a.value, b.prob, b.value
+        ));
     }
     ctx.write_csv(
         "ext_mu_mode.csv",

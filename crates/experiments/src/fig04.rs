@@ -34,7 +34,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep) -> Vec<(f64, f64, f64)> {
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
             print!(" {}", fmt_opt(v, 8, 3));
-            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.6}"))));
+            row.push_str(&format!(
+                ",{}",
+                v.map_or(String::new(), |x| format!("{x:.6}"))
+            ));
         }
         println!();
         csv.push(row);

@@ -31,7 +31,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
             print!(" {}", fmt_opt(v, 8, 2));
-            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.4}"))));
+            row.push_str(&format!(
+                ",{}",
+                v.map_or(String::new(), |x| format!("{x:.4}"))
+            ));
         }
         println!();
         csv.push(row);
@@ -68,7 +71,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     ctx.write_svg(
         "fig05a.svg",
         &crate::common::panel_a_chart(
-            &format!("Fig 5(a): analytical latency to {:.0}% reachability", target * 100.0),
+            &format!(
+                "Fig 5(a): analytical latency to {:.0}% reachability",
+                target * 100.0
+            ),
             "latency (phases)",
             &sweep.probs,
             &sweep.rhos,

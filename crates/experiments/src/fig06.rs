@@ -31,7 +31,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
             print!(" {}", fmt_opt(v, 9, 1));
-            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.3}"))));
+            row.push_str(&format!(
+                ",{}",
+                v.map_or(String::new(), |x| format!("{x:.3}"))
+            ));
         }
         println!();
         csv.push(row);
@@ -68,7 +71,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     ctx.write_svg(
         "fig06a.svg",
         &crate::common::panel_a_chart(
-            &format!("Fig 6(a): analytical broadcasts to {:.0}% reachability", target * 100.0),
+            &format!(
+                "Fig 6(a): analytical broadcasts to {:.0}% reachability",
+                target * 100.0
+            ),
             "broadcast count M",
             &sweep.probs,
             &sweep.rhos,

@@ -31,7 +31,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, budget: f64) -> Vec<(f64, f64, f64)>
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
             print!(" {}", fmt_opt(v, 8, 3));
-            row.push_str(&format!(",{}", v.map_or(String::new(), |x| format!("{x:.6}"))));
+            row.push_str(&format!(
+                ",{}",
+                v.map_or(String::new(), |x| format!("{x:.6}"))
+            ));
         }
         println!();
         csv.push(row);
@@ -80,7 +83,10 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, budget: f64) -> Vec<(f64, f64, f64)>
             .collect();
         println!(
             "\nflooding (p=1) under the same budget: {:?}",
-            flooding.iter().map(|v| (v * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            flooding
+                .iter()
+                .map(|v| (v * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         );
     }
     out

@@ -73,7 +73,11 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep) -> Vec<(f64, f64, f64)> {
     );
     ctx.write_svg(
         "fig08b.svg",
-        &crate::common::panel_b_chart("Fig 8(b): simulated optimal probability", "reachability at p*", &out),
+        &crate::common::panel_b_chart(
+            "Fig 8(b): simulated optimal probability",
+            "reachability at p*",
+            &out,
+        ),
     );
     out
 }

@@ -20,8 +20,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     println!();
     let mut csv = Vec::new();
     // mean latency over feasible runs; None when < half the runs achieve it
-    let mut means: Vec<Vec<Option<f64>>> =
-        vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
+    let mut means: Vec<Vec<Option<f64>>> = vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
         print!("{p:>6.2}");
         let mut row = format!("{p}");
@@ -77,7 +76,10 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     ctx.write_svg(
         "fig09a.svg",
         &crate::common::panel_a_chart(
-            &format!("Fig 9(a): simulated latency to {:.0}% reachability", target * 100.0),
+            &format!(
+                "Fig 9(a): simulated latency to {:.0}% reachability",
+                target * 100.0
+            ),
             "latency (phases)",
             &sweep.probs,
             &sweep.rhos,
@@ -86,7 +88,11 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     );
     ctx.write_svg(
         "fig09b.svg",
-        &crate::common::panel_b_chart("Fig 9(b): simulated optimal probability", "latency at p*", &out),
+        &crate::common::panel_b_chart(
+            "Fig 9(b): simulated optimal probability",
+            "latency at p*",
+            &out,
+        ),
     );
     out
 }

@@ -18,8 +18,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     }
     println!();
     let mut csv = Vec::new();
-    let mut means: Vec<Vec<Option<f64>>> =
-        vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
+    let mut means: Vec<Vec<Option<f64>>> = vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
         print!("{p:>6.2}");
         let mut row = format!("{p}");
@@ -75,7 +74,10 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     ctx.write_svg(
         "fig10a.svg",
         &crate::common::panel_a_chart(
-            &format!("Fig 10(a): simulated broadcasts to {:.0}% reachability", target * 100.0),
+            &format!(
+                "Fig 10(a): simulated broadcasts to {:.0}% reachability",
+                target * 100.0
+            ),
             "broadcast count M",
             &sweep.probs,
             &sweep.rhos,
@@ -84,7 +86,11 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     );
     ctx.write_svg(
         "fig10b.svg",
-        &crate::common::panel_b_chart("Fig 10(b): simulated energy-optimal probability", "M at p*", &out),
+        &crate::common::panel_b_chart(
+            "Fig 10(b): simulated energy-optimal probability",
+            "M at p*",
+            &out,
+        ),
     );
     out
 }

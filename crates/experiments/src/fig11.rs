@@ -74,7 +74,11 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, budget: f64) -> Vec<(f64, f64, f64)> {
     );
     ctx.write_svg(
         "fig11b.svg",
-        &crate::common::panel_b_chart("Fig 11(b): simulated optimal probability", "reachability at p*", &out),
+        &crate::common::panel_b_chart(
+            "Fig 11(b): simulated optimal probability",
+            "reachability at p*",
+            &out,
+        ),
     );
     out
 }

@@ -106,10 +106,32 @@ fn main() {
             }
             "all" => {
                 selected.extend([
-                    "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
-                    "ext-cs", "ext-cfmgap", "ext-grid", "ext-adaptive", "ext-ack", "ext-async",
-                    "ext-mumode", "ext-survival", "ext-cfmcost", "ext-schemes", "ext-converge",
-                    "ext-failures", "ext-tdma", "ext-slots", "ext-hetero", "ext-fieldsize", "report",
+                    "fig4",
+                    "fig5",
+                    "fig6",
+                    "fig7",
+                    "fig8",
+                    "fig9",
+                    "fig10",
+                    "fig11",
+                    "fig12",
+                    "ext-cs",
+                    "ext-cfmgap",
+                    "ext-grid",
+                    "ext-adaptive",
+                    "ext-ack",
+                    "ext-async",
+                    "ext-mumode",
+                    "ext-survival",
+                    "ext-cfmcost",
+                    "ext-schemes",
+                    "ext-converge",
+                    "ext-failures",
+                    "ext-tdma",
+                    "ext-slots",
+                    "ext-hetero",
+                    "ext-fieldsize",
+                    "report",
                 ]);
             }
             other => {
@@ -118,10 +140,32 @@ fn main() {
         }
     }
     let known = [
-        "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12", "ext-cs",
-        "ext-cfmgap", "ext-grid", "ext-adaptive", "ext-ack", "ext-async", "ext-mumode",
-        "ext-survival", "ext-cfmcost", "ext-schemes", "ext-converge", "ext-failures",
-        "ext-tdma", "ext-slots", "ext-hetero", "ext-fieldsize", "report",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "fig8",
+        "fig9",
+        "fig10",
+        "fig11",
+        "fig12",
+        "ext-cs",
+        "ext-cfmgap",
+        "ext-grid",
+        "ext-adaptive",
+        "ext-ack",
+        "ext-async",
+        "ext-mumode",
+        "ext-survival",
+        "ext-cfmcost",
+        "ext-schemes",
+        "ext-converge",
+        "ext-failures",
+        "ext-tdma",
+        "ext-slots",
+        "ext-hetero",
+        "ext-fieldsize",
+        "report",
     ];
     for cmd in &selected {
         if !known.contains(cmd) {
@@ -167,8 +211,7 @@ fn main() {
             if !optima.is_empty() {
                 // The paper sets the Fig. 7 budget just below its Fig. 6
                 // optimum; mirror that on our calibration.
-                energy_budget =
-                    optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
+                energy_budget = optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
             }
         }
         if selected.contains("fig7") {

@@ -16,8 +16,7 @@
 use serde::{Deserialize, Serialize};
 
 /// Which concurrent transmissions destroy a reception (CAM only).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum CollisionRule {
     /// A reception at `v` succeeds iff exactly one node within distance `r`
     /// of `v` transmits during the reception (the paper's Assumption 6).
@@ -45,7 +44,6 @@ impl CollisionRule {
         }
     }
 }
-
 
 /// Per-packet time and energy costs (Assumption 1: identical for sending
 /// and receiving a unit-size packet).
@@ -81,10 +79,16 @@ impl CostParams {
             return Err("all costs must be positive".into());
         }
         if self.t_a > self.t_f {
-            return Err(format!("t_a ({}) must not exceed t_f ({})", self.t_a, self.t_f));
+            return Err(format!(
+                "t_a ({}) must not exceed t_f ({})",
+                self.t_a, self.t_f
+            ));
         }
         if self.e_a > self.e_f {
-            return Err(format!("e_a ({}) must not exceed e_f ({})", self.e_a, self.e_f));
+            return Err(format!(
+                "e_a ({}) must not exceed e_f ({})",
+                self.e_a, self.e_f
+            ));
         }
         Ok(())
     }
@@ -202,8 +206,6 @@ mod tests {
     fn collision_possibility() {
         assert!(!CommunicationModel::Cfm.collisions_possible());
         assert!(CommunicationModel::CAM.collisions_possible());
-        assert!(
-            CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R).collisions_possible()
-        );
+        assert!(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R).collisions_possible());
     }
 }

@@ -268,11 +268,8 @@ fn sample_grid(g: &GridDeployment, rng: &mut SmallRng) -> Vec<Point2> {
 fn sample_cluster(c: &ClusterDeployment, rng: &mut SmallRng) -> Vec<Point2> {
     let field = c.field_radius();
     let mut pts = vec![Point2::ORIGIN]; // the source
-    // Sparse uniform background.
-    let n_bg = sample_poisson(
-        c.background_density * PI * field * field,
-        rng,
-    );
+                                        // Sparse uniform background.
+    let n_bg = sample_poisson(c.background_density * PI * field * field, rng);
     for _ in 0..n_bg {
         let u: f64 = rng.random();
         let theta: f64 = rng.random_range(0.0..(2.0 * PI));

@@ -183,8 +183,8 @@ mod tests {
         // Two unit circles at distance d: area = 2 r² cos⁻¹(d/2r) − (d/2)·√(4r²−d²)
         let r = 1.0f64;
         for d in [0.1f64, 0.5, 1.0, 1.5, 1.9] {
-            let expect = 2.0 * r * r * (d / (2.0 * r)).acos()
-                - (d / 2.0) * (4.0 * r * r - d * d).sqrt();
+            let expect =
+                2.0 * r * r * (d / (2.0 * r)).acos() - (d / 2.0) * (4.0 * r * r - d * d).sqrt();
             assert!(
                 (lens_area(r, r, d) - expect).abs() < 1e-9,
                 "d={d}: {} vs {}",

@@ -33,9 +33,7 @@ pub fn write_positions<W: Write>(net: &DeployedNetwork, mut w: W) -> io::Result<
 /// Reads a network from the positions format.
 pub fn read_positions<R: BufRead>(r: R) -> io::Result<DeployedNetwork> {
     let mut lines = r.lines();
-    let header = lines
-        .next()
-        .ok_or_else(|| bad("empty input"))??;
+    let header = lines.next().ok_or_else(|| bad("empty input"))??;
     let rest = header
         .strip_prefix(MAGIC)
         .ok_or_else(|| bad("missing nss-positions header"))?;

@@ -50,8 +50,7 @@ pub mod topology;
 pub mod prelude {
     pub use crate::comm::{CollisionRule, CommunicationModel, CostParams, Primitive};
     pub use crate::deployment::{
-        ClusterDeployment, CountModel, DeployedNetwork, Deployment, DiskDeployment,
-        GridDeployment,
+        ClusterDeployment, CountModel, DeployedNetwork, Deployment, DiskDeployment, GridDeployment,
     };
     pub use crate::geometry::{annulus_area, disk_area, lens_area, lens_area_border, Point2};
     pub use crate::ids::NodeId;

@@ -101,8 +101,10 @@ impl GridIndex {
         }
         let reach = (radius / self.cell).ceil().max(1.0) as i64;
         let r2 = radius * radius;
-        let cx = (((center.x - self.min_x) / self.cell).floor() as i64).clamp(0, self.nx as i64 - 1);
-        let cy = (((center.y - self.min_y) / self.cell).floor() as i64).clamp(0, self.ny as i64 - 1);
+        let cx =
+            (((center.x - self.min_x) / self.cell).floor() as i64).clamp(0, self.nx as i64 - 1);
+        let cy =
+            (((center.y - self.min_y) / self.cell).floor() as i64).clamp(0, self.ny as i64 - 1);
         for dy in -reach..=reach {
             let y = cy + dy;
             if y < 0 || y >= self.ny as i64 {

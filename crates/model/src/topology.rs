@@ -111,7 +111,8 @@ impl Topology {
     /// point (used by the carrier-sense medium, which needs 2r-range queries
     /// performed as two hops — see `nss-sim`).
     pub fn for_each_within(&self, center: &Point2, radius: f64, f: impl FnMut(NodeId)) {
-        self.index.for_each_within(&self.positions, center, radius, f);
+        self.index
+            .for_each_within(&self.positions, center, radius, f);
     }
 
     /// BFS hop distance from `src` to every node; `u32::MAX` marks
@@ -203,7 +204,9 @@ mod tests {
     use crate::deployment::Deployment;
 
     fn line_topology(n: usize, spacing: f64, r: f64) -> Topology {
-        let positions = (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect();
+        let positions = (0..n)
+            .map(|i| Point2::new(i as f64 * spacing, 0.0))
+            .collect();
         Topology::build(&DeployedNetwork::from_positions(positions, r))
     }
 

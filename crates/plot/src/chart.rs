@@ -218,7 +218,13 @@ impl Chart {
 
         // Labels.
         doc.text(w / 2.0, 20.0, &self.title, 14.0, "middle");
-        doc.text((plot.0 + plot.1) / 2.0, h - 12.0, &self.x_label, 12.0, "middle");
+        doc.text(
+            (plot.0 + plot.1) / 2.0,
+            h - 12.0,
+            &self.x_label,
+            12.0,
+            "middle",
+        );
         doc.vtext(18.0, (plot.2 + plot.3) / 2.0, &self.y_label, 12.0);
 
         doc.finish()

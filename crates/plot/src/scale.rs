@@ -15,7 +15,10 @@ pub struct LinearScale {
 impl LinearScale {
     /// Creates a scale mapping `[d0, d1]` onto `[p0, p1]`.
     pub fn new(d0: f64, d1: f64, p0: f64, p1: f64) -> Self {
-        assert!(d0.is_finite() && d1.is_finite(), "data range must be finite");
+        assert!(
+            d0.is_finite() && d1.is_finite(),
+            "data range must be finite"
+        );
         LinearScale { d0, d1, p0, p1 }
     }
 

@@ -136,9 +136,7 @@ fn expected(
                 }
             }
             let next_informed = informed | newly;
-            total += prob_coin
-                * prob_slot
-                * expected(next_informed, newly, adj, n, s, p, memo);
+            total += prob_coin * prob_slot * expected(next_informed, newly, adj, n, s, p, memo);
         }
     }
     memo.insert((informed, pending), total);

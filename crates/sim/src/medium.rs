@@ -89,9 +89,7 @@ impl Medium {
                 scratch.reset();
                 for &t in transmitters {
                     for &v in topo.neighbors(NodeId(t)) {
-                        if scratch.rx_count[v as usize] == 0
-                            && scratch.cs_count[v as usize] == 0
-                        {
+                        if scratch.rx_count[v as usize] == 0 && scratch.cs_count[v as usize] == 0 {
                             scratch.touched.push(v);
                         }
                         scratch.rx_count[v as usize] += 1;
@@ -139,11 +137,7 @@ mod tests {
         Topology::build(&DeployedNetwork::from_positions(pts, 1.0))
     }
 
-    fn collect_deliveries(
-        medium: &Medium,
-        topo: &Topology,
-        tx: &[u32],
-    ) -> Vec<(u32, u32)> {
+    fn collect_deliveries(medium: &Medium, topo: &Topology, tx: &[u32]) -> Vec<(u32, u32)> {
         let mut scratch = MediumScratch::new(topo.len());
         let mut out = Vec::new();
         medium.resolve_slot(topo, tx, &mut scratch, |rx, t| out.push((rx.0, t.0)));
@@ -183,9 +177,9 @@ mod tests {
         // Assumption 6: *none* of the concurrent transmissions to a common
         // destination succeeds — not "one wins".
         let pts = vec![
-            Point2::new(0.0, 0.0),   // receiver
-            Point2::new(0.5, 0.0),   // tx A
-            Point2::new(-0.5, 0.0),  // tx B
+            Point2::new(0.0, 0.0),  // receiver
+            Point2::new(0.5, 0.0),  // tx A
+            Point2::new(-0.5, 0.0), // tx B
         ];
         let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
         let medium = Medium::new(CommunicationModel::CAM);
@@ -218,7 +212,10 @@ mod tests {
         assert!(d.contains(&(0, 1)), "TR should deliver 1→0: {d:?}");
         // Under CS: the interferer at 1.8 kills the delivery at 0.
         let d = collect_deliveries(&cs, &topo, &[1, 2]);
-        assert!(!d.iter().any(|&(rx, _)| rx == 0), "CS must block 1→0: {d:?}");
+        assert!(
+            !d.iter().any(|&(rx, _)| rx == 0),
+            "CS must block 1→0: {d:?}"
+        );
     }
 
     #[test]
@@ -247,7 +244,13 @@ mod tests {
         // distance 2 from node 2's receiver... receiver 3: distance to tx 0
         // is 3 → outside 2r. Clean.
         let d = collect_deliveries(&cs, &topo, &[0, 2]);
-        assert_eq!(d, vec![(1, 0), (3, 2)].into_iter().filter(|&(rx, _)| rx == 3).collect::<Vec<_>>());
+        assert_eq!(
+            d,
+            vec![(1, 0), (3, 2)]
+                .into_iter()
+                .filter(|&(rx, _)| rx == 3)
+                .collect::<Vec<_>>()
+        );
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
-use nss_model::rng::{derive_seed};
+use nss_model::rng::derive_seed;
 use nss_model::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -23,12 +23,7 @@ use rand::{Rng, SeedableRng};
 /// Per-node mean per-broadcast success rates measured by flooding probes.
 ///
 /// Returns one rate per node in `[0, 1]`.
-pub fn probe_per_node_success(
-    topo: &Topology,
-    s: u32,
-    rounds: u32,
-    master_seed: u64,
-) -> Vec<f64> {
+pub fn probe_per_node_success(topo: &Topology, s: u32, rounds: u32, master_seed: u64) -> Vec<f64> {
     assert!(s >= 1, "need at least one slot");
     assert!(rounds >= 1, "need at least one probe round");
     let n = topo.len();
@@ -103,9 +98,7 @@ mod tests {
 
     #[test]
     fn rates_are_probabilities() {
-        let topo = nss_model::topology::Topology::build(
-            &Deployment::disk(4, 1.0, 50.0).sample(3),
-        );
+        let topo = nss_model::topology::Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(3));
         let rates = probe_per_node_success(&topo, 3, 3, 7);
         assert_eq!(rates.len(), topo.len());
         assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
@@ -117,9 +110,7 @@ mod tests {
 
     #[test]
     fn deterministic() {
-        let topo = nss_model::topology::Topology::build(
-            &Deployment::disk(3, 1.0, 30.0).sample(1),
-        );
+        let topo = nss_model::topology::Topology::build(&Deployment::disk(3, 1.0, 30.0).sample(1));
         let a = probe_per_node_success(&topo, 3, 2, 5);
         let b = probe_per_node_success(&topo, 3, 2, 5);
         assert_eq!(a, b);

@@ -81,9 +81,7 @@ impl AckFloodOutcome {
 #[derive(Clone, Copy, PartialEq)]
 enum Frame {
     Data,
-    Ack {
-        to: u32,
-    },
+    Ack { to: u32 },
 }
 
 /// Runs reliable flooding over `topo` under the plain CAM medium.

@@ -288,10 +288,9 @@ mod tests {
         let mut slotted_sum = 0.0;
         let mut async_sum = 0.0;
         for seed in 0..15 {
-            slotted_sum += run_gossip(&topo, &GossipConfig::pb_cam(0.3), seed)
-                .final_reachability();
-            async_sum += run_async_gossip(&topo, &AsyncGossipConfig::paper(0.3), seed)
-                .final_reachability();
+            slotted_sum += run_gossip(&topo, &GossipConfig::pb_cam(0.3), seed).final_reachability();
+            async_sum +=
+                run_async_gossip(&topo, &AsyncGossipConfig::paper(0.3), seed).final_reachability();
         }
         assert!(
             async_sum <= slotted_sum * 1.15,

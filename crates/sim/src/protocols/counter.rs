@@ -161,8 +161,7 @@ mod tests {
         let mut counter_reach = 0.0;
         let runs = 5;
         for seed in 0..runs {
-            flood_tx +=
-                run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
+            flood_tx += run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
             let mut cfg = CounterConfig::paper(3);
             cfg.model = CommunicationModel::Cfm;
             let t = run_counter_broadcast(&topo, &cfg, seed);

@@ -87,9 +87,11 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
         let mut transmitters: Vec<u32> = Vec::new();
         for sl in &slots {
             transmitters.clear();
-            transmitters.extend(sl.iter().copied().filter(|&u| {
-                phase == 1 || closest[u as usize] > suppress_r
-            }));
+            transmitters.extend(
+                sl.iter()
+                    .copied()
+                    .filter(|&u| phase == 1 || closest[u as usize] > suppress_r),
+            );
             tx_count += transmitters.len() as u32;
             medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, tx| {
                 deliveries += 1;
@@ -159,8 +161,7 @@ mod tests {
         let topo = line(8);
         let completed = (0..30)
             .filter(|&s| {
-                run_distance_broadcast(&topo, &DistanceConfig::paper(0.5), s)
-                    .final_reachability()
+                run_distance_broadcast(&topo, &DistanceConfig::paper(0.5), s).final_reachability()
                     == 1.0
             })
             .count();
@@ -181,8 +182,7 @@ mod tests {
             let t = run_distance_broadcast(&topo, &cfg, seed);
             dist_tx += t.total_broadcasts();
             reach += t.final_reachability();
-            flood_tx +=
-                run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
+            flood_tx += run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
         }
         assert!(
             dist_tx * 2 < flood_tx,

@@ -84,7 +84,10 @@ impl Replication {
             });
         }
         ReplicatedTraces {
-            traces: traces.into_iter().map(|t| t.expect("all runs complete")).collect(),
+            traces: traces
+                .into_iter()
+                .map(|t| t.expect("all runs complete"))
+                .collect(),
         }
     }
 
@@ -174,7 +177,11 @@ impl ReplicatedTraces {
 
     /// Mean per-broadcast success rate over runs that recorded one.
     pub fn mean_success_rate(&self) -> (Summary, f64) {
-        let vals: Vec<Option<f64>> = self.traces.iter().map(SimTrace::mean_success_rate).collect();
+        let vals: Vec<Option<f64>> = self
+            .traces
+            .iter()
+            .map(SimTrace::mean_success_rate)
+            .collect();
         Summary::of_feasible(&vals)
     }
 }
@@ -244,11 +251,7 @@ mod tests {
 
     #[test]
     fn paper_protocol_is_30_runs() {
-        let rep = Replication::paper(
-            Deployment::disk(4, 1.0, 20.0),
-            GossipConfig::pb_cam(0.2),
-            7,
-        );
+        let rep = Replication::paper(Deployment::disk(4, 1.0, 20.0), GossipConfig::pb_cam(0.2), 7);
         assert_eq!(rep.replications, 30);
     }
 

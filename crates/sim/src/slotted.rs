@@ -122,7 +122,8 @@ fn run_gossip_with(
     prob_of: impl Fn(usize) -> f64,
     seed: u64,
 ) -> SimTrace {
-    cfg.validate().unwrap_or_else(|e| panic!("invalid GossipConfig: {e}"));
+    cfg.validate()
+        .unwrap_or_else(|e| panic!("invalid GossipConfig: {e}"));
     let n = topo.len();
     let mut trace = SimTrace::new(n);
     if n == 0 {

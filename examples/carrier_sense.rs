@@ -23,7 +23,6 @@ fn main() {
     // Carrier sensing collapses the viable probability range, so sweep a
     // geometric-ish grid that resolves the small-p survival region.
     for p in [0.01, 0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 1.0] {
-
         let mut tr_cfg = RingModelConfig::paper(rho, p);
         tr_cfg.quad_points = 48;
         let mut cs_cfg = tr_cfg;

@@ -46,7 +46,10 @@ fn main() {
                     report.replications,
                     report.feasible_fraction * 100.0
                 );
-                println!("  relative gap:       {:+.1}%\n", report.relative_gap() * 100.0);
+                println!(
+                    "  relative gap:       {:+.1}%\n",
+                    report.relative_gap() * 100.0
+                );
             }
             None => println!("{name}: infeasible at every probability\n"),
         }

@@ -40,8 +40,7 @@ fn main() {
             let seed = 77 ^ rep;
 
             let p_fixed = (13.0 / topo.mean_degree().max(1.0)).clamp(0.02, 1.0);
-            sums.0 += run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed)
-                .final_reachability();
+            sums.0 += run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed).final_reachability();
 
             let rates = probe_per_node_success(&topo, 3, 2, 55 + rep);
             let global_sr = rates.iter().sum::<f64>() / rates.len() as f64;

@@ -85,7 +85,10 @@ fn both_agree_flooding_is_suboptimal_at_high_density() {
 
     let s_flood = simulated_reach(rho, 1.0, phases, 10);
     let s_tuned = simulated_reach(rho, 0.15, phases, 10);
-    assert!(s_tuned > s_flood + 0.05, "simulation: {s_tuned} vs {s_flood}");
+    assert!(
+        s_tuned > s_flood + 0.05,
+        "simulation: {s_tuned} vs {s_flood}"
+    );
 }
 
 #[test]
@@ -104,7 +107,10 @@ fn optimal_probability_decreases_with_density_in_both() {
     let anal: Vec<f64> = [20.0, 140.0]
         .iter()
         .map(|&rho| {
-            let vals: Vec<f64> = grid.iter().map(|&p| analytical_reach(rho, p, 5.0)).collect();
+            let vals: Vec<f64> = grid
+                .iter()
+                .map(|&p| analytical_reach(rho, p, 5.0))
+                .collect();
             argmax(&vals)
         })
         .collect();
@@ -172,7 +178,10 @@ fn phase_series_semantics_identical_across_sources() {
     let levels = topo.bfs_levels(NodeId::SOURCE);
     let ecc = topo.source_eccentricity(NodeId::SOURCE) as usize;
     for phase in 1..=ecc {
-        let expect = levels.iter().filter(|&&l| l != u32::MAX && (l as usize) <= phase).count();
+        let expect = levels
+            .iter()
+            .filter(|&&l| l != u32::MAX && (l as usize) <= phase)
+            .count();
         let got = series.informed_cum[phase - 1];
         assert!(
             (got - expect as f64).abs() < 1e-9,

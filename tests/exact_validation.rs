@@ -51,7 +51,10 @@ fn kite_interior_optimal_probability_exact() {
     }
     assert!((best.0 - 0.75).abs() < 0.011, "argmax {}", best.0);
     let flooding = exact_expected_informed(&topo, s, 1.0);
-    assert!(best.1 > flooding + 0.05, "interior optimum must beat flooding");
+    assert!(
+        best.1 > flooding + 0.05,
+        "interior optimum must beat flooding"
+    );
 }
 
 #[test]
@@ -136,7 +139,10 @@ fn exact_shows_slot_count_matters_only_under_contention() {
     let p = 0.7;
     let e1 = exact_expected_informed(&line, 1, p);
     let e4 = exact_expected_informed(&line, 4, p);
-    assert!((e1 - e4).abs() < 1e-12, "line: s must not matter ({e1} vs {e4})");
+    assert!(
+        (e1 - e4).abs() < 1e-12,
+        "line: s must not matter ({e1} vs {e4})"
+    );
     // On the kite, contention makes s matter.
     let k1 = exact_expected_informed(&kite(), 1, 1.0);
     let k4 = exact_expected_informed(&kite(), 4, 1.0);

@@ -1,0 +1,277 @@
+//! Vendored subset of `criterion` (see `vendor/README.md`).
+//!
+//! A wall-clock benchmark harness with criterion's builder API:
+//! `Criterion::default().warm_up_time(..).measurement_time(..).sample_size(..)`,
+//! `bench_function`, `benchmark_group` (+ per-group `sample_size`/`finish`),
+//! `Bencher::iter`, and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Reporting is deliberately simple: per benchmark it prints the median,
+//! minimum, and maximum ns/iter over `sample_size` samples. There is no
+//! statistical regression analysis, no HTML report, and no saved baselines —
+//! the suite's value here is relative numbers within one run.
+//!
+//! CLI: the first non-flag argument (as passed by `cargo bench -- <filter>`)
+//! is a substring filter on benchmark names; flags such as `--bench` are
+//! ignored.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness configuration and entry point.
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(500),
+            measurement: Duration::from_secs(2),
+            sample_size: 50,
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration before samples are recorded.
+    #[must_use]
+    pub fn warm_up_time(mut self, dur: Duration) -> Self {
+        self.warm_up = dur;
+        self
+    }
+
+    /// Sets the total measurement window split across samples.
+    #[must_use]
+    pub fn measurement_time(mut self, dur: Duration) -> Self {
+        self.measurement = dur;
+        self
+    }
+
+    /// Sets how many timing samples to record per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Reads the name filter from `cargo bench -- <filter>` style CLI args.
+    /// Called by `criterion_group!`; harmless to call repeatedly.
+    pub fn configure_from_args(&mut self) {
+        self.filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && !a.is_empty());
+    }
+
+    /// Runs a single benchmark under the harness configuration.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_one(self, &name, f);
+        self
+    }
+
+    /// Starts a named group of benchmarks sharing overridable settings.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement: None,
+        }
+    }
+}
+
+/// A group of related benchmarks; names are reported as `group/bench`.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    /// Overrides the measurement window for benchmarks in this group.
+    pub fn measurement_time(&mut self, dur: Duration) -> &mut Self {
+        self.measurement = Some(dur);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        let cfg = Criterion {
+            warm_up: self.criterion.warm_up,
+            measurement: self.measurement.unwrap_or(self.criterion.measurement),
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            filter: self.criterion.filter.clone(),
+        };
+        run_one(&cfg, &full, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; reporting is immediate).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to each benchmark closure; call [`Bencher::iter`] exactly once.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` calls of `f` back to back.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(cfg: &Criterion, name: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(filter) = &cfg.filter {
+        if !name.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm up and estimate a single-iteration cost.
+    let warm_start = Instant::now();
+    let mut probe_iters: u64 = 1;
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < cfg.warm_up {
+        let mut b = Bencher {
+            iters: probe_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter = (b.elapsed / u32::try_from(probe_iters).unwrap_or(u32::MAX))
+            .max(Duration::from_nanos(1));
+        probe_iters = probe_iters.saturating_mul(2).min(1 << 20);
+    }
+
+    // Split the measurement window into sample_size samples.
+    let per_sample = cfg.measurement / u32::try_from(cfg.sample_size).unwrap_or(u32::MAX);
+    let iters_per_sample =
+        (per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, u128::from(u64::MAX)) as u64;
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(cfg.sample_size);
+    for _ in 0..cfg.sample_size {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters_per_sample as f64);
+    }
+    samples_ns.sort_by(|a, b| a.total_cmp(b));
+
+    let median = samples_ns[samples_ns.len() / 2];
+    let min = samples_ns[0];
+    let max = samples_ns[samples_ns.len() - 1];
+    println!(
+        "{name:<48} time: [{} {} {}]",
+        fmt_ns(min),
+        fmt_ns(median),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group: either `criterion_group!(name, fn1, fn2)` or
+/// the long form with `name = …; config = …; targets = …`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            criterion.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut calls = 0u32;
+        c.bench_function("smoke", |b| {
+            calls += 1;
+            b.iter(|| std::hint::black_box(2u64 + 2));
+        });
+        assert!(calls >= 3, "bencher closure should run per sample");
+    }
+
+    #[test]
+    fn group_overrides_apply() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(10))
+            .sample_size(3);
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        let mut calls = 0u32;
+        group.bench_function("inner", |b| {
+            calls += 1;
+            b.iter(|| std::hint::black_box(1u64));
+        });
+        group.finish();
+        assert!(calls >= 2);
+    }
+}

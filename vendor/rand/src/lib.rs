@@ -1,0 +1,279 @@
+//! Vendored subset of `rand` 0.9 (see `vendor/README.md`).
+//!
+//! Implements the exact surface this workspace uses:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++ seeded through SplitMix64 (the same
+//!   generator family upstream `SmallRng` uses on 64-bit targets). Streams
+//!   are **not** bit-compatible with upstream; all experiment seeds in this
+//!   repository are defined in terms of this implementation.
+//! * [`SeedableRng::seed_from_u64`] and [`Rng::{random, random_range,
+//!   random_bool}`](Rng) over `f64`/`f32` and primitive integer ranges.
+//!
+//! `f64` generation follows the upstream convention of 53 mantissa bits:
+//! `(next_u64 >> 11) * 2^-53`, uniform on `[0, 1)`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+/// Low-level uniform bit generation.
+pub trait RngCore {
+    /// The next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// The next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (whitened internally, so
+    /// low-entropy seeds like 0, 1, 2… still yield well-mixed states).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into generator state.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Types samplable uniformly over their "standard" domain (`[0,1)` for
+/// floats, the full range for integers).
+pub trait StandardSample: Sized {
+    /// Draws one value from `rng`.
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Types samplable uniformly from a half-open `Range`.
+pub trait UniformSample: Sized {
+    /// Draws one value from `range` using `rng`. Panics on empty ranges.
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty),*) => {$(
+        impl UniformSample for $t {
+            #[inline]
+            fn uniform<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+                assert!(range.start < range.end, "empty random_range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                // Widening-multiply bound scaling (Lemire); bias is < 2^-64
+                // for the span sizes used here.
+                let hi = ((u128::from(rng.next_u64()) * span) >> 64) as i128;
+                (range.start as i128 + hi) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl UniformSample for f64 {
+    #[inline]
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty random_range");
+        let u: f64 = StandardSample::standard(rng);
+        let v = range.start + (range.end - range.start) * u;
+        // Guard against rounding up to the excluded endpoint.
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+impl UniformSample for f32 {
+    #[inline]
+    fn uniform<R: RngCore + ?Sized>(rng: &mut R, range: Range<Self>) -> Self {
+        assert!(range.start < range.end, "empty random_range");
+        let u: f32 = StandardSample::standard(rng);
+        let v = range.start + (range.end - range.start) * u;
+        if v < range.end {
+            v
+        } else {
+            range.start
+        }
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a value of `T` from its standard distribution.
+    #[inline]
+    fn random<T: StandardSample>(&mut self) -> T {
+        T::standard(self)
+    }
+
+    /// Draws uniformly from the half-open range `range`.
+    #[inline]
+    fn random_range<T: UniformSample>(&mut self, range: Range<T>) -> T {
+        T::uniform(self, range)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        let u: f64 = self.random();
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Small fast generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// xoshiro256++ — the generator family upstream `SmallRng` uses on
+    /// 64-bit platforms. Not cryptographically secure.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = splitmix64(&mut sm);
+            }
+            // SplitMix64 never yields four zeros from any seed, but keep the
+            // generator well-defined under direct state injection too.
+            if s == [0; 4] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Convenience re-exports mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::rngs::SmallRng;
+    pub use crate::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn f64_in_unit_interval_with_sane_mean() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let n = 100_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / f64::from(n);
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+
+    #[test]
+    fn int_ranges_cover_uniformly() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.random_range(0..3usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "skewed: {counts:?}");
+        }
+        for _ in 0..1000 {
+            let v = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_range_respects_bounds() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let v = rng.random_range(-3.0f64..3.0);
+            assert!((-3.0..3.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = SmallRng::seed_from_u64(13);
+        let hits = (0..50_000).filter(|_| rng.random_bool(0.25)).count();
+        let frac = hits as f64 / 50_000.0;
+        assert!((frac - 0.25).abs() < 0.01, "frac {frac}");
+    }
+}

@@ -1,0 +1,54 @@
+//! Vendored trivial `#[derive(Serialize)]` / `#[derive(Deserialize)]`.
+//!
+//! The vendored `serde` traits are empty markers (this workspace never
+//! drives a real serializer), so the derives only need to name the type and
+//! emit empty impls. Implemented with a plain token scan — no `syn`/`quote`
+//! — which supports non-generic structs, enums, and unions; deriving on a
+//! generic type panics with a clear message rather than mis-expanding.
+
+use proc_macro::TokenStream;
+
+/// Returns the identifier following the `struct` / `enum` / `union` keyword,
+/// rejecting generic items (none exist in this workspace).
+fn item_name(input: TokenStream) -> String {
+    let mut tokens = input.into_iter();
+    while let Some(tok) = tokens.next() {
+        if let proc_macro::TokenTree::Ident(ident) = &tok {
+            let kw = ident.to_string();
+            if kw == "struct" || kw == "enum" || kw == "union" {
+                let name = match tokens.next() {
+                    Some(proc_macro::TokenTree::Ident(name)) => name.to_string(),
+                    other => panic!("serde_derive (vendored): expected item name, got {other:?}"),
+                };
+                if let Some(proc_macro::TokenTree::Punct(p)) = tokens.next() {
+                    if p.as_char() == '<' {
+                        panic!(
+                            "serde_derive (vendored): generic type `{name}` is not supported; \
+                             extend vendor/serde_derive if needed"
+                        );
+                    }
+                }
+                return name;
+            }
+        }
+    }
+    panic!("serde_derive (vendored): no struct/enum/union found in derive input");
+}
+
+/// Emits `impl serde::Serialize for <Type> {}`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl ::serde::Serialize for {name} {{}}")
+        .parse()
+        .expect("vendored Serialize derive produced invalid tokens")
+}
+
+/// Emits `impl<'de> serde::Deserialize<'de> for <Type> {}`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = item_name(input);
+    format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("vendored Deserialize derive produced invalid tokens")
+}
