@@ -55,6 +55,15 @@ impl MuTable {
         }
     }
 
+    /// Approximate heap footprint of the DP rows in bytes.
+    pub fn bytes(&self) -> usize {
+        self.tables
+            .read()
+            .iter()
+            .map(|row| row.capacity() * std::mem::size_of::<f64>())
+            .sum()
+    }
+
     /// The number of slots this table was built for.
     pub fn slots(&self) -> u32 {
         self.s

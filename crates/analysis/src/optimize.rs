@@ -159,8 +159,10 @@ pub fn refine_golden(
     iters: u32,
 ) -> Optimum {
     assert!((0.0..=1.0).contains(&lo) && lo < hi && hi <= 1.0);
+    nss_obs::counter!("analysis.golden.refinements").inc();
     let kernel = KernelCache::global().get(&base);
     let eval = |p: f64| -> f64 {
+        nss_obs::counter!("analysis.golden.evals").inc();
         let mut cfg = base;
         cfg.prob = p;
         let s = RingModel::with_kernel(cfg, Arc::clone(&kernel))

@@ -424,6 +424,18 @@ impl RingModel {
             }
         }
 
+        // Flush the per-run memo statistics into the global registry once —
+        // the inner loop only touches plain (non-atomic) fields.
+        if nss_obs::enabled() {
+            nss_obs::counter!("analysis.ring_runs").inc();
+            let (h, m) = mu_memo.stats();
+            nss_obs::counter!("analysis.mu_memo.hit").add(h);
+            nss_obs::counter!("analysis.mu_memo.miss").add(m);
+            let (h, m) = mu_cs_memo.stats();
+            nss_obs::counter!("analysis.mu_cs_memo.hit").add(h);
+            nss_obs::counter!("analysis.mu_cs_memo.miss").add(m);
+        }
+
         RingProfile {
             config: *self.config(),
             new_by_phase,

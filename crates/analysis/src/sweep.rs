@@ -75,9 +75,19 @@ impl DensitySweep {
                         let mut cfg = base;
                         cfg.rho = rhos[ri];
                         cfg.prob = probs[pi];
+                        // Gate the clock reads themselves on the obs
+                        // feature so uninstrumented builds pay nothing.
+                        let cell_start = nss_obs::enabled().then(std::time::Instant::now);
                         let series = RingModel::with_kernel(cfg, Arc::clone(&kernel))
                             .run()
                             .phase_series();
+                        if let Some(start) = cell_start {
+                            nss_obs::observe!(
+                                "analysis.sweep.cell_seconds",
+                                start.elapsed().as_secs_f64()
+                            );
+                            nss_obs::counter!("analysis.sweep.cells").inc();
+                        }
                         tx.send((i, series)).expect("collector alive");
                     });
                 }

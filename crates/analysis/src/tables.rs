@@ -32,6 +32,7 @@ use crate::ring_model::RingModelConfig;
 use nss_model::comm::CollisionRule;
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Precomputed lens-area tables at the Simpson abscissae.
@@ -190,6 +191,11 @@ impl GeometryTables {
         &self.b[base..base + self.n + 1]
     }
 
+    /// Approximate heap footprint of the tables in bytes.
+    pub fn bytes(&self) -> usize {
+        (self.xs.capacity() + self.a.capacity() + self.b.capacity()) * std::mem::size_of::<f64>()
+    }
+
     /// Integrates `f(i, x_i)` over `[0, r]`, replicating
     /// [`crate::quadrature::simpson`]'s accumulation order exactly: the two
     /// endpoint terms first, then interior points in index order with 4/2
@@ -221,6 +227,10 @@ pub struct MuMemo {
     ev: MuEvaluator,
     /// `vals[k] = μ(k, s)`; `NaN` marks a not-yet-computed entry.
     vals: Vec<f64>,
+    /// Lattice lookups served from the memo (maintained in `obs` builds).
+    hits: u64,
+    /// Lattice lookups that ran the `O(s)` closed form.
+    misses: u64,
 }
 
 impl MuMemo {
@@ -229,7 +239,16 @@ impl MuMemo {
         MuMemo {
             ev,
             vals: Vec::new(),
+            hits: 0,
+            misses: 0,
         }
+    }
+
+    /// `(hits, misses)` of the lattice memo. Zero in non-`obs` builds —
+    /// maintaining the counts costs two branches per quadrature point, so
+    /// they are compiled out with the rest of the instrumentation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     #[inline]
@@ -240,10 +259,16 @@ impl MuMemo {
         }
         let v = self.vals[idx];
         if v.is_nan() {
+            if nss_obs::enabled() {
+                self.misses += 1;
+            }
             let fresh = crate::mu::mu_closed_form(k, self.ev.slots());
             self.vals[idx] = fresh;
             fresh
         } else {
+            if nss_obs::enabled() {
+                self.hits += 1;
+            }
             v
         }
     }
@@ -272,6 +297,8 @@ impl MuMemo {
 pub struct MuCsMemo {
     ev: MuCsEvaluator,
     vals: HashMap<(u64, u64), f64>,
+    hits: u64,
+    misses: u64,
 }
 
 impl MuCsMemo {
@@ -280,16 +307,33 @@ impl MuCsMemo {
         MuCsMemo {
             ev,
             vals: HashMap::new(),
+            hits: 0,
+            misses: 0,
         }
+    }
+
+    /// `(hits, misses)` of the lattice memo; zero in non-`obs` builds
+    /// (see [`MuMemo::stats`]).
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
     }
 
     #[inline]
     fn lattice(&mut self, k1: u64, k2: u64) -> f64 {
         let s = self.ev.slots();
-        *self
-            .vals
-            .entry((k1, k2))
-            .or_insert_with(|| mu_cs_closed_form(k1, k2, s))
+        let mut fresh = false;
+        let v = *self.vals.entry((k1, k2)).or_insert_with(|| {
+            fresh = true;
+            mu_cs_closed_form(k1, k2, s)
+        });
+        if nss_obs::enabled() {
+            if fresh {
+                self.misses += 1;
+            } else {
+                self.hits += 1;
+            }
+        }
+        v
     }
 
     /// `μ'(k1, k2, s)` for real arguments; bitwise equal to
@@ -365,6 +409,14 @@ impl SharedKernel {
         KernelKey::of(config) == self.key()
     }
 
+    /// Approximate heap footprint of the kernel in bytes: geometry tables,
+    /// ring areas, and the μ DP table's current extent.
+    pub fn bytes(&self) -> usize {
+        self.tables.bytes()
+            + self.ring_areas.capacity() * std::mem::size_of::<f64>()
+            + self.mu_table.bytes()
+    }
+
     /// The fingerprint this kernel was built from.
     pub fn key(&self) -> KernelKey {
         KernelKey {
@@ -422,6 +474,8 @@ impl KernelKey {
 #[derive(Debug, Default)]
 pub struct KernelCache {
     map: RwLock<HashMap<KernelKey, Arc<SharedKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl KernelCache {
@@ -440,14 +494,21 @@ impl KernelCache {
     pub fn get(&self, config: &RingModelConfig) -> Arc<SharedKernel> {
         let key = KernelKey::of(config);
         if let Some(kernel) = self.map.read().get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            nss_obs::counter!("analysis.kernel_cache.hit").inc();
             return Arc::clone(kernel);
         }
         let mut map = self.map.write();
         // Double-checked: another thread may have built it while we waited.
         if let Some(kernel) = map.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            nss_obs::counter!("analysis.kernel_cache.hit").inc();
             return Arc::clone(kernel);
         }
         let kernel = Arc::new(SharedKernel::build(config));
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        nss_obs::counter!("analysis.kernel_cache.miss").inc();
+        nss_obs::counter!("analysis.kernel_cache.interned_bytes").add(kernel.bytes() as u64);
         map.insert(key, Arc::clone(&kernel));
         kernel
     }
@@ -462,7 +523,23 @@ impl KernelCache {
         self.map.read().is_empty()
     }
 
+    /// `(hits, misses)` over the cache's lifetime. Maintained in every
+    /// build — the two relaxed atomic adds sit next to a lock acquisition,
+    /// so they are free relative to the lookup itself.
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Approximate heap footprint of every currently interned kernel.
+    pub fn bytes(&self) -> usize {
+        self.map.read().values().map(|k| k.bytes()).sum()
+    }
+
     /// Drops every interned kernel (outstanding `Arc`s stay valid).
+    /// Hit/miss statistics are preserved.
     pub fn clear(&self) {
         self.map.write().clear();
     }
@@ -603,6 +680,38 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &d));
         assert!(d.tables.cs_factor().is_some());
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn cache_introspection_tracks_hits_misses_and_bytes() {
+        let cache = KernelCache::new();
+        assert_eq!(cache.stats(), (0, 0));
+        assert_eq!(cache.bytes(), 0);
+        let a = cache.get(&cfg());
+        assert_eq!(cache.stats(), (0, 1));
+        let _ = cache.get(&cfg());
+        let _ = cache.get(&cfg());
+        assert_eq!(cache.stats(), (2, 1));
+        assert!(cache.bytes() >= a.tables.bytes());
+        assert_eq!(cache.bytes(), a.bytes());
+        // Clearing drops the kernels but keeps the lifetime statistics.
+        cache.clear();
+        assert_eq!(cache.bytes(), 0);
+        assert_eq!(cache.stats(), (2, 1));
+    }
+
+    #[test]
+    fn memo_stats_reflect_obs_feature() {
+        let mut memo = MuMemo::new(MuEvaluator::new(3, MuMode::Interpolate));
+        let _ = memo.eval(1.5);
+        let _ = memo.eval(1.5);
+        let (hits, misses) = memo.stats();
+        if nss_obs::enabled() {
+            assert_eq!(misses, 2); // lattice points 1 and 2
+            assert_eq!(hits, 2); // revisited on the second eval
+        } else {
+            assert_eq!((hits, misses), (0, 0));
+        }
     }
 
     #[test]

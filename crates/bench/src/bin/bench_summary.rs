@@ -215,6 +215,23 @@ fn main() {
         std::hint::black_box(DensitySweep::run(base, &rhos, &probs, 0));
     });
 
+    // Cache occupancy after the full run (satellite introspection API).
+    let cache = KernelCache::global();
+    let (cache_hits, cache_misses) = cache.stats();
+    eprintln!(
+        "kernel cache: {} kernel(s), {} bytes interned, {cache_hits} hits / {cache_misses} misses",
+        cache.len(),
+        cache.bytes()
+    );
+
+    // Counter snapshot (all zeros unless built with --features obs).
+    let counters = nss_obs::registry::Registry::global().counters_snapshot();
+    let counters_json = counters
+        .iter()
+        .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
     let speedup = baseline_s / cached_s;
     let json = format!(
         "{{\n  \"sweep\": \"fig4 (7 rho x 100 p, quad_points = 64)\",\n  \
@@ -223,7 +240,17 @@ fn main() {
            \"baseline_closure_seq_s\": {baseline_s:.4},\n  \
            \"cached_tables_seq_s\": {cached_s:.4},\n  \
            \"cached_tables_parallel_s\": {parallel_s:.4},\n  \
-           \"speedup_seq\": {speedup:.2}\n}}\n"
+           \"speedup_seq\": {speedup:.2},\n  \
+           \"obs_enabled\": {obs},\n  \
+           \"kernel_cache\": {{\n    \
+             \"kernels\": {len},\n    \
+             \"bytes\": {bytes},\n    \
+             \"hits\": {cache_hits},\n    \
+             \"misses\": {cache_misses}\n  }},\n  \
+           \"counters\": {{\n{counters_json}\n  }}\n}}\n",
+        obs = nss_obs::enabled(),
+        len = cache.len(),
+        bytes = cache.bytes(),
     );
     std::fs::write(&out, &json).expect("write BENCH_sweep.json");
     print!("{json}");

@@ -9,6 +9,7 @@ use nss_sim::slotted::GossipConfig;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
 
 /// Harness-wide options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -23,6 +24,9 @@ pub struct Ctx {
     pub threads: usize,
     /// Master seed for all simulations.
     pub seed: u64,
+    /// Every artifact written this run (shared across clones so the final
+    /// manifest sees all of them).
+    artifacts: Arc<Mutex<Vec<PathBuf>>>,
 }
 
 impl Ctx {
@@ -34,7 +38,23 @@ impl Ctx {
             runs: 30,
             threads: 0,
             seed: 2005,
+            artifacts: Arc::new(Mutex::new(Vec::new())),
         }
+    }
+
+    /// Paths of every artifact written through this context so far.
+    pub fn artifacts(&self) -> Vec<PathBuf> {
+        self.artifacts
+            .lock()
+            .expect("artifact list poisoned")
+            .clone()
+    }
+
+    fn record_artifact(&self, path: &Path) {
+        self.artifacts
+            .lock()
+            .expect("artifact list poisoned")
+            .push(path.to_path_buf());
     }
 
     /// The density axis (always the paper's 20..140).
@@ -90,7 +110,8 @@ impl Ctx {
         for row in rows {
             writeln!(f, "{row}").unwrap();
         }
-        println!("  wrote {}", display_path(&path));
+        self.record_artifact(&path);
+        nss_obs::status!("  wrote {}", display_path(&path));
     }
 
     /// Renders a figure to SVG in the output directory.
@@ -98,7 +119,8 @@ impl Ctx {
         fs::create_dir_all(&self.out_dir).expect("create results dir");
         let path = self.out_dir.join(name);
         chart.save(&path).expect("write SVG");
-        println!("  wrote {}", display_path(&path));
+        self.record_artifact(&path);
+        nss_obs::status!("  wrote {}", display_path(&path));
     }
 }
 
@@ -156,7 +178,7 @@ pub fn sim_sweep(ctx: &Ctx, track_success_rate: bool) -> SimSweep {
             row.push(rep.run());
         }
         grid.push(row);
-        eprintln!("  simulated rho = {rho}");
+        nss_obs::status_err!("  simulated rho = {rho}");
     }
     SimSweep { rhos, probs, grid }
 }
@@ -208,7 +230,7 @@ pub fn fmt_opt(v: Option<f64>, width: usize, prec: usize) -> String {
     }
 }
 
-/// Prints a section header.
+/// Prints a section header (suppressed under `--quiet`).
 pub fn heading(title: &str) {
-    println!("\n=== {title} ===");
+    nss_obs::status!("\n=== {title} ===");
 }

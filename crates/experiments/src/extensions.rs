@@ -23,9 +23,13 @@ use nss_sim::stats::Summary;
 /// Ext A — Appendix-A carrier-sense variant of Fig. 4(b).
 pub fn ext_carrier_sense(ctx: &Ctx) {
     heading("Ext A: carrier-sense (2r) optimal probability vs transmission-range");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
-        "rho", "p*_tr", "reach_tr", "p*_cs", "reach_cs"
+        "rho",
+        "p*_tr",
+        "reach_tr",
+        "p*_cs",
+        "reach_cs"
     );
     let obj = Objective::MaxReachAtLatency {
         phases: LATENCY_BUDGET,
@@ -39,9 +43,12 @@ pub fn ext_carrier_sense(ctx: &Ctx) {
         let mut cs_cfg = base;
         cs_cfg.collision = CollisionRule::CARRIER_SENSE_2R;
         let cs = ProbabilitySweep::run(cs_cfg, &grid).optimum(obj).unwrap();
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
-            tr.prob, tr.value, cs.prob, cs.value
+            tr.prob,
+            tr.value,
+            cs.prob,
+            cs.value
         );
         csv.push(format!(
             "{rho},{},{},{},{}",
@@ -53,21 +60,26 @@ pub fn ext_carrier_sense(ctx: &Ctx) {
         "rho,p_opt_tr,reach_tr,p_opt_cs,reach_cs",
         &csv,
     );
-    println!("\nexpected shape: carrier sensing lowers reachability and pushes p* down");
+    nss_obs::status!("\nexpected shape: carrier sensing lowers reachability and pushes p* down");
 }
 
 /// Ext B — the CFM-vs-CAM flooding prediction gap (§1.2 motivation).
 pub fn ext_cfm_gap(ctx: &Ctx) {
     heading("Ext B: CFM prediction vs CAM measurement for simple flooding");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>10} {:>12} {:>12} {:>10} {:>10}",
-        "rho", "cfm_reach", "cam@cfm_lat", "cam_final", "cfm_lat", "cam_lat"
+        "rho",
+        "cfm_reach",
+        "cam@cfm_lat",
+        "cam_final",
+        "cfm_lat",
+        "cam_lat"
     );
     let runs = if ctx.fast { 5 } else { 15 };
     let mut csv = Vec::new();
     for rho in ctx.rhos() {
         let report = flooding_gap(&NetworkModel::paper(rho), runs, ctx.seed);
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>10.3} {:>12.3} {:>12.3} {:>10.1} {:>10.1}",
             report.cfm.reachability,
             report.cam.reachability_at_cfm_latency.mean,
@@ -89,7 +101,7 @@ pub fn ext_cfm_gap(ctx: &Ctx) {
         "rho,cfm_reach,cam_reach_at_cfm_latency,cam_final_reach,cfm_latency,cam_latency",
         &csv,
     );
-    println!("\nexpected shape: the CFM promise breaks progressively with density");
+    nss_obs::status!("\nexpected shape: the CFM promise breaks progressively with density");
 }
 
 /// Ext C — grid-deployment CFM gossip percolation (ref. 32: threshold
@@ -99,7 +111,7 @@ pub fn ext_grid_percolation(ctx: &Ctx) {
     let side = if ctx.fast { 21 } else { 41 };
     let runs = if ctx.fast { 5 } else { 20 };
     let factory = SeedFactory::new(ctx.seed);
-    println!("{:>6} {:>12}", "p", "mean_reach");
+    nss_obs::status!("{:>6} {:>12}", "p", "mean_reach");
     let mut csv = Vec::new();
     let mut series = Vec::new();
     for i in 1..=20 {
@@ -117,7 +129,7 @@ pub fn ext_grid_percolation(ctx: &Ctx) {
             total += trace.final_reachability();
         }
         let mean = total / runs as f64;
-        println!("{p:>6.2} {mean:>12.3}");
+        nss_obs::status!("{p:>6.2} {mean:>12.3}");
         csv.push(format!("{p},{mean}"));
         series.push((p, mean));
     }
@@ -127,7 +139,7 @@ pub fn ext_grid_percolation(ctx: &Ctx) {
         .windows(2)
         .find(|w| w[0].1 < 0.5 && w[1].1 >= 0.5)
         .map(|w| w[1].0);
-    println!(
+    nss_obs::status!(
         "\nempirical 50%-reach threshold: {:?} (ref. 32 reports ~0.59 for grids)",
         threshold
     );
@@ -140,10 +152,16 @@ pub fn ext_adaptive(ctx: &Ctx) {
     let mut base = ctx.ring_base();
     base.prob = 1.0;
     let controller = AdaptiveController::calibrate(base, &[40.0, 80.0, 120.0], LATENCY_BUDGET);
-    println!("calibrated ratio p*/sr = {:.2}", controller.ratio);
-    println!(
+    nss_obs::status!("calibrated ratio p*/sr = {:.2}", controller.ratio);
+    nss_obs::status!(
         "{:>6} {:>10} {:>10} {:>10} {:>10} {:>10} {:>8}",
-        "rho", "meas_sr", "p_adapt", "reach_ad", "p_oracle", "reach_or", "eff"
+        "rho",
+        "meas_sr",
+        "p_adapt",
+        "reach_ad",
+        "p_oracle",
+        "reach_or",
+        "eff"
     );
     let runs = if ctx.fast { 3 } else { 10 };
     let mut csv = Vec::new();
@@ -155,7 +173,7 @@ pub fn ext_adaptive(ctx: &Ctx) {
             runs,
             ctx.seed,
         );
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>10.4} {:>10.2} {:>10.3} {:>10.2} {:>10.3} {:>8.2}",
             out.measured_success_rate,
             out.adaptive_prob,
@@ -179,16 +197,21 @@ pub fn ext_adaptive(ctx: &Ctx) {
         "rho,measured_sr,p_adaptive,reach_adaptive,p_oracle,reach_oracle,efficiency",
         &csv,
     );
-    println!("\nexpected shape: efficiency stays near 1 without knowing the density");
+    nss_obs::status!("\nexpected shape: efficiency stays near 1 without knowing the density");
 }
 
 /// Ext E — ACK-based reliable flooding (the §3.2.1 naive CFM
 /// implementation) vs plain CAM flooding.
 pub fn ext_ack_flood(ctx: &Ctx) {
     heading("Ext E: ACK-based reliable flooding cost vs plain flooding");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>12} {:>12} {:>10} {:>12} {:>10}",
-        "rho", "plain_tx", "reliable_tx", "overhead", "rel_reach", "gave_up"
+        "rho",
+        "plain_tx",
+        "reliable_tx",
+        "overhead",
+        "rel_reach",
+        "gave_up"
     );
     let runs = if ctx.fast { 2 } else { 5 };
     let factory = SeedFactory::new(ctx.seed);
@@ -220,9 +243,13 @@ pub fn ext_ack_flood(ctx: &Ctx) {
         let rel = Summary::of(&rel_tx);
         let reach = Summary::of(&rel_reach);
         let overhead = rel.mean / plain.mean.max(1.0);
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>12.0} {:>12.0} {:>9.1}x {:>12.3} {:>10}",
-            plain.mean, rel.mean, overhead, reach.mean, gave_up
+            plain.mean,
+            rel.mean,
+            overhead,
+            reach.mean,
+            gave_up
         );
         csv.push(format!(
             "{rho},{},{},{},{},{}",
@@ -234,16 +261,21 @@ pub fn ext_ack_flood(ctx: &Ctx) {
         "rho,plain_tx,reliable_tx,overhead,reliable_reach,gave_up",
         &csv,
     );
-    println!("\nexpected shape: reliable broadcast costs an order of magnitude more traffic");
+    nss_obs::status!(
+        "\nexpected shape: reliable broadcast costs an order of magnitude more traffic"
+    );
 }
 
 /// Ext F — synchronous (slotted) vs asynchronous (continuous-time) PB_CAM:
 /// quantifies the paper's "optimistic perfect synchronization" assumption.
 pub fn ext_async(ctx: &Ctx) {
     heading("Ext F: slotted (analysis assumption) vs asynchronous execution");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>6} {:>12} {:>12}",
-        "rho", "p", "sync_reach", "async_reach"
+        "rho",
+        "p",
+        "sync_reach",
+        "async_reach"
     );
     let runs = if ctx.fast { 3 } else { 10 };
     let factory = SeedFactory::new(ctx.seed);
@@ -267,11 +299,11 @@ pub fn ext_async(ctx: &Ctx) {
         }
         let sync_mean = sync_total / runs as f64;
         let async_mean = async_total / runs as f64;
-        println!("{rho:>6.0} {p:>6.2} {sync_mean:>12.3} {async_mean:>12.3}");
+        nss_obs::status!("{rho:>6.0} {p:>6.2} {sync_mean:>12.3} {async_mean:>12.3}");
         csv.push(format!("{rho},{p},{sync_mean},{async_mean}"));
     }
     ctx.write_csv("ext_async.csv", "rho,p,sync_reach,async_reach", &csv);
-    println!(
+    nss_obs::status!(
         "\nnote: async trades slot-alignment (collision prob 1/s) for interval overlap\n\
          (higher), but pipelines across phase boundaries — under a wall-clock latency\n\
          bound it can even lead; final reachability stays comparable"
@@ -284,9 +316,14 @@ pub fn ext_survival(ctx: &Ctx) {
     use nss_analysis::ring_model::RingModel;
     use nss_analysis::survival::survival_estimate;
     heading("Ext H: extinction-corrected analytical reachability at small p");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>6} {:>10} {:>12} {:>12} {:>12}",
-        "rho", "p", "survival", "mean_field", "adjusted", "simulated"
+        "rho",
+        "p",
+        "survival",
+        "mean_field",
+        "adjusted",
+        "simulated"
     );
     let runs = if ctx.fast { 5 } else { 20 };
     let factory = SeedFactory::new(ctx.seed);
@@ -315,9 +352,11 @@ pub fn ext_survival(ctx: &Ctx) {
             .final_reachability();
         }
         let sim = total / runs as f64;
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {p:>6.2} {:>10.3} {:>12.3} {:>12.3} {sim:>12.3}",
-            est.cascade_survival, est.mean_field_reachability, est.adjusted_reachability
+            est.cascade_survival,
+            est.mean_field_reachability,
+            est.adjusted_reachability
         );
         csv.push(format!(
             "{rho},{p},{},{},{},{sim}",
@@ -329,7 +368,7 @@ pub fn ext_survival(ctx: &Ctx) {
         "rho,p,survival,mean_field_reach,adjusted_reach,simulated_reach",
         &csv,
     );
-    println!(
+    nss_obs::status!(
         "\nexpected shape: the adjusted value is closer to the simulated mean than\n\
          the raw mean-field value at every small-p operating point (it remains\n\
          approximate: offspring means are collapsed to the earliest generation)"
@@ -344,9 +383,13 @@ pub fn ext_cfm_cost(ctx: &Ctx) {
     let mut base = ctx.ring_base();
     base.prob = 1.0;
     let refined = RefinedCfm::calibrate(base, &ctx.rhos());
-    println!(
+    nss_obs::status!(
         "{:>6} {:>12} {:>12} {:>12} {:>12}",
-        "rho", "naive_lat", "refined_lat", "cam_lat", "attempts"
+        "rho",
+        "naive_lat",
+        "refined_lat",
+        "cam_lat",
+        "attempts"
     );
     let runs = if ctx.fast { 3 } else { 10 };
     let mut csv = Vec::new();
@@ -355,7 +398,7 @@ pub fn ext_cfm_cost(ctx: &Ctx) {
         // Naive CFM: one phase per hop. Refined: expected attempts per hop.
         let naive = report.cfm.latency_phases;
         let refined_lat = naive * refined.expected_attempts(rho);
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {naive:>12.1} {refined_lat:>12.1} {:>12.1} {:>12.1}",
             report.cam.latency_phases.mean,
             refined.expected_attempts(rho)
@@ -371,7 +414,7 @@ pub fn ext_cfm_cost(ctx: &Ctx) {
         "rho,naive_latency,refined_latency,cam_latency,expected_attempts",
         &csv,
     );
-    println!(
+    nss_obs::status!(
         "\nexpected shape: naive CFM underestimates CAM latency with a gap that\n\
          grows with density; the density-aware refinement restores the trend\n\
          (it overestimates because flooding amortizes retries across neighbors)"
@@ -384,9 +427,12 @@ pub fn ext_schemes(ctx: &Ctx) {
     use nss_sim::protocols::counter::{run_counter_broadcast, CounterConfig};
     use nss_sim::protocols::distance::{run_distance_broadcast, DistanceConfig};
     heading("Ext J: PB_CAM vs counter-based vs distance-based (final reach / broadcasts)");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>16} {:>16} {:>16}",
-        "rho", "pbcam(p=13/rho)", "counter(C=3)", "distance(0.4r)"
+        "rho",
+        "pbcam(p=13/rho)",
+        "counter(C=3)",
+        "distance(0.4r)"
     );
     let runs = if ctx.fast { 3 } else { 10 };
     let factory = SeedFactory::new(ctx.seed);
@@ -411,7 +457,7 @@ pub fn ext_schemes(ctx: &Ctx) {
         }
         let fmt =
             |(r, b): (f64, u64)| format!("{:.2}/{:>6.0}", r / runs as f64, b as f64 / runs as f64);
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>16} {:>16} {:>16}",
             fmt(acc[0]),
             fmt(acc[1]),
@@ -432,7 +478,7 @@ pub fn ext_schemes(ctx: &Ctx) {
         "rho,pbcam_reach,pbcam_tx,counter_reach,counter_tx,distance_reach,distance_tx",
         &csv,
     );
-    println!(
+    nss_obs::status!(
         "\nnote: under Assumption-6 CAM, duplicate receptions mostly COLLIDE, so\n\
          duplicate-driven suppression (counter/distance) rarely triggers and both\n\
          schemes spend nearly flooding-level traffic — PB_CAM's coin flip is the\n\
@@ -445,9 +491,13 @@ pub fn ext_schemes(ctx: &Ctx) {
 pub fn ext_convergecast(ctx: &Ctx) {
     use nss_sim::protocols::convergecast::{run_convergecast, ConvergecastConfig};
     heading("Ext K: unicast convergecast (data gathering) under CAM");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>10} {:>10} {:>12} {:>10}",
-        "rho", "reports", "delivered", "transmissions", "phases"
+        "rho",
+        "reports",
+        "delivered",
+        "transmissions",
+        "phases"
     );
     let runs = if ctx.fast { 2 } else { 5 };
     let factory = SeedFactory::new(ctx.seed);
@@ -471,7 +521,7 @@ pub fn ext_convergecast(ctx: &Ctx) {
             tx += out.transmissions;
             phases += out.phases;
         }
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>10} {:>10} {:>12} {:>10}",
             reach / runs as usize,
             deliv / runs as usize,
@@ -491,23 +541,26 @@ pub fn ext_convergecast(ctx: &Ctx) {
         "rho,reports,delivered,transmissions,phases",
         &csv,
     );
-    println!("\nexpected shape: full delivery; transmissions grow superlinearly with\ndensity (funnel contention near the source forces retries)");
+    nss_obs::status!("\nexpected shape: full delivery; transmissions grow superlinearly with\ndensity (funnel contention near the source forces retries)");
 }
 
 /// Ext L — failure injection: PB_CAM reachability under per-phase node
 /// deaths (sensitivity to the paper's stable-snapshot Assumption 5).
 pub fn ext_failures(ctx: &Ctx) {
     heading("Ext L: PB_CAM under per-phase node failures");
-    println!(
+    nss_obs::status!(
         "{:>8} {:>12} {:>12} {:>12}",
-        "q_fail", "rho=40", "rho=80", "rho=140"
+        "q_fail",
+        "rho=40",
+        "rho=80",
+        "rho=140"
     );
     let runs = if ctx.fast { 3 } else { 10 };
     let factory = SeedFactory::new(ctx.seed);
     let mut csv = Vec::new();
     for q in [0.0, 0.02, 0.05, 0.1, 0.2] {
         let mut row = format!("{q}");
-        print!("{q:>8.2}");
+        nss_obs::status_inline!("{q:>8.2}");
         for rho in [40.0f64, 80.0, 140.0] {
             let p = (13.0 / rho).clamp(0.05, 1.0);
             let mut total = 0.0;
@@ -521,10 +574,10 @@ pub fn ext_failures(ctx: &Ctx) {
                     .final_reachability();
             }
             let mean = total / runs as f64;
-            print!(" {mean:>12.3}");
+            nss_obs::status_inline!(" {mean:>12.3}");
             row.push_str(&format!(",{mean}"));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     ctx.write_csv(
@@ -532,7 +585,7 @@ pub fn ext_failures(ctx: &Ctx) {
         "q_fail,reach_rho40,reach_rho80,reach_rho140",
         &csv,
     );
-    println!("\nexpected shape: graceful degradation; denser networks tolerate more\nfailure (redundant relays), validating Assumption 5 as a mild idealization");
+    nss_obs::status!("\nexpected shape: graceful degradation; denser networks tolerate more\nfailure (redundant relays), validating Assumption 5 as a mild idealization");
 }
 
 /// Ext M — TDMA (CFM via time diversity, §3.2.1) vs CSMA-style CAM
@@ -540,9 +593,14 @@ pub fn ext_failures(ctx: &Ctx) {
 pub fn ext_tdma(ctx: &Ctx) {
     use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
     heading("Ext M: TDMA-implemented CFM flooding vs CAM flooding");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
-        "rho", "frame", "tdma_slots", "tdma_reach", "cam_slots", "cam_reach"
+        "rho",
+        "frame",
+        "tdma_slots",
+        "tdma_reach",
+        "cam_slots",
+        "cam_reach"
     );
     let runs = if ctx.fast { 2 } else { 5 };
     let factory = SeedFactory::new(ctx.seed);
@@ -572,7 +630,7 @@ pub fn ext_tdma(ctx: &Ctx) {
             cam_reach += trace.final_reachability();
         }
         let r = runs as f64;
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>8.0} {:>12.0} {:>12.3} {:>12.0} {:>12.3}",
             frame as f64 / r,
             tdma_slots as f64 / r,
@@ -594,7 +652,7 @@ pub fn ext_tdma(ctx: &Ctx) {
         "rho,frame_len,tdma_slots,tdma_reach,cam_slots,cam_reach",
         &csv,
     );
-    println!(
+    nss_obs::status!(
         "\nexpected shape: TDMA reaches the full component with zero collisions but\n\
          its frame (≈ distance-2 degree ≈ 4ρ) makes dense-network latency explode —\n\
          the affordability warning of §3.2.1, quantified"
@@ -605,9 +663,12 @@ pub fn ext_tdma(ctx: &Ctx) {
 /// fixes s = 3 without comment).
 pub fn ext_slots(ctx: &Ctx) {
     heading("Ext N: jitter-slot count ablation (analysis, rho = 80)");
-    println!(
+    nss_obs::status!(
         "{:>4} {:>8} {:>12} {:>12}",
-        "s", "p*", "reach@5ph", "flooding@5ph"
+        "s",
+        "p*",
+        "reach@5ph",
+        "flooding@5ph"
     );
     let obj = Objective::MaxReachAtLatency {
         phases: LATENCY_BUDGET,
@@ -628,14 +689,15 @@ pub fn ext_slots(ctx: &Ctx) {
                 .phase_series()
                 .reachability_at_latency(LATENCY_BUDGET)
         };
-        println!(
+        nss_obs::status!(
             "{s:>4} {:>8.2} {:>12.3} {flooding:>12.3}",
-            opt.prob, opt.value
+            opt.prob,
+            opt.value
         );
         csv.push(format!("{s},{},{},{flooding}", opt.prob, opt.value));
     }
     ctx.write_csv("ext_slots.csv", "s,p_opt,reach_opt,flooding_reach", &csv);
-    println!(
+    nss_obs::status!(
         "\nexpected shape: more jitter slots absorb more contention, raising both\n\
          the optimal probability and the flooding baseline; the p*-vs-s trend\n\
          shows s=3 is a middling choice, not a special one"
@@ -655,13 +717,17 @@ pub fn ext_hetero(ctx: &Ctx) {
     let mut base = ctx.ring_base();
     base.prob = 1.0;
     let controller = AdaptiveController::calibrate(base, &[40.0, 80.0, 120.0], LATENCY_BUDGET);
-    println!("calibrated ratio = {:.2}", controller.ratio);
+    nss_obs::status!("calibrated ratio = {:.2}", controller.ratio);
 
     let runs = if ctx.fast { 3 } else { 10 };
     let factory = SeedFactory::new(ctx.seed);
-    println!(
+    nss_obs::status!(
         "{:>10} {:>12} {:>13} {:>13} {:>13}",
-        "contrast", "mean_deg", "fixed 5ph/fin", "glob 5ph/fin", "node 5ph/fin"
+        "contrast",
+        "mean_deg",
+        "fixed 5ph/fin",
+        "glob 5ph/fin",
+        "node 5ph/fin"
     );
     let mut csv = Vec::new();
     // Sweep hotspot contrast: children per cluster grows, background thins.
@@ -716,7 +782,7 @@ pub fn ext_hetero(ctx: &Ctx) {
         }
         let r = runs as f64;
         let label = format!("{children:.0}x/{bg:.0}");
-        println!(
+        nss_obs::status!(
             "{label:>10} {:>12.1} {:>6.3}/{:<6.3} {:>6.3}/{:<6.3} {:>6.3}/{:<6.3}",
             deg_sum / r,
             fixed.0 / r,
@@ -743,7 +809,7 @@ pub fn ext_hetero(ctx: &Ctx) {
         "children_per_cluster,background_density,mean_degree,fixed_reach5,fixed_final,global_reach5,global_final,pernode_reach5,pernode_final",
         &csv,
     );
-    println!(
+    nss_obs::status!(
         "\nmeasured shape: on FINAL coverage the per-node rule dominates (hotspot\n\
          nodes throttle down, sparse bridges keep relaying), while staying\n\
          competitive within the 5-phase budget — the practical payoff §6 claims\n\
@@ -755,9 +821,13 @@ pub fn ext_hetero(ctx: &Ctx) {
 /// probability and the plateau depend on the field radius?
 pub fn ext_fieldsize(ctx: &Ctx) {
     heading("Ext P: field-size ablation (analysis, rho = 80)");
-    println!(
+    nss_obs::status!(
         "{:>4} {:>8} {:>8} {:>12} {:>12}",
-        "P", "N", "p*", "reach@P+1ph", ""
+        "P",
+        "N",
+        "p*",
+        "reach@P+1ph",
+        ""
     );
     let grid = ctx.analysis_grid();
     let mut csv = Vec::new();
@@ -771,7 +841,7 @@ pub fn ext_fieldsize(ctx: &Ctx) {
         let opt = sweep
             .optimum(Objective::MaxReachAtLatency { phases: budget })
             .unwrap();
-        println!(
+        nss_obs::status!(
             "{p_rings:>4} {:>8.0} {:>8.2} {:>12.3}",
             cfg.n_total(),
             opt.prob,
@@ -785,7 +855,7 @@ pub fn ext_fieldsize(ctx: &Ctx) {
         ));
     }
     ctx.write_csv("ext_fieldsize.csv", "P,N,p_opt,reach_opt", &csv);
-    println!(
+    nss_obs::status!(
         "
 measured shape: the optimal probability is set by the LOCAL contention
          (rho), not the field size — p* is flat in P; achievable reachability
@@ -797,9 +867,13 @@ measured shape: the optimal probability is set by the LOCAL contention
 /// mixture at the optimum.
 pub fn ext_mu_mode(ctx: &Ctx) {
     heading("Ext G: mu-evaluation ablation (interpolated vs Poisson mixture)");
-    println!(
+    nss_obs::status!(
         "{:>6} {:>10} {:>10} {:>10} {:>10}",
-        "rho", "p*_interp", "reach_i", "p*_pois", "reach_p"
+        "rho",
+        "p*_interp",
+        "reach_i",
+        "p*_pois",
+        "reach_p"
     );
     let obj = Objective::MaxReachAtLatency {
         phases: LATENCY_BUDGET,
@@ -813,9 +887,12 @@ pub fn ext_mu_mode(ctx: &Ctx) {
         let mut pois = interp;
         pois.mu_mode = MuMode::Poisson;
         let b = ProbabilitySweep::run(pois, &grid).optimum(obj).unwrap();
-        println!(
+        nss_obs::status!(
             "{rho:>6.0} {:>10.2} {:>10.3} {:>10.2} {:>10.3}",
-            a.prob, a.value, b.prob, b.value
+            a.prob,
+            a.value,
+            b.prob,
+            b.value
         );
         csv.push(format!(
             "{rho},{},{},{},{}",
@@ -827,5 +904,5 @@ pub fn ext_mu_mode(ctx: &Ctx) {
         "rho,p_opt_interp,reach_interp,p_opt_poisson,reach_poisson",
         &csv,
     );
-    println!("\nexpected shape: both modes agree on the trend; levels differ slightly");
+    nss_obs::status!("\nexpected shape: both modes agree on the trend; levels differ slightly");
 }

@@ -22,24 +22,24 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep) -> Vec<(f64, f64, f64)> {
     let values = sweep.evaluate(obj);
 
     // Panel (a): one series per density.
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
-            print!(" {}", fmt_opt(v, 8, 3));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 8, 3));
             row.push_str(&format!(
                 ",{}",
                 v.map_or(String::new(), |x| format!("{x:.6}"))
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -55,12 +55,12 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep) -> Vec<(f64, f64, f64)> {
 
     // Panel (b): optimal probability and achieved reachability.
     heading("Fig 4(b): optimal probability and corresponding reachability");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (rho, opt) in sweep.optima(obj) {
         let opt = opt.expect("max objective is always feasible");
-        println!("{rho:>6.0} {:>8.2} {:>10.3}", opt.prob, opt.value);
+        nss_obs::status!("{rho:>6.0} {:>8.2} {:>10.3}", opt.prob, opt.value);
         csv.push(format!("{rho},{},{}", opt.prob, opt.value));
         out.push((rho, opt.prob, opt.value));
     }
@@ -83,7 +83,7 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep) -> Vec<(f64, f64, f64)> {
     // Headline check: p* decreasing, plateau flat.
     let first = out.first().expect("non-empty density axis");
     let last = out.last().expect("non-empty density axis");
-    println!(
+    nss_obs::status!(
         "\nshape: p* {:.2} -> {:.2} (decreasing: {}), plateau spread {:.3}",
         first.1,
         last.1,

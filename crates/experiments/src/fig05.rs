@@ -19,24 +19,24 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     let obj = Objective::MinLatencyForReach { target };
     let values = sweep.evaluate(obj);
 
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
-            print!(" {}", fmt_opt(v, 8, 2));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 8, 2));
             row.push_str(&format!(
                 ",{}",
                 v.map_or(String::new(), |x| format!("{x:.4}"))
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -51,18 +51,18 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     ctx.write_csv("fig05a_latency.csv", &header, &csv);
 
     heading("Fig 5(b): optimal probability and corresponding latency");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "latency*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "latency*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (rho, opt) in sweep.optima(obj) {
         match opt {
             Some(opt) => {
-                println!("{rho:>6.0} {:>8.2} {:>10.2}", opt.prob, opt.value);
+                nss_obs::status!("{rho:>6.0} {:>8.2} {:>10.2}", opt.prob, opt.value);
                 csv.push(format!("{rho},{},{}", opt.prob, opt.value));
                 out.push((rho, opt.prob, opt.value));
             }
             None => {
-                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                nss_obs::status!("{rho:>6.0} {:>8} {:>10}", "-", "-");
                 csv.push(format!("{rho},,"));
             }
         }

@@ -19,24 +19,24 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     let obj = Objective::MinBroadcastsForReach { target };
     let values = sweep.evaluate(obj);
 
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>9}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>9}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
-            print!(" {}", fmt_opt(v, 9, 1));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 9, 1));
             row.push_str(&format!(
                 ",{}",
                 v.map_or(String::new(), |x| format!("{x:.3}"))
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -51,18 +51,18 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     ctx.write_csv("fig06a_broadcasts.csv", &header, &csv);
 
     heading("Fig 6(b): energy-optimal probability and broadcast count");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (rho, opt) in sweep.optima(obj) {
         match opt {
             Some(opt) => {
-                println!("{rho:>6.0} {:>8.2} {:>10.1}", opt.prob, opt.value);
+                nss_obs::status!("{rho:>6.0} {:>8.2} {:>10.1}", opt.prob, opt.value);
                 csv.push(format!("{rho},{},{}", opt.prob, opt.value));
                 out.push((rho, opt.prob, opt.value));
             }
             None => {
-                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                nss_obs::status!("{rho:>6.0} {:>8} {:>10}", "-", "-");
                 csv.push(format!("{rho},,"));
             }
         }
@@ -87,7 +87,7 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, target: f64) -> Vec<(f64, f64, f64)>
     );
 
     if let (Some(first), Some(last)) = (out.first(), out.last()) {
-        println!(
+        nss_obs::status!(
             "\nshape: energy-optimal p stays small ({:.2} -> {:.2}); M* max {:.0}",
             first.1,
             last.1,

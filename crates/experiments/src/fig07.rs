@@ -19,24 +19,24 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, budget: f64) -> Vec<(f64, f64, f64)>
     let obj = Objective::MaxReachUnderBudget { budget };
     let values = sweep.evaluate(obj);
 
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let v = values[ri][pi];
-            print!(" {}", fmt_opt(v, 8, 3));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 8, 3));
             row.push_str(&format!(
                 ",{}",
                 v.map_or(String::new(), |x| format!("{x:.6}"))
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -51,12 +51,12 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, budget: f64) -> Vec<(f64, f64, f64)>
     ctx.write_csv("fig07a_reach_budget.csv", &header, &csv);
 
     heading("Fig 7(b): optimal probability and corresponding reachability");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (rho, opt) in sweep.optima(obj) {
         let opt = opt.expect("max objective is always feasible");
-        println!("{rho:>6.0} {:>8.2} {:>10.3}", opt.prob, opt.value);
+        nss_obs::status!("{rho:>6.0} {:>8.2} {:>10.3}", opt.prob, opt.value);
         csv.push(format!("{rho},{},{}", opt.prob, opt.value));
         out.push((rho, opt.prob, opt.value));
     }
@@ -81,7 +81,7 @@ pub fn run(ctx: &Ctx, sweep: &DensitySweep, budget: f64) -> Vec<(f64, f64, f64)>
         let flooding: Vec<f64> = (0..sweep.rhos.len())
             .map(|ri| values[ri][last_p_idx].unwrap_or(0.0))
             .collect();
-        println!(
+        nss_obs::status!(
             "\nflooding (p=1) under the same budget: {:?}",
             flooding
                 .iter()

@@ -11,23 +11,23 @@ use crate::fig04::LATENCY_BUDGET;
 /// reach*)`.
 pub fn run(ctx: &Ctx, sweep: &SimSweep) -> Vec<(f64, f64, f64)> {
     heading("Fig 8(a): simulated reachability within 5 phases (mean over runs)");
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     let mut means = vec![vec![0.0f64; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let s = sweep.grid[ri][pi].reachability_at_latency(LATENCY_BUDGET);
             means[ri][pi] = s.mean;
-            print!(" {:>8.3}", s.mean);
+            nss_obs::status_inline!(" {:>8.3}", s.mean);
             row.push_str(&format!(",{:.6},{:.6}", s.mean, s.std_dev));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -42,7 +42,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep) -> Vec<(f64, f64, f64)> {
     ctx.write_csv("fig08a_sim_reachability.csv", &header, &csv);
 
     heading("Fig 8(b): simulated optimal probability and reachability");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (ri, &rho) in sweep.rhos.iter().enumerate() {
@@ -52,7 +52,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep) -> Vec<(f64, f64, f64)> {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN means"))
             .expect("non-empty grid");
         let p = sweep.probs[pi];
-        println!("{rho:>6.0} {p:>8.2} {best:>10.3}");
+        nss_obs::status!("{rho:>6.0} {p:>8.2} {best:>10.3}");
         csv.push(format!("{rho},{p},{best}"));
         out.push((rho, p, best));
     }

@@ -13,29 +13,29 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
         "Fig 9(a): simulated latency (phases) to {:.0}% reachability",
         target * 100.0
     ));
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     // mean latency over feasible runs; None when < half the runs achieve it
     let mut means: Vec<Vec<Option<f64>>> = vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let (s, frac) = sweep.grid[ri][pi].latency_to_reach(target);
             let v = if frac >= 0.5 { Some(s.mean) } else { None };
             means[ri][pi] = v;
-            print!(" {}", fmt_opt(v, 8, 2));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 8, 2));
             row.push_str(&format!(
                 ",{},{:.3}",
                 v.map_or(String::new(), |x| format!("{x:.4}")),
                 frac
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -50,7 +50,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     ctx.write_csv("fig09a_sim_latency.csv", &header, &csv);
 
     heading("Fig 9(b): simulated optimal probability and latency");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "latency*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "latency*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (ri, &rho) in sweep.rhos.iter().enumerate() {
@@ -62,12 +62,12 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
         match best {
             Some((pi, lat)) => {
                 let p = sweep.probs[pi];
-                println!("{rho:>6.0} {p:>8.2} {lat:>10.2}");
+                nss_obs::status!("{rho:>6.0} {p:>8.2} {lat:>10.2}");
                 csv.push(format!("{rho},{p},{lat}"));
                 out.push((rho, p, lat));
             }
             None => {
-                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                nss_obs::status!("{rho:>6.0} {:>8} {:>10}", "-", "-");
                 csv.push(format!("{rho},,"));
             }
         }

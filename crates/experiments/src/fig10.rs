@@ -12,28 +12,28 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
         "Fig 10(a): simulated broadcast count to {:.0}% reachability",
         target * 100.0
     ));
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>9}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>9}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     let mut means: Vec<Vec<Option<f64>>> = vec![vec![None; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let (s, frac) = sweep.grid[ri][pi].broadcasts_to_reach(target);
             let v = if frac >= 0.5 { Some(s.mean) } else { None };
             means[ri][pi] = v;
-            print!(" {}", fmt_opt(v, 9, 1));
+            nss_obs::status_inline!(" {}", fmt_opt(v, 9, 1));
             row.push_str(&format!(
                 ",{},{:.3}",
                 v.map_or(String::new(), |x| format!("{x:.3}")),
                 frac
             ));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -48,7 +48,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
     ctx.write_csv("fig10a_sim_broadcasts.csv", &header, &csv);
 
     heading("Fig 10(b): simulated energy-optimal probability and broadcast count");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "M*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (ri, &rho) in sweep.rhos.iter().enumerate() {
@@ -60,12 +60,12 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, target: f64) -> Vec<(f64, f64, f64)> {
         match best {
             Some((pi, m)) => {
                 let p = sweep.probs[pi];
-                println!("{rho:>6.0} {p:>8.2} {m:>10.1}");
+                nss_obs::status!("{rho:>6.0} {p:>8.2} {m:>10.1}");
                 csv.push(format!("{rho},{p},{m}"));
                 out.push((rho, p, m));
             }
             None => {
-                println!("{rho:>6.0} {:>8} {:>10}", "-", "-");
+                nss_obs::status!("{rho:>6.0} {:>8} {:>10}", "-", "-");
                 csv.push(format!("{rho},,"));
             }
         }

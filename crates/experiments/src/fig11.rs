@@ -12,23 +12,23 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, budget: f64) -> Vec<(f64, f64, f64)> {
     heading(&format!(
         "Fig 11(a): simulated reachability using <= {budget:.0} broadcasts"
     ));
-    print!("{:>6}", "p");
+    nss_obs::status_inline!("{:>6}", "p");
     for &rho in &sweep.rhos {
-        print!(" {:>8}", format!("rho={rho:.0}"));
+        nss_obs::status_inline!(" {:>8}", format!("rho={rho:.0}"));
     }
-    println!();
+    nss_obs::status!();
     let mut csv = Vec::new();
     let mut means = vec![vec![0.0f64; sweep.probs.len()]; sweep.rhos.len()];
     for (pi, &p) in sweep.probs.iter().enumerate() {
-        print!("{p:>6.2}");
+        nss_obs::status_inline!("{p:>6.2}");
         let mut row = format!("{p}");
         for ri in 0..sweep.rhos.len() {
             let s = sweep.grid[ri][pi].reachability_under_budget(budget);
             means[ri][pi] = s.mean;
-            print!(" {:>8.3}", s.mean);
+            nss_obs::status_inline!(" {:>8.3}", s.mean);
             row.push_str(&format!(",{:.6},{:.6}", s.mean, s.std_dev));
         }
-        println!();
+        nss_obs::status!();
         csv.push(row);
     }
     let header = format!(
@@ -43,7 +43,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, budget: f64) -> Vec<(f64, f64, f64)> {
     ctx.write_csv("fig11a_sim_reach_budget.csv", &header, &csv);
 
     heading("Fig 11(b): simulated optimal probability and reachability");
-    println!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
+    nss_obs::status!("{:>6} {:>8} {:>10}", "rho", "p*", "reach*");
     let mut out = Vec::new();
     let mut csv = Vec::new();
     for (ri, &rho) in sweep.rhos.iter().enumerate() {
@@ -53,7 +53,7 @@ pub fn run(ctx: &Ctx, sweep: &SimSweep, budget: f64) -> Vec<(f64, f64, f64)> {
             .max_by(|a, b| a.1.partial_cmp(b.1).expect("no NaN"))
             .expect("non-empty grid");
         let p = sweep.probs[pi];
-        println!("{rho:>6.0} {p:>8.2} {best:>10.3}");
+        nss_obs::status!("{rho:>6.0} {p:>8.2} {best:>10.3}");
         csv.push(format!("{rho},{p},{best}"));
         out.push((rho, p, best));
     }

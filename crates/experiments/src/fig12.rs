@@ -23,9 +23,13 @@ pub fn run(ctx: &Ctx) {
         LATENCY_BUDGET,
     );
 
-    println!(
+    nss_obs::status!(
         "{:>6} {:>14} {:>8} {:>8} {:>14}",
-        "rho", "succ_rate", "p*", "ratio", "sim_succ_rate"
+        "rho",
+        "succ_rate",
+        "p*",
+        "ratio",
+        "sim_succ_rate"
     );
     let mut csv = Vec::new();
     let mut ratios = Vec::new();
@@ -36,9 +40,13 @@ pub fn run(ctx: &Ctx) {
             &Deployment::disk(5, 1.0, row.rho).sample(ctx.seed.wrapping_add(row.rho as u64)),
         );
         let sim_sr = measure_success_rate(&topo, 3, probes, ctx.seed);
-        println!(
+        nss_obs::status!(
             "{:>6.0} {:>14.4} {:>8.2} {:>8.2} {:>14.4}",
-            row.rho, row.success_rate, row.optimal_prob, row.ratio, sim_sr
+            row.rho,
+            row.success_rate,
+            row.optimal_prob,
+            row.ratio,
+            sim_sr
         );
         csv.push(format!(
             "{},{},{},{},{}",
@@ -74,7 +82,7 @@ pub fn run(ctx: &Ctx) {
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
     let min = ratios.iter().cloned().fold(f64::MAX, f64::min);
-    println!(
+    nss_obs::status!(
         "\nratio p*/success_rate: mean {mean:.2}, range [{min:.2}, {max:.2}] (paper: ~11, near-constant)"
     );
 }

@@ -32,6 +32,13 @@ use common::Ctx;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+/// Runs one figure/extension under a named span so instrumented builds
+/// record per-figure wall time (`<name>.seconds` histograms + span events).
+fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _span = nss_obs::span!(name);
+    f()
+}
+
 fn main() {
     let mut ctx = Ctx::new();
     let mut commands: BTreeSet<String> = BTreeSet::new();
@@ -39,6 +46,7 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => ctx.fast = true,
+            "--quiet" => nss_obs::console::set_verbosity(nss_obs::console::QUIET),
             "--out" => {
                 ctx.out_dir = args.next().expect("--out needs a directory").into();
             }
@@ -176,7 +184,7 @@ fn main() {
     }
 
     let started = Instant::now();
-    println!(
+    nss_obs::status!(
         "repro: {} (fast={}, runs={}, seed={})",
         selected.iter().copied().collect::<Vec<_>>().join(" "),
         ctx.fast,
@@ -189,8 +197,10 @@ fn main() {
         .iter()
         .any(|f| selected.contains(f));
     let analysis = if needs_analysis {
-        eprintln!("running analytical sweep...");
-        Some(common::analysis_sweep(&ctx))
+        nss_obs::status_err!("running analytical sweep...");
+        Some(timed("repro.analysis_sweep", || {
+            common::analysis_sweep(&ctx)
+        }))
     } else {
         None
     };
@@ -200,14 +210,14 @@ fn main() {
     let mut energy_budget = 35.0; // the paper's Fig. 7 budget
     if let Some(sweep) = &analysis {
         if selected.contains("fig4") {
-            let optima = fig04::run(&ctx, sweep);
+            let optima = timed("repro.fig4", || fig04::run(&ctx, sweep));
             plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
         }
         if selected.contains("fig5") {
-            fig05::run(&ctx, sweep, plateau);
+            timed("repro.fig5", || fig05::run(&ctx, sweep, plateau));
         }
         if selected.contains("fig6") {
-            let optima = fig06::run(&ctx, sweep, plateau);
+            let optima = timed("repro.fig6", || fig06::run(&ctx, sweep, plateau));
             if !optima.is_empty() {
                 // The paper sets the Fig. 7 budget just below its Fig. 6
                 // optimum; mirror that on our calibration.
@@ -215,7 +225,9 @@ fn main() {
             }
         }
         if selected.contains("fig7") {
-            fig07::run(&ctx, sweep, energy_budget.round());
+            timed("repro.fig7", || {
+                fig07::run(&ctx, sweep, energy_budget.round())
+            });
         }
     }
 
@@ -224,92 +236,129 @@ fn main() {
         .iter()
         .any(|f| selected.contains(f));
     if needs_sim {
-        eprintln!(
+        nss_obs::status_err!(
             "running simulated sweep ({} runs per point)...",
             ctx.sim_runs()
         );
-        let sweep = common::sim_sweep(&ctx, false);
+        let sweep = timed("repro.sim_sweep", || common::sim_sweep(&ctx, false));
         let mut sim_plateau = 0.63; // the paper's simulated plateau
         let mut sim_budget = 80.0; // the paper's Fig. 11 budget
         if selected.contains("fig8") {
-            let optima = fig08::run(&ctx, &sweep);
+            let optima = timed("repro.fig8", || fig08::run(&ctx, &sweep));
             sim_plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
         }
         if selected.contains("fig9") {
-            fig09::run(&ctx, &sweep, sim_plateau);
+            timed("repro.fig9", || fig09::run(&ctx, &sweep, sim_plateau));
         }
         if selected.contains("fig10") {
-            let optima = fig10::run(&ctx, &sweep, sim_plateau);
+            let optima = timed("repro.fig10", || fig10::run(&ctx, &sweep, sim_plateau));
             if !optima.is_empty() {
                 sim_budget = optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
             }
         }
         if selected.contains("fig11") {
-            fig11::run(&ctx, &sweep, sim_budget.round());
+            timed("repro.fig11", || {
+                fig11::run(&ctx, &sweep, sim_budget.round())
+            });
         }
     }
 
     if selected.contains("fig12") {
-        fig12::run(&ctx);
+        timed("repro.fig12", || fig12::run(&ctx));
     }
     if selected.contains("ext-cs") {
-        extensions::ext_carrier_sense(&ctx);
+        timed("repro.ext-cs", || extensions::ext_carrier_sense(&ctx));
     }
     if selected.contains("ext-cfmgap") {
-        extensions::ext_cfm_gap(&ctx);
+        timed("repro.ext-cfmgap", || extensions::ext_cfm_gap(&ctx));
     }
     if selected.contains("ext-grid") {
-        extensions::ext_grid_percolation(&ctx);
+        timed("repro.ext-grid", || extensions::ext_grid_percolation(&ctx));
     }
     if selected.contains("ext-adaptive") {
-        extensions::ext_adaptive(&ctx);
+        timed("repro.ext-adaptive", || extensions::ext_adaptive(&ctx));
     }
     if selected.contains("ext-ack") {
-        extensions::ext_ack_flood(&ctx);
+        timed("repro.ext-ack", || extensions::ext_ack_flood(&ctx));
     }
     if selected.contains("ext-async") {
-        extensions::ext_async(&ctx);
+        timed("repro.ext-async", || extensions::ext_async(&ctx));
     }
     if selected.contains("ext-mumode") {
-        extensions::ext_mu_mode(&ctx);
+        timed("repro.ext-mumode", || extensions::ext_mu_mode(&ctx));
     }
     if selected.contains("ext-survival") {
-        extensions::ext_survival(&ctx);
+        timed("repro.ext-survival", || extensions::ext_survival(&ctx));
     }
     if selected.contains("ext-cfmcost") {
-        extensions::ext_cfm_cost(&ctx);
+        timed("repro.ext-cfmcost", || extensions::ext_cfm_cost(&ctx));
     }
     if selected.contains("ext-schemes") {
-        extensions::ext_schemes(&ctx);
+        timed("repro.ext-schemes", || extensions::ext_schemes(&ctx));
     }
     if selected.contains("ext-converge") {
-        extensions::ext_convergecast(&ctx);
+        timed("repro.ext-converge", || extensions::ext_convergecast(&ctx));
     }
     if selected.contains("ext-failures") {
-        extensions::ext_failures(&ctx);
+        timed("repro.ext-failures", || extensions::ext_failures(&ctx));
     }
     if selected.contains("ext-tdma") {
-        extensions::ext_tdma(&ctx);
+        timed("repro.ext-tdma", || extensions::ext_tdma(&ctx));
     }
     if selected.contains("ext-slots") {
-        extensions::ext_slots(&ctx);
+        timed("repro.ext-slots", || extensions::ext_slots(&ctx));
     }
     if selected.contains("ext-hetero") {
-        extensions::ext_hetero(&ctx);
+        timed("repro.ext-hetero", || extensions::ext_hetero(&ctx));
     }
     if selected.contains("ext-fieldsize") {
-        extensions::ext_fieldsize(&ctx);
+        timed("repro.ext-fieldsize", || extensions::ext_fieldsize(&ctx));
     }
     if selected.contains("report") {
-        report::run(&ctx);
+        timed("repro.report", || report::run(&ctx));
     }
 
-    println!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+    write_run_records(&ctx, &selected, started.elapsed().as_secs_f64());
+    nss_obs::status!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+/// Emits the run's provenance next to its artifacts: `RUN_MANIFEST.json`
+/// (config fingerprint, seed, artifact hashes, counter snapshot) and
+/// `OBS_METRICS.json` (full registry dump; all zeros without `--features
+/// obs`). Both are written unconditionally — provenance is not optional.
+fn write_run_records(ctx: &Ctx, selected: &BTreeSet<&str>, wall_s: f64) {
+    std::fs::create_dir_all(&ctx.out_dir).expect("create results dir");
+
+    let mut manifest = nss_obs::manifest::RunManifest::new("repro", ctx.seed);
+    manifest.wall_s = wall_s;
+    manifest.config_entry("fast", ctx.fast);
+    manifest.config_entry("runs", ctx.sim_runs());
+    manifest.config_entry("threads", ctx.threads);
+    manifest.config_entry("out_dir", ctx.out_dir.display());
+    manifest.config_entry("obs_enabled", nss_obs::enabled());
+    for cmd in selected {
+        manifest.commands.push((*cmd).to_string());
+    }
+    for path in ctx.artifacts() {
+        manifest.add_artifact(&path);
+    }
+    manifest.capture_counters();
+    let manifest_path = ctx.out_dir.join("RUN_MANIFEST.json");
+    manifest.write(&manifest_path).expect("write manifest");
+    nss_obs::status!("  wrote {}", manifest_path.display());
+
+    let metrics_path = ctx.out_dir.join("OBS_METRICS.json");
+    std::fs::write(
+        &metrics_path,
+        nss_obs::export::json(nss_obs::registry::Registry::global()),
+    )
+    .expect("write metrics");
+    nss_obs::status!("  wrote {}", metrics_path.display());
 }
 
 fn print_usage() {
     println!(
-        "usage: repro [--fast] [--out DIR] [--runs N] [--threads N] [--seed S] COMMAND...\n\
+        "usage: repro [--fast] [--quiet] [--out DIR] [--runs N] [--threads N] [--seed S] COMMAND...\n\
          commands:\n  \
          fig4 fig5 fig6 fig7      analytical figures (ring model)\n  \
          fig8 fig9 fig10 fig11    simulated figures (30-run averages)\n  \

@@ -55,7 +55,9 @@ pub enum Stream {
 }
 
 impl Stream {
-    fn label(self) -> &'static str {
+    /// Stable string name of the stream (the seed-derivation input; also
+    /// used by instrumentation to report which streams a run consumed).
+    pub fn label(self) -> &'static str {
         match self {
             Stream::Deployment => "deployment",
             Stream::Protocol => "protocol",

@@ -1,0 +1,256 @@
+//! Snapshot exporters: console table, JSON, and Prometheus text format.
+//!
+//! All three render the same point-in-time snapshot of the global
+//! [`Registry`]: labels, counters, and histogram aggregates. JSON is
+//! hand-rolled (no serde dependency — this crate must stay dependency-free)
+//! but emits strict RFC 8259 output.
+
+use crate::registry::{bucket_bound, HistogramSnapshot, Registry, HISTOGRAM_BUCKETS};
+use std::fmt::Write;
+
+/// Escapes a string for a JSON string literal (without the quotes).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become `null`).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Renders the registry as a human-readable table.
+pub fn console_table(reg: &Registry) -> String {
+    let mut out = String::new();
+    let labels = reg.labels_snapshot();
+    let counters = reg.counters_snapshot();
+    let hists = reg.histograms_snapshot();
+    if !labels.is_empty() {
+        out.push_str("labels:\n");
+        for (k, v) in &labels {
+            let _ = writeln!(out, "  {k} = {v}");
+        }
+    }
+    if !counters.is_empty() {
+        let width = counters.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        out.push_str("counters:\n");
+        for (k, v) in &counters {
+            let _ = writeln!(out, "  {k:<width$}  {v:>12}");
+        }
+    }
+    if !hists.is_empty() {
+        out.push_str("histograms (count / mean / min / max):\n");
+        let width = hists.iter().map(|(k, _)| k.len()).max().unwrap_or(0);
+        for (k, h) in &hists {
+            let _ = writeln!(
+                out,
+                "  {k:<width$}  {:>8}  {:>12.6}  {:>12.6}  {:>12.6}",
+                h.count,
+                h.mean(),
+                h.min.unwrap_or(0.0),
+                h.max.unwrap_or(0.0),
+            );
+        }
+    }
+    if out.is_empty() {
+        out.push_str("(no metrics recorded)\n");
+    }
+    out
+}
+
+fn histogram_json(h: &HistogramSnapshot) -> String {
+    let mut buckets = String::from("[");
+    let mut first = true;
+    for (i, &c) in h.buckets.iter().enumerate() {
+        if c == 0 {
+            continue; // sparse: empty buckets carry no information
+        }
+        if !first {
+            buckets.push(',');
+        }
+        first = false;
+        let le = if i < HISTOGRAM_BUCKETS {
+            json_f64(bucket_bound(i))
+        } else {
+            "null".to_string() // the +inf overflow bucket
+        };
+        let _ = write!(buckets, "[{le},{c}]");
+    }
+    buckets.push(']');
+    format!(
+        "{{\"count\":{},\"sum\":{},\"mean\":{},\"min\":{},\"max\":{},\"buckets\":{buckets}}}",
+        h.count,
+        json_f64(h.sum),
+        json_f64(h.mean()),
+        h.min.map_or("null".into(), json_f64),
+        h.max.map_or("null".into(), json_f64),
+    )
+}
+
+/// Renders the registry as a JSON object:
+/// `{"labels": {...}, "counters": {...}, "histograms": {...}}`.
+pub fn json(reg: &Registry) -> String {
+    let mut out = String::from("{\n  \"labels\": {");
+    for (i, (k, v)) in reg.labels_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": \"{}\"", json_escape(k), json_escape(v));
+    }
+    out.push_str("\n  },\n  \"counters\": {");
+    for (i, (k, v)) in reg.counters_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {v}", json_escape(k));
+    }
+    out.push_str("\n  },\n  \"histograms\": {");
+    for (i, (k, h)) in reg.histograms_snapshot().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    \"{}\": {}", json_escape(k), histogram_json(h));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Sanitizes a metric name for Prometheus (`[a-zA-Z0-9_]`, `nss_` prefix).
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("nss_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders the registry in the Prometheus text exposition format (v0.0.4):
+/// counters as `counter`, histograms with cumulative `_bucket{le=...}`,
+/// `_sum`, and `_count` series, labels as an `info`-style gauge.
+pub fn prometheus(reg: &Registry) -> String {
+    let mut out = String::new();
+    for (k, v) in reg.counters_snapshot() {
+        let n = prom_name(&k);
+        let _ = writeln!(out, "# TYPE {n} counter\n{n} {v}");
+    }
+    for (k, h) in reg.histograms_snapshot() {
+        let n = prom_name(&k);
+        let _ = writeln!(out, "# TYPE {n} histogram");
+        let mut cum = 0u64;
+        for (i, &c) in h.buckets.iter().enumerate() {
+            cum += c;
+            if c == 0 && i < HISTOGRAM_BUCKETS {
+                continue; // keep the exposition sparse; +Inf always printed
+            }
+            let le = if i < HISTOGRAM_BUCKETS {
+                format!("{}", bucket_bound(i))
+            } else {
+                "+Inf".to_string()
+            };
+            let _ = writeln!(out, "{n}_bucket{{le=\"{le}\"}} {cum}");
+        }
+        let _ = writeln!(out, "{n}_sum {}\n{n}_count {}", h.sum, h.count);
+    }
+    let labels = reg.labels_snapshot();
+    if !labels.is_empty() {
+        let mut pairs = String::new();
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                pairs.push(',');
+            }
+            let _ = write!(
+                pairs,
+                "{}=\"{}\"",
+                prom_name(k).trim_start_matches("nss_"),
+                v.replace('\\', "\\\\").replace('"', "\\\"")
+            );
+        }
+        let _ = writeln!(out, "# TYPE nss_run_info gauge\nnss_run_info{{{pairs}}} 1");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::default();
+        reg.counter("a.hits").add(10);
+        reg.counter("a.misses").add(2);
+        reg.histogram("t.seconds").record(0.5);
+        reg.histogram("t.seconds").record(2.0);
+        reg.set_label("seed", "2005".into());
+        reg
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("\u{01}"), "\\u0001");
+    }
+
+    #[test]
+    fn console_table_mentions_everything() {
+        let t = console_table(&sample_registry());
+        for needle in ["a.hits", "a.misses", "t.seconds", "seed = 2005", "10"] {
+            assert!(t.contains(needle), "missing {needle:?} in:\n{t}");
+        }
+        assert_eq!(
+            console_table(&Registry::default()),
+            "(no metrics recorded)\n"
+        );
+    }
+
+    #[test]
+    fn json_is_well_formed() {
+        let j = json(&sample_registry());
+        // Structural spot-checks (no JSON parser in a dependency-free crate;
+        // CI additionally parses the emitted artifact with python).
+        assert!(j.contains("\"a.hits\": 10"));
+        assert!(j.contains("\"seed\": \"2005\""));
+        assert!(j.contains("\"count\":2"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let p = prometheus(&sample_registry());
+        assert!(p.contains("# TYPE nss_a_hits counter"));
+        assert!(p.contains("nss_a_hits 10"));
+        assert!(p.contains("# TYPE nss_t_seconds histogram"));
+        assert!(p.contains("nss_t_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(p.contains("nss_t_seconds_count 2"));
+        assert!(p.contains("nss_run_info{seed=\"2005\"} 1"));
+        // Cumulative buckets: +Inf equals the total count.
+        let inf_line = p
+            .lines()
+            .find(|l| l.contains("le=\"+Inf\""))
+            .expect("+Inf bucket");
+        assert!(inf_line.ends_with(" 2"));
+    }
+}

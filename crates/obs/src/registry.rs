@@ -1,0 +1,414 @@
+//! The global metric registry: named atomic counters and fixed-bucket
+//! histograms.
+//!
+//! Metrics are interned by name on first use and live for the process
+//! lifetime (`Box::leak` — the set of metric names is a small static
+//! vocabulary, so the leak is bounded). Handles are `&'static`, so the hot
+//! path after interning is a single relaxed atomic add with no locking;
+//! the [`crate::counter!`] macro additionally caches the handle in a
+//! per-call-site `OnceLock`, so the registry lock is taken once per call
+//! site, ever.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// A monotonically increasing atomic counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a free-standing counter (registry-less; mostly for tests).
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds `n` (relaxed; counters are statistical, not synchronizing).
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.value.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The shared no-op counter handle returned by [`crate::counter!`] in
+/// disabled builds. Same API as [`Counter`], zero behavior.
+pub static NOOP_COUNTER: NoopCounter = NoopCounter;
+
+/// Zero-sized stand-in for [`Counter`] when instrumentation is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopCounter;
+
+impl NoopCounter {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn add(&self, _n: u64) {}
+
+    /// Does nothing.
+    #[inline(always)]
+    pub fn inc(&self) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> u64 {
+        0
+    }
+}
+
+/// Number of finite histogram bucket bounds (one overflow bucket follows).
+pub const HISTOGRAM_BUCKETS: usize = 32;
+
+/// Upper bound of finite bucket `i`: `2^(i − 21)`.
+///
+/// Covers ~0.5 µs … ~1000 s with two buckets per decade-ish — sized for
+/// wall-clock observations (sweep cells, replications, figure spans) while
+/// remaining serviceable for any positive magnitude.
+#[inline]
+pub fn bucket_bound(i: usize) -> f64 {
+    f64::powi(2.0, i as i32 - 21)
+}
+
+/// A fixed-bucket histogram (power-of-two bounds, see [`bucket_bound`]),
+/// recording count, sum, min, and max alongside the bucket counts.
+#[derive(Debug)]
+pub struct Histogram {
+    /// `buckets[i]` counts observations `v ≤ bucket_bound(i)`; the final
+    /// slot is the +∞ overflow bucket. Non-cumulative; exporters integrate.
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS + 1],
+    count: AtomicU64,
+    /// Sum of observations, stored as `f64::to_bits` and updated by CAS.
+    sum_bits: AtomicU64,
+    min_bits: AtomicU64,
+    max_bits: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            min_bits: AtomicU64::new(f64::INFINITY.to_bits()),
+            max_bits: AtomicU64::new(f64::NEG_INFINITY.to_bits()),
+        }
+    }
+
+    /// Records one observation. Non-finite values are counted in the
+    /// overflow bucket but excluded from sum/min/max, so a stray NaN can
+    /// never poison the aggregates.
+    pub fn record(&self, v: f64) {
+        let idx = if v.is_finite() {
+            self.buckets
+                .iter()
+                .take(HISTOGRAM_BUCKETS)
+                .enumerate()
+                .find_map(|(i, _)| (v <= bucket_bound(i)).then_some(i))
+                .unwrap_or(HISTOGRAM_BUCKETS)
+        } else {
+            HISTOGRAM_BUCKETS
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        if v.is_finite() {
+            fetch_update_f64(&self.sum_bits, |s| s + v);
+            fetch_update_f64(&self.min_bits, |m| m.min(v));
+            fetch_update_f64(&self.max_bits, |m| m.max(v));
+        }
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy of the aggregates.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let count = self.count();
+        let sum = f64::from_bits(self.sum_bits.load(Ordering::Relaxed));
+        let min = f64::from_bits(self.min_bits.load(Ordering::Relaxed));
+        let max = f64::from_bits(self.max_bits.load(Ordering::Relaxed));
+        HistogramSnapshot {
+            count,
+            sum,
+            min: if count > 0 && min.is_finite() {
+                Some(min)
+            } else {
+                None
+            },
+            max: if count > 0 && max.is_finite() {
+                Some(max)
+            } else {
+                None
+            },
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+        }
+    }
+
+    fn reset(&self) {
+        for b in &self.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.count.store(0, Ordering::Relaxed);
+        self.sum_bits.store(0.0f64.to_bits(), Ordering::Relaxed);
+        self.min_bits
+            .store(f64::INFINITY.to_bits(), Ordering::Relaxed);
+        self.max_bits
+            .store(f64::NEG_INFINITY.to_bits(), Ordering::Relaxed);
+    }
+}
+
+fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = f(f64::from_bits(cur)).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => return,
+            Err(seen) => cur = seen,
+        }
+    }
+}
+
+/// Immutable copy of a [`Histogram`]'s state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest finite observation, if any.
+    pub min: Option<f64>,
+    /// Largest finite observation, if any.
+    pub max: Option<f64>,
+    /// Per-bucket (non-cumulative) counts; last entry is the +∞ bucket.
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Mean of finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+/// The process-global metric registry.
+#[derive(Debug, Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, &'static Counter>>,
+    histograms: Mutex<BTreeMap<String, &'static Histogram>>,
+    labels: Mutex<BTreeMap<String, String>>,
+}
+
+impl Registry {
+    /// The process-wide registry.
+    pub fn global() -> &'static Registry {
+        static GLOBAL: OnceLock<Registry> = OnceLock::new();
+        GLOBAL.get_or_init(Registry::default)
+    }
+
+    /// Interns (on first use) and returns the counter named `name`.
+    pub fn counter(&self, name: &str) -> &'static Counter {
+        let mut map = self.counters.lock().expect("registry poisoned");
+        if let Some(c) = map.get(name) {
+            return c;
+        }
+        let c: &'static Counter = Box::leak(Box::new(Counter::new()));
+        map.insert(name.to_string(), c);
+        c
+    }
+
+    /// Interns (on first use) and returns the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> &'static Histogram {
+        let mut map = self.histograms.lock().expect("registry poisoned");
+        if let Some(h) = map.get(name) {
+            return h;
+        }
+        let h: &'static Histogram = Box::leak(Box::new(Histogram::new()));
+        map.insert(name.to_string(), h);
+        h
+    }
+
+    /// Sets (or replaces) a string label.
+    pub fn set_label(&self, key: &str, value: String) {
+        self.labels
+            .lock()
+            .expect("registry poisoned")
+            .insert(key.to_string(), value);
+    }
+
+    /// Sorted `(name, value)` snapshot of every registered counter.
+    pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
+        self.counters
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, c)| (k.clone(), c.get()))
+            .collect()
+    }
+
+    /// Sorted `(name, snapshot)` of every registered histogram.
+    pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
+        self.histograms
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, h)| (k.clone(), h.snapshot()))
+            .collect()
+    }
+
+    /// Sorted `(key, value)` of every label.
+    pub fn labels_snapshot(&self) -> Vec<(String, String)> {
+        self.labels
+            .lock()
+            .expect("registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Zeroes every counter and histogram and clears labels. Registered
+    /// handles stay valid (tests and repeated bench runs use this to take
+    /// clean deltas).
+    pub fn reset(&self) {
+        for c in self.counters.lock().expect("registry poisoned").values() {
+            c.reset();
+        }
+        for h in self.histograms.lock().expect("registry poisoned").values() {
+            h.reset();
+        }
+        self.labels.lock().expect("registry poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_basics() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+    }
+
+    #[test]
+    fn interning_returns_same_handle() {
+        let reg = Registry::default();
+        let a = reg.counter("x") as *const Counter;
+        let b = reg.counter("x") as *const Counter;
+        assert_eq!(a, b);
+        assert_ne!(a, reg.counter("y") as *const Counter);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone() {
+        for i in 1..HISTOGRAM_BUCKETS {
+            assert!(bucket_bound(i) > bucket_bound(i - 1));
+        }
+        // The range brackets realistic wall times.
+        assert!(bucket_bound(0) < 1e-6);
+        assert!(bucket_bound(HISTOGRAM_BUCKETS - 1) > 1000.0);
+    }
+
+    #[test]
+    fn histogram_aggregates() {
+        let h = Histogram::new();
+        for v in [0.001, 0.002, 0.004, 1.0] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 4);
+        assert!((s.sum - 1.007).abs() < 1e-12);
+        assert_eq!(s.min, Some(0.001));
+        assert_eq!(s.max, Some(1.0));
+        assert!((s.mean() - 1.007 / 4.0).abs() < 1e-12);
+        assert_eq!(s.buckets.iter().sum::<u64>(), 4);
+    }
+
+    #[test]
+    fn histogram_bucket_placement() {
+        let h = Histogram::new();
+        h.record(bucket_bound(5)); // exactly on a bound → that bucket (le)
+        h.record(bucket_bound(5) * 1.01); // just past → next bucket
+        h.record(1e12); // beyond the last finite bound → overflow
+        let s = h.snapshot();
+        assert_eq!(s.buckets[5], 1);
+        assert_eq!(s.buckets[6], 1);
+        assert_eq!(s.buckets[HISTOGRAM_BUCKETS], 1);
+    }
+
+    #[test]
+    fn histogram_ignores_nan_in_aggregates() {
+        let h = Histogram::new();
+        h.record(f64::NAN);
+        h.record(2.0);
+        let s = h.snapshot();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.sum, 2.0);
+        assert_eq!(s.min, Some(2.0));
+        assert_eq!(s.max, Some(2.0));
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let reg = Registry::default();
+        reg.counter("a").add(7);
+        reg.histogram("h").record(1.0);
+        reg.set_label("k", "v".into());
+        reg.reset();
+        assert_eq!(reg.counters_snapshot(), vec![("a".into(), 0)]);
+        assert_eq!(reg.histograms_snapshot()[0].1.count, 0);
+        assert!(reg.labels_snapshot().is_empty());
+    }
+
+    #[test]
+    fn concurrent_increments_are_lossless() {
+        let reg = Registry::default();
+        let c = reg.counter("conc");
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|| {
+                    for _ in 0..10_000 {
+                        c.inc();
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(), 80_000);
+    }
+}

@@ -1,0 +1,142 @@
+//! RAII wall-time spans with a bounded, thread-safe event sink.
+//!
+//! A [`SpanTimer`] measures the wall time between construction and drop,
+//! records it into the histogram `<name>.seconds`, and appends a
+//! [`SpanEvent`] to the global sink (capped — old events are dropped and
+//! counted in `obs.span_events_dropped` rather than growing without bound).
+
+use crate::registry::Registry;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Maximum events retained in the sink.
+pub const SINK_CAPACITY: usize = 4096;
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Span name (the histogram it recorded into is `<name>.seconds`).
+    pub name: &'static str,
+    /// Wall time in seconds.
+    pub seconds: f64,
+}
+
+fn sink() -> &'static Mutex<Vec<SpanEvent>> {
+    static SINK: Mutex<Vec<SpanEvent>> = Mutex::new(Vec::new());
+    &SINK
+}
+
+/// Copies out every retained span event, oldest first.
+pub fn events() -> Vec<SpanEvent> {
+    sink().lock().expect("span sink poisoned").clone()
+}
+
+/// Clears the sink.
+pub fn clear_events() {
+    sink().lock().expect("span sink poisoned").clear();
+}
+
+/// An in-flight span; finishes (records + reports) on drop.
+#[derive(Debug)]
+pub struct SpanTimer {
+    name: &'static str,
+    start: Instant,
+    report: bool,
+}
+
+impl SpanTimer {
+    /// Starts a span.
+    pub fn start(name: &'static str) -> Self {
+        SpanTimer {
+            name,
+            start: Instant::now(),
+            report: false,
+        }
+    }
+
+    /// Starts a span that additionally prints a verbosity-gated
+    /// `name: X.XXs` console status line when it finishes — the exporter
+    /// the experiment pipeline routes its per-figure progress through.
+    pub fn start_reported(name: &'static str) -> Self {
+        SpanTimer {
+            name,
+            start: Instant::now(),
+            report: true,
+        }
+    }
+
+    /// Seconds elapsed so far.
+    pub fn elapsed_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        let seconds = self.elapsed_seconds();
+        Registry::global()
+            .histogram(&format!("{}.seconds", self.name))
+            .record(seconds);
+        let mut sink = sink().lock().expect("span sink poisoned");
+        let dropped = sink.len() >= SINK_CAPACITY;
+        if dropped {
+            sink.remove(0); // evict the oldest; keep the newest
+        }
+        sink.push(SpanEvent {
+            name: self.name,
+            seconds,
+        });
+        drop(sink);
+        if dropped {
+            Registry::global().counter("obs.span_events_dropped").inc();
+        }
+        if self.report {
+            crate::status!("  [span] {}: {:.2}s", self.name, seconds);
+        }
+    }
+}
+
+/// Zero-sized guard returned by [`crate::span!`] in disabled builds.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSpan;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The sink is global; serialize the tests that reset it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn span_records_event_and_histogram() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        {
+            let s = SpanTimer::start("span.test.unit");
+            assert!(s.elapsed_seconds() >= 0.0);
+        }
+        let evs = events();
+        let ev = evs
+            .iter()
+            .find(|e| e.name == "span.test.unit")
+            .expect("event recorded");
+        assert!(ev.seconds >= 0.0);
+        assert!(
+            Registry::global()
+                .histogram("span.test.unit.seconds")
+                .count()
+                >= 1
+        );
+    }
+
+    #[test]
+    fn sink_is_bounded() {
+        let _guard = TEST_LOCK.lock().unwrap();
+        clear_events();
+        for _ in 0..(SINK_CAPACITY + 10) {
+            let _s = SpanTimer::start("span.test.flood");
+        }
+        assert_eq!(events().len(), SINK_CAPACITY);
+        assert!(Registry::global().counter("obs.span_events_dropped").get() >= 10);
+    }
+}

@@ -44,6 +44,33 @@ impl MediumScratch {
     }
 }
 
+/// Outcome accounting for one resolved slot.
+///
+/// Counts are per *(receiver, slot)* pair and pre-protocol-filtering: a
+/// delivery to an already-informed or dead node still counts here —
+/// duplicate suppression and failure injection are protocol logic layered
+/// above the medium.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SlotStats {
+    /// Clean deliveries reported via `on_delivery`.
+    pub deliveries: u64,
+    /// Receivers that heard ≥ 2 in-range transmissions garble each other
+    /// (CAM Assumption 6: nobody wins).
+    pub collisions: u64,
+    /// Receivers whose single clean reception was destroyed by
+    /// carrier-annulus interference (Appendix A rule only).
+    pub cs_deferrals: u64,
+}
+
+impl SlotStats {
+    /// Accumulates another slot's counts.
+    pub fn absorb(&mut self, other: SlotStats) {
+        self.deliveries += other.deliveries;
+        self.collisions += other.collisions;
+        self.cs_deferrals += other.cs_deferrals;
+    }
+}
+
 /// The arbitration engine for one communication model.
 #[derive(Debug, Clone, Copy)]
 pub struct Medium {
@@ -63,6 +90,7 @@ impl Medium {
 
     /// Resolves one slot: `transmitters` all transmit simultaneously;
     /// `on_delivery(receiver, transmitter)` fires for every clean delivery.
+    /// Returns the slot's delivery/collision accounting (see [`SlotStats`]).
     ///
     /// Deliveries are reported for *all* in-range nodes, informed or not —
     /// duplicate-suppression is protocol logic, not medium logic.
@@ -72,15 +100,17 @@ impl Medium {
         transmitters: &[u32],
         scratch: &mut MediumScratch,
         mut on_delivery: impl FnMut(NodeId, NodeId),
-    ) {
+    ) -> SlotStats {
+        let mut stats = SlotStats::default();
         if transmitters.is_empty() {
-            return;
+            return stats;
         }
         match self.model {
             CommunicationModel::Cfm => {
                 // Reliable: every neighbor hears every transmission.
                 for &t in transmitters {
                     for &v in topo.neighbors(NodeId(t)) {
+                        stats.deliveries += 1;
                         on_delivery(NodeId(v), NodeId(t));
                     }
                 }
@@ -116,12 +146,22 @@ impl Medium {
                     }
                 }
                 for &v in &scratch.touched {
-                    if scratch.rx_count[v as usize] == 1 && scratch.cs_count[v as usize] == 0 {
+                    let rx = scratch.rx_count[v as usize];
+                    if rx == 1 && scratch.cs_count[v as usize] == 0 {
+                        stats.deliveries += 1;
                         on_delivery(NodeId(v), NodeId(scratch.last_tx[v as usize]));
+                    } else if rx > 1 {
+                        stats.collisions += 1;
+                    } else if rx == 1 {
+                        stats.cs_deferrals += 1;
                     }
                 }
             }
         }
+        nss_obs::counter!("sim.deliveries").add(stats.deliveries);
+        nss_obs::counter!("sim.collisions").add(stats.collisions);
+        nss_obs::counter!("sim.cs_deferrals").add(stats.cs_deferrals);
+        stats
     }
 }
 
@@ -258,6 +298,73 @@ mod tests {
         let topo = line(3);
         let medium = Medium::new(CommunicationModel::CAM);
         assert!(collect_deliveries(&medium, &topo, &[]).is_empty());
+    }
+
+    fn slot_stats(medium: &Medium, topo: &Topology, tx: &[u32]) -> SlotStats {
+        let mut scratch = MediumScratch::new(topo.len());
+        medium.resolve_slot(topo, tx, &mut scratch, |_, _| {})
+    }
+
+    #[test]
+    fn slot_stats_classify_outcomes() {
+        let topo = line(4); // 0-1-2-3
+        let cam = Medium::new(CommunicationModel::CAM);
+        // 1 and 3 transmit: 0 hears 1 cleanly, 2 hears both → 1 collision.
+        let s = slot_stats(&cam, &topo, &[1, 3]);
+        assert_eq!(
+            s,
+            SlotStats {
+                deliveries: 1,
+                collisions: 1,
+                cs_deferrals: 0
+            }
+        );
+        // CFM never collides: 1 reaches {0, 2}, 3 reaches {2}.
+        let cfm = Medium::new(CommunicationModel::Cfm);
+        let s = slot_stats(&cfm, &topo, &[1, 3]);
+        assert_eq!(s.deliveries, 3);
+        assert_eq!(s.collisions, 0);
+        // Empty slot: all zeros.
+        assert_eq!(slot_stats(&cam, &topo, &[]), SlotStats::default());
+    }
+
+    #[test]
+    fn slot_stats_count_cs_deferrals() {
+        // Receiver 0, its tx at 0.9, and an annulus interferer at 1.8:
+        // under carrier sense the single clean reception is deferred.
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.9, 0.0),
+            Point2::new(1.8, 0.0),
+        ];
+        let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+        let cs = Medium::new(CommunicationModel::Cam(CollisionRule::CARRIER_SENSE_2R));
+        let s = slot_stats(&cs, &topo, &[1, 2]);
+        assert!(s.cs_deferrals >= 1, "expected a cs deferral: {s:?}");
+        let tr = Medium::new(CommunicationModel::CAM);
+        assert_eq!(slot_stats(&tr, &topo, &[1, 2]).cs_deferrals, 0);
+    }
+
+    #[test]
+    fn slot_stats_absorb_accumulates() {
+        let mut a = SlotStats {
+            deliveries: 1,
+            collisions: 2,
+            cs_deferrals: 3,
+        };
+        a.absorb(SlotStats {
+            deliveries: 10,
+            collisions: 20,
+            cs_deferrals: 30,
+        });
+        assert_eq!(
+            a,
+            SlotStats {
+                deliveries: 11,
+                collisions: 22,
+                cs_deferrals: 33
+            }
+        );
     }
 
     #[test]

@@ -107,6 +107,8 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
     first_rx_time[NodeId::SOURCE.index()] = 0.0;
     let mut tx_times: Vec<f64> = Vec::new();
     let mut deliveries: Vec<f64> = Vec::new();
+    // Receptions garbled by overlap or annulus interference, by end time.
+    let mut corrupted: Vec<f64> = Vec::new();
 
     while let Some((t, ev)) = queue.pop() {
         if t.as_f64() > horizon {
@@ -156,6 +158,7 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
                 for &v in topo.neighbors(NodeId(u)) {
                     let clean = audible[v as usize].remove(&u).unwrap_or(false);
                     if !clean {
+                        corrupted.push(end);
                         continue;
                     }
                     deliveries.push(end);
@@ -182,6 +185,8 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
     };
     trace.broadcasts_by_phase = vec![0; total_windows];
     trace.deliveries_by_phase = vec![0; total_windows];
+    trace.collisions_by_phase = vec![0; total_windows];
+    trace.cs_deferrals_by_phase = vec![0; total_windows];
     for &t in &tx_times {
         let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
         trace.broadcasts_by_phase[w] += 1;
@@ -190,6 +195,13 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
         let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
         trace.deliveries_by_phase[w] += 1;
     }
+    for &t in &corrupted {
+        let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
+        trace.collisions_by_phase[w] += 1;
+    }
+    nss_obs::counter!("sim.broadcasts").add(tx_times.len() as u64);
+    nss_obs::counter!("sim.deliveries").add(deliveries.len() as u64);
+    nss_obs::counter!("sim.collisions").add(corrupted.len() as u64);
     for (v, &t) in first_rx_time.iter().enumerate() {
         if v == NodeId::SOURCE.index() {
             continue;

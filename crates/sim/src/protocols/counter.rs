@@ -16,7 +16,7 @@
 //! redundant transmissions in dense regions adaptively — the same goal the
 //! optimal PB_CAM probability pursues, but density-aware for free.
 
-use crate::medium::{Medium, MediumScratch};
+use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
@@ -87,6 +87,7 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
         let mut tx_count = 0u32;
         let mut newly: Vec<u32> = Vec::new();
         let mut deliveries = 0u64;
+        let mut phase_stats = SlotStats::default();
         let mut transmitters: Vec<u32> = Vec::new();
         for sl in &slots {
             transmitters.clear();
@@ -96,20 +97,28 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
                     .filter(|&u| phase == 1 || dup_count[u as usize] < cfg.threshold),
             );
             tx_count += transmitters.len() as u32;
-            medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, _tx| {
-                deliveries += 1;
-                let rxi = rx.index();
-                if informed[rxi] {
-                    dup_count[rxi] += 1;
-                } else {
-                    informed[rxi] = true;
-                    trace.first_rx_phase[rxi] = phase;
-                    newly.push(rx.0);
-                }
-            });
+            phase_stats.absorb(medium.resolve_slot(
+                topo,
+                &transmitters,
+                &mut scratch,
+                |rx, _tx| {
+                    deliveries += 1;
+                    let rxi = rx.index();
+                    if informed[rxi] {
+                        dup_count[rxi] += 1;
+                    } else {
+                        informed[rxi] = true;
+                        trace.first_rx_phase[rxi] = phase;
+                        newly.push(rx.0);
+                    }
+                },
+            ));
         }
         trace.broadcasts_by_phase.push(tx_count);
         trace.deliveries_by_phase.push(deliveries);
+        trace.collisions_by_phase.push(phase_stats.collisions);
+        trace.cs_deferrals_by_phase.push(phase_stats.cs_deferrals);
+        nss_obs::counter!("sim.broadcasts").add(u64::from(tx_count));
 
         scheduled = newly
             .into_iter()

@@ -13,7 +13,7 @@
 //! (the standard assumption in the cited work); the simulator reads it
 //! from ground-truth positions.
 
-use crate::medium::{Medium, MediumScratch};
+use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
@@ -84,6 +84,7 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
         let mut tx_count = 0u32;
         let mut newly: Vec<u32> = Vec::new();
         let mut deliveries = 0u64;
+        let mut phase_stats = SlotStats::default();
         let mut transmitters: Vec<u32> = Vec::new();
         for sl in &slots {
             transmitters.clear();
@@ -93,22 +94,27 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
                     .filter(|&u| phase == 1 || closest[u as usize] > suppress_r),
             );
             tx_count += transmitters.len() as u32;
-            medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, tx| {
-                deliveries += 1;
-                let rxi = rx.index();
-                let d = topo.position(rx).dist(&topo.position(tx));
-                if d < closest[rxi] {
-                    closest[rxi] = d;
-                }
-                if !informed[rxi] {
-                    informed[rxi] = true;
-                    trace.first_rx_phase[rxi] = phase;
-                    newly.push(rx.0);
-                }
-            });
+            phase_stats.absorb(
+                medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, tx| {
+                    deliveries += 1;
+                    let rxi = rx.index();
+                    let d = topo.position(rx).dist(&topo.position(tx));
+                    if d < closest[rxi] {
+                        closest[rxi] = d;
+                    }
+                    if !informed[rxi] {
+                        informed[rxi] = true;
+                        trace.first_rx_phase[rxi] = phase;
+                        newly.push(rx.0);
+                    }
+                }),
+            );
         }
         trace.broadcasts_by_phase.push(tx_count);
         trace.deliveries_by_phase.push(deliveries);
+        trace.collisions_by_phase.push(phase_stats.collisions);
+        trace.cs_deferrals_by_phase.push(phase_stats.cs_deferrals);
+        nss_obs::counter!("sim.broadcasts").add(u64::from(tx_count));
 
         scheduled = newly
             .into_iter()

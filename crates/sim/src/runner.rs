@@ -47,6 +47,17 @@ impl Replication {
     /// replication index).
     pub fn run(&self) -> ReplicatedTraces {
         let factory = SeedFactory::new(self.master_seed);
+        nss_obs::set_label!("sim.master_seed", self.master_seed);
+        nss_obs::set_label!(
+            "sim.rng_streams",
+            format!(
+                "{}/{}/{}/{}",
+                Stream::Deployment.label(),
+                Stream::Protocol.label(),
+                Stream::Jitter.label(),
+                Stream::Misc.label()
+            )
+        );
         let n = self.replications as usize;
         let nworkers = if self.threads == 0 {
             std::thread::available_parallelism().map_or(1, |t| t.get())
@@ -92,11 +103,17 @@ impl Replication {
     }
 
     fn run_one(&self, factory: &SeedFactory, rep: u64) -> SimTrace {
+        let start = nss_obs::enabled().then(std::time::Instant::now);
         let net = self
             .deployment
             .sample(factory.seed(Stream::Deployment, rep));
         let topo = Topology::build(&net);
-        run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep))
+        let trace = run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep));
+        if let Some(start) = start {
+            nss_obs::observe!("sim.replication_seconds", start.elapsed().as_secs_f64());
+            nss_obs::counter!("sim.replications").inc();
+        }
+        trace
     }
 }
 

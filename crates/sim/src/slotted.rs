@@ -10,7 +10,7 @@
 //! collision-free execution the paper uses as a motivating contrast, and a
 //! CAM medium gives PB_CAM proper (with either collision rule).
 
-use crate::medium::{Medium, MediumScratch};
+use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
@@ -177,11 +177,13 @@ fn run_gossip_with(
             }
         }
         trace.broadcasts_by_phase.push(tx_count);
+        nss_obs::counter!("sim.broadcasts").add(u64::from(tx_count));
 
         let mut newly: Vec<u32> = Vec::new();
         let mut deliveries = 0u64;
+        let mut phase_stats = SlotStats::default();
         for sl in &slots {
-            medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
+            phase_stats.absorb(medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
                 if !alive[rx.index()] {
                     return; // dead radios hear nothing
                 }
@@ -192,9 +194,11 @@ fn run_gossip_with(
                     trace.first_rx_phase[rx.index()] = phase;
                     newly.push(rx.0);
                 }
-            });
+            }));
         }
         trace.deliveries_by_phase.push(deliveries);
+        trace.collisions_by_phase.push(phase_stats.collisions);
+        trace.cs_deferrals_by_phase.push(phase_stats.cs_deferrals);
 
         if cfg.track_success_rate {
             let mut rate_sum = 0.0f64;

@@ -17,22 +17,38 @@ pub struct Summary {
 }
 
 impl Summary {
-    /// Summarizes a sample. NaN values are rejected by assertion: upstream
-    /// code must filter infeasible runs explicitly rather than let them
-    /// poison the mean.
+    /// Summarizes a sample, silently skipping NaN values. A NaN here means
+    /// an upstream bug (infeasible runs are represented as `None` and go
+    /// through [`Summary::of_feasible`]), but one poisoned replication
+    /// should degrade a 30-run average, not abort a whole sweep: skipped
+    /// values are visible as a shrunken [`Summary::n`] and counted in the
+    /// `stats.nan_rejected` counter. Use [`Summary::of_checked`] to treat
+    /// NaN as a hard error instead.
     pub fn of(values: &[f64]) -> Summary {
-        assert!(
-            values.iter().all(|v| !v.is_nan()),
-            "NaN in replication sample"
-        );
+        match Self::of_checked(values) {
+            Ok(s) => s,
+            Err(nan_count) => {
+                nss_obs::counter!("stats.nan_rejected").add(nan_count as u64);
+                let filtered: Vec<f64> = values.iter().copied().filter(|v| !v.is_nan()).collect();
+                Self::of_checked(&filtered).expect("filtered sample has no NaN")
+            }
+        }
+    }
+
+    /// Summarizes a sample, or returns the number of NaN values found.
+    pub fn of_checked(values: &[f64]) -> Result<Summary, usize> {
+        let nan_count = values.iter().filter(|v| v.is_nan()).count();
+        if nan_count > 0 {
+            return Err(nan_count);
+        }
         let n = values.len();
         if n == 0 {
-            return Summary {
+            return Ok(Summary {
                 n: 0,
                 mean: 0.0,
                 std_dev: 0.0,
                 ci95: 0.0,
-            };
+            });
         }
         let mean = values.iter().sum::<f64>() / n as f64;
         let std_dev = if n < 2 {
@@ -46,12 +62,12 @@ impl Summary {
         } else {
             1.96 * std_dev / (n as f64).sqrt()
         };
-        Summary {
+        Ok(Summary {
             n,
             mean,
             std_dev,
             ci95,
-        }
+        })
     }
 
     /// Summarizes the feasible subset of optional measurements, returning
@@ -115,8 +131,20 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "NaN")]
     fn nan_rejected() {
-        let _ = Summary::of(&[1.0, f64::NAN]);
+        // `of` skips NaN values instead of poisoning the mean...
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::NAN]);
+        assert_eq!(s.n, 2);
+        assert!((s.mean - 2.0).abs() < 1e-12);
+        // ...and `of_checked` reports how many there were.
+        assert_eq!(Summary::of_checked(&[1.0, f64::NAN, 3.0, f64::NAN]), Err(2));
+        assert!(Summary::of_checked(&[1.0, 3.0]).is_ok());
+        #[cfg(feature = "obs")]
+        {
+            let rejected = nss_obs::registry::Registry::global()
+                .counter("stats.nan_rejected")
+                .get();
+            assert!(rejected >= 2, "nan_rejected counter not bumped");
+        }
     }
 }

@@ -25,6 +25,13 @@ pub struct SimTrace {
     /// Clean packet deliveries in each phase (for full energy accounting:
     /// every delivery costs `e_a` at the receiver).
     pub deliveries_by_phase: Vec<u64>,
+    /// Receiver-slot pairs garbled by ≥ 2 concurrent in-range transmissions
+    /// in each phase (CAM Assumption 6). Empty for executors that predate
+    /// collision accounting; always empty under CFM.
+    pub collisions_by_phase: Vec<u64>,
+    /// Receptions destroyed by carrier-annulus interference in each phase
+    /// (Appendix A collision rule only).
+    pub cs_deferrals_by_phase: Vec<u64>,
     /// Per-phase sums of per-broadcast delivery ratios and broadcast counts
     /// with at least one neighbor: `(Σ delivered/deg, count)`. Aggregated
     /// per phase to keep traces compact.
@@ -43,6 +50,8 @@ impl SimTrace {
             first_rx_phase,
             broadcasts_by_phase: Vec::new(),
             deliveries_by_phase: Vec::new(),
+            collisions_by_phase: Vec::new(),
+            cs_deferrals_by_phase: Vec::new(),
             success_rate_by_phase: Vec::new(),
         }
     }
@@ -70,6 +79,16 @@ impl SimTrace {
     /// Total clean deliveries (receiver-side energy accounting).
     pub fn total_deliveries(&self) -> u64 {
         self.deliveries_by_phase.iter().sum()
+    }
+
+    /// Total collided receiver-slot pairs over the execution.
+    pub fn total_collisions(&self) -> u64 {
+        self.collisions_by_phase.iter().sum()
+    }
+
+    /// Total carrier-sense deferrals over the execution.
+    pub fn total_cs_deferrals(&self) -> u64 {
+        self.cs_deferrals_by_phase.iter().sum()
     }
 
     /// Total energy in cost units: `e · (transmissions + receptions)`,
@@ -135,6 +154,8 @@ mod tests {
         t.first_rx_phase[3] = 2;
         t.broadcasts_by_phase = vec![1, 2, 1];
         t.deliveries_by_phase = vec![2, 1, 0];
+        t.collisions_by_phase = vec![0, 1, 2];
+        t.cs_deferrals_by_phase = vec![0, 0, 1];
         t.success_rate_by_phase = vec![(1.0, 1), (0.5, 2), (0.0, 1)];
         t
     }
@@ -146,6 +167,8 @@ mod tests {
         assert!((t.final_reachability() - 4.0 / 6.0).abs() < 1e-12);
         assert_eq!(t.total_broadcasts(), 4);
         assert_eq!(t.total_deliveries(), 3);
+        assert_eq!(t.total_collisions(), 3);
+        assert_eq!(t.total_cs_deferrals(), 1);
         assert!((t.total_energy(2.0) - 14.0).abs() < 1e-12);
         assert_eq!(t.phases(), 3);
     }

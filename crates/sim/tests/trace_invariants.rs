@@ -1,0 +1,249 @@
+//! Cross-protocol invariants of [`nss_sim::trace::SimTrace`].
+//!
+//! Every executor — slotted gossip, counter/distance suppression, TDMA,
+//! asynchronous gossip — fills the same trace structure; these tests pin
+//! down the structural guarantees the analysis layer relies on:
+//!
+//! * a phase's deliveries cannot exceed `broadcasts × (n − 1)` (each
+//!   transmission reaches at most every other node);
+//! * the informed count derived from `first_rx_phase` is non-decreasing
+//!   over phases, and every first reception in phase `p` is backed by at
+//!   least that many deliveries in `p`;
+//! * collision/deferral vectors line up with the phase axis, CFM never
+//!   collides, and the transmission-range rule never defers;
+//! * with the `obs` feature on, the global counters agree exactly with
+//!   the trace totals.
+
+use nss_model::deployment::Deployment;
+use nss_model::topology::Topology;
+use nss_sim::protocols::{
+    run_async_gossip, run_counter_broadcast, run_distance_broadcast, AsyncGossipConfig,
+    CounterConfig, DistanceConfig,
+};
+use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::trace::{SimTrace, NEVER};
+
+fn disk(n_avg: u32, diameter: f64, seed: u64) -> Topology {
+    Topology::build(&Deployment::disk(n_avg, 1.0, diameter).sample(seed))
+}
+
+/// Runs one representative execution of every slotted protocol.
+fn slotted_traces(topo: &Topology, seed: u64) -> Vec<(&'static str, SimTrace)> {
+    vec![
+        (
+            "flooding_cam",
+            run_gossip(topo, &GossipConfig::flooding_cam(), seed),
+        ),
+        ("pb_cam", run_gossip(topo, &GossipConfig::pb_cam(0.6), seed)),
+        (
+            "gossip_cfm",
+            run_gossip(topo, &GossipConfig::gossip_cfm(0.8), seed),
+        ),
+        (
+            "counter",
+            run_counter_broadcast(topo, &CounterConfig::paper(3), seed),
+        ),
+        (
+            "distance",
+            run_distance_broadcast(topo, &DistanceConfig::paper(0.4), seed),
+        ),
+    ]
+}
+
+fn check_structure(name: &str, t: &SimTrace) {
+    let n = t.n_total;
+    let phases = t.phases();
+    assert_eq!(
+        t.deliveries_by_phase.len(),
+        phases,
+        "{name}: deliveries axis mismatch"
+    );
+    assert_eq!(
+        t.collisions_by_phase.len(),
+        phases,
+        "{name}: collisions axis mismatch"
+    );
+    assert_eq!(
+        t.cs_deferrals_by_phase.len(),
+        phases,
+        "{name}: deferrals axis mismatch"
+    );
+    for (i, (&d, &b)) in t
+        .deliveries_by_phase
+        .iter()
+        .zip(&t.broadcasts_by_phase)
+        .enumerate()
+    {
+        assert!(
+            d <= u64::from(b) * (n as u64 - 1),
+            "{name}: phase {i} has {d} deliveries from {b} broadcasts (n = {n})"
+        );
+    }
+    t.phase_series().validate().unwrap_or_else(|e| {
+        panic!("{name}: invalid phase series: {e}");
+    });
+}
+
+fn check_first_rx(name: &str, t: &SimTrace) {
+    let phases = t.phases();
+    // Nodes first informed per phase index (1-based). The source is 0.
+    let mut first_rx_hist = vec![0u64; phases + 1];
+    for (v, &p) in t.first_rx_phase.iter().enumerate() {
+        if p == NEVER {
+            continue;
+        }
+        if v == 0 {
+            assert_eq!(p, 0, "{name}: source must be informed at phase 0");
+            continue;
+        }
+        assert!(p >= 1, "{name}: node {v} informed before any phase ran");
+        assert!(
+            (p as usize) <= phases,
+            "{name}: node {v} informed in phase {p} of {phases}"
+        );
+        first_rx_hist[p as usize] += 1;
+    }
+    // Each first reception is one of that phase's deliveries.
+    for (p, &fresh) in first_rx_hist.iter().enumerate().skip(1) {
+        assert!(
+            fresh <= t.deliveries_by_phase[p - 1],
+            "{name}: phase {p} first-informs {fresh} nodes but delivered only {}",
+            t.deliveries_by_phase[p - 1]
+        );
+    }
+    // Monotonicity: cumulative informed count never decreases (trivially
+    // true of a prefix sum of non-negative terms, asserted as a guard
+    // against future representation changes).
+    let mut cum = 0u64;
+    let mut prev = 0u64;
+    for &fresh in &first_rx_hist {
+        cum += fresh;
+        assert!(cum >= prev, "{name}: informed count decreased");
+        prev = cum;
+    }
+    assert_eq!(
+        cum + 1,
+        t.informed_count() as u64,
+        "{name}: histogram disagrees with informed_count()"
+    );
+}
+
+#[test]
+fn slotted_protocols_satisfy_trace_invariants() {
+    for seed in 0..4u64 {
+        let topo = disk(4, 40.0, seed + 100);
+        for (name, t) in slotted_traces(&topo, seed) {
+            check_structure(name, &t);
+            check_first_rx(name, &t);
+        }
+    }
+}
+
+#[test]
+fn cfm_never_records_collisions_or_deferrals() {
+    let topo = disk(5, 40.0, 9);
+    let t = run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), 2);
+    assert_eq!(t.total_collisions(), 0, "CFM cannot collide");
+    assert_eq!(t.total_cs_deferrals(), 0, "CFM cannot defer");
+    assert!(t.total_deliveries() > 0);
+}
+
+#[test]
+fn transmission_range_rule_never_defers() {
+    for seed in 0..3u64 {
+        let topo = disk(6, 30.0, seed + 7);
+        let t = run_gossip(&topo, &GossipConfig::flooding_cam(), seed);
+        assert_eq!(
+            t.total_cs_deferrals(),
+            0,
+            "TR rule has no carrier-sense annulus"
+        );
+    }
+}
+
+#[test]
+fn dense_cam_flooding_records_collisions() {
+    // A dense disk under CAM flooding must lose some receptions; the new
+    // collision channel should see them.
+    let topo = disk(8, 20.0, 3);
+    let collided: u64 = (0..5)
+        .map(|s| run_gossip(&topo, &GossipConfig::flooding_cam(), s).total_collisions())
+        .sum();
+    assert!(collided > 0, "dense CAM flooding produced zero collisions");
+}
+
+#[test]
+fn async_gossip_totals_are_consistent() {
+    for seed in 0..4u64 {
+        let topo = disk(4, 30.0, seed + 50);
+        let n = topo.len() as u64;
+        let t = run_async_gossip(&topo, &AsyncGossipConfig::paper(0.8), seed);
+        // Window quantization can shift a delivery past its broadcast's
+        // window, so the bound holds in aggregate rather than per phase.
+        assert!(
+            t.total_deliveries() + t.total_collisions() <= t.total_broadcasts() * (n - 1),
+            "async: receptions exceed what {} broadcasts can reach",
+            t.total_broadcasts()
+        );
+        assert_eq!(t.collisions_by_phase.len(), t.phases());
+        assert_eq!(t.cs_deferrals_by_phase.len(), t.phases());
+        check_first_rx("async", &t);
+    }
+}
+
+/// With `obs` on, the global counters must agree with the trace exactly.
+#[cfg(feature = "obs")]
+mod obs_counters {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Serializes tests that read global-counter deltas.
+    static COUNTER_LOCK: Mutex<()> = Mutex::new(());
+
+    fn counter(name: &str) -> u64 {
+        nss_obs::registry::Registry::global().counter(name).get()
+    }
+
+    #[test]
+    fn gossip_counters_match_trace_totals() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let topo = disk(5, 30.0, 11);
+        let before = (
+            counter("sim.broadcasts"),
+            counter("sim.deliveries"),
+            counter("sim.collisions"),
+            counter("sim.cs_deferrals"),
+        );
+        let t = run_gossip(&topo, &GossipConfig::flooding_cam(), 4);
+        let after = (
+            counter("sim.broadcasts"),
+            counter("sim.deliveries"),
+            counter("sim.collisions"),
+            counter("sim.cs_deferrals"),
+        );
+        assert_eq!(after.0 - before.0, t.total_broadcasts());
+        assert_eq!(after.1 - before.1, t.total_deliveries());
+        assert_eq!(after.2 - before.2, t.total_collisions());
+        assert_eq!(after.3 - before.3, t.total_cs_deferrals());
+    }
+
+    #[test]
+    fn async_counters_match_trace_totals() {
+        let _guard = COUNTER_LOCK.lock().unwrap();
+        let topo = disk(4, 30.0, 21);
+        let before = (
+            counter("sim.broadcasts"),
+            counter("sim.deliveries"),
+            counter("sim.collisions"),
+        );
+        let t = run_async_gossip(&topo, &AsyncGossipConfig::paper(1.0), 5);
+        let after = (
+            counter("sim.broadcasts"),
+            counter("sim.deliveries"),
+            counter("sim.collisions"),
+        );
+        assert_eq!(after.0 - before.0, t.total_broadcasts());
+        assert_eq!(after.1 - before.1, t.total_deliveries());
+        assert_eq!(after.2 - before.2, t.total_collisions());
+    }
+}

@@ -3,8 +3,8 @@
 //! Facade crate re-exporting the whole workspace: the abstract network
 //! model ([`model`]), the analytical framework for probability-based
 //! broadcasting under the Collision Aware Model ([`analysis`]), the
-//! packet-level simulator ([`sim`]), and the algorithm-design methodology
-//! layer ([`core`]).
+//! packet-level simulator ([`sim`]), the algorithm-design methodology
+//! layer ([`core`]), and the zero-cost instrumentation facade ([`obs`]).
 //!
 //! This reproduces Yu, Hong & Prasanna, *"On Communication Models for
 //! Algorithm Design in Networked Sensor Systems: A Case Study"* (2005).
@@ -14,6 +14,7 @@
 pub use nss_analysis as analysis;
 pub use nss_core as core;
 pub use nss_model as model;
+pub use nss_obs as obs;
 pub use nss_plot as plot;
 pub use nss_sim as sim;
 
