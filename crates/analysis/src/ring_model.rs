@@ -18,6 +18,7 @@
 use crate::mu::MuMode;
 use crate::tables::{KernelCache, MuCsMemo, MuMemo, SharedKernel};
 use nss_model::comm::CollisionRule;
+use nss_model::error::ConfigError;
 use nss_model::metrics::PhaseSeries;
 use serde::{Deserialize, Serialize};
 use std::f64::consts::PI;
@@ -47,6 +48,15 @@ pub struct RingModelConfig {
     /// Convergence threshold: stop once a phase informs fewer than this
     /// many (expected) nodes.
     pub min_new: f64,
+    /// Per-link delivery probability `q` (1.0 = lossless). Mirrors the
+    /// simulator's `FaultPlan::link_loss` (`q = 1 − λ`): a clean slot still
+    /// delivers only with probability `q`, independently per receiver.
+    pub link_q: f64,
+    /// Fraction of deployed nodes that are alive (1.0 = all). Mirrors the
+    /// simulator's crash thinning (`a = 1 − dead_frac`): ring capacities
+    /// shrink to `a·δ·C_j` while reachability stays normalised by the full
+    /// `N = ρP²`, so a dead fraction caps attainable reachability at `a`.
+    pub alive_frac: f64,
 }
 
 impl RingModelConfig {
@@ -64,31 +74,70 @@ impl RingModelConfig {
             quad_points: 64,
             max_phases: 200,
             min_new: 1e-3,
+            link_q: 1.0,
+            alive_frac: 1.0,
         }
     }
 
     /// Validates parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.p < 1 {
-            return Err("P must be ≥ 1".into());
+            return Err(ConfigError::TooSmall {
+                field: "P",
+                min: 1,
+                value: u64::from(self.p),
+            });
         }
         if self.s < 1 {
-            return Err("s must be ≥ 1".into());
+            return Err(ConfigError::TooSmall {
+                field: "s",
+                min: 1,
+                value: u64::from(self.s),
+            });
         }
         if !self.rho.is_finite() || self.rho <= 0.0 {
-            return Err("rho must be positive".into());
+            return Err(ConfigError::NotPositive {
+                field: "rho",
+                value: self.rho,
+            });
         }
         if !self.r.is_finite() || self.r <= 0.0 {
-            return Err("r must be positive".into());
+            return Err(ConfigError::NotPositive {
+                field: "r",
+                value: self.r,
+            });
         }
         if !(0.0..=1.0).contains(&self.prob) {
-            return Err(format!("broadcast probability {} outside [0,1]", self.prob));
+            return Err(ConfigError::OutOfUnitRange {
+                field: "broadcast probability",
+                value: self.prob,
+            });
         }
         if self.quad_points < 2 {
-            return Err("need at least 2 quadrature points".into());
+            return Err(ConfigError::TooSmall {
+                field: "quad_points",
+                min: 2,
+                value: self.quad_points as u64,
+            });
         }
         if self.max_phases < 1 {
-            return Err("need at least one phase".into());
+            return Err(ConfigError::TooSmall {
+                field: "max_phases",
+                min: 1,
+                value: self.max_phases as u64,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.link_q) {
+            return Err(ConfigError::OutOfUnitRange {
+                field: "link_q",
+                value: self.link_q,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.alive_frac) {
+            return Err(ConfigError::OutOfUnitRange {
+                field: "alive_frac",
+                value: self.alive_frac,
+            });
         }
         Ok(())
     }
@@ -279,7 +328,12 @@ impl RingModel {
         let p_rings = cfg.p as usize;
         let delta = cfg.delta();
         let ring_areas: &[f64] = &kernel.ring_areas;
-        let capacity: Vec<f64> = ring_areas.iter().map(|&c| delta * c).collect();
+        // Dead nodes never receive: each ring only has `a·δ·C_j` live slots.
+        // (×1.0 is IEEE-exact, so the default plan is bitwise unchanged.)
+        let capacity: Vec<f64> = ring_areas
+            .iter()
+            .map(|&c| delta * c * cfg.alive_frac)
+            .collect();
 
         // Per-run μ memos: lattice values are pure, so caching them changes
         // nothing but the cost of the inner loop.
@@ -290,9 +344,10 @@ impl RingModel {
         let mut gtx = vec![0.0f64; n_abs];
         let mut hcs = vec![0.0f64; n_abs];
 
-        // Phase 1: the source's broadcast informs all of ring R_1.
+        // Phase 1: the source's broadcast informs all of (the live part of)
+        // ring R_1, thinned by the per-link delivery probability.
         let mut first = vec![0.0; p_rings];
-        first[0] = capacity[0];
+        first[0] = capacity[0] * cfg.link_q;
         let mut cum: Vec<f64> = first.clone();
         let mut new_by_phase = vec![first];
         let mut broadcasts = vec![1.0f64];
@@ -376,7 +431,8 @@ impl RingModel {
                                 mu_cs_memo.eval(k_tx, hcs[i] * cfg.prob)
                             }
                         };
-                        (inner_radius + x) * success
+                        // A collision-free slot still delivers only w.p. q.
+                        (inner_radius + x) * (success * cfg.link_q)
                     });
                     new[ji] = (2.0 * PI * integral * remaining / ring_areas[ji]).min(remaining);
                 }
@@ -402,7 +458,7 @@ impl RingModel {
                         } else {
                             k * q.powf((k - 1.0).max(0.0))
                         };
-                        (inner_radius + x) * clean
+                        (inner_radius + x) * (clean * cfg.link_q)
                     });
                     let den = tables.integrate(|i, x| (inner_radius + x) * gtx[i]);
                     sr_num += 2.0 * PI * delta * num;
@@ -698,6 +754,77 @@ mod tests {
         assert!(c.validate().is_err());
         c = RingModelConfig::paper(60.0, 0.5);
         c.s = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn link_loss_degrades_reachability_monotonically() {
+        let mut prev = f64::INFINITY;
+        for q in [1.0, 0.9, 0.7, 0.5, 0.3] {
+            let mut cfg = RingModelConfig::paper(60.0, 0.4);
+            cfg.link_q = q;
+            let reach = RingModel::new(cfg)
+                .run()
+                .phase_series()
+                .reachability_at_latency(10.0);
+            assert!(
+                reach <= prev + 1e-12,
+                "q={q}: reachability {reach} rose above lossless-er {prev}"
+            );
+            prev = reach;
+        }
+        assert!(prev > 0.0, "even q=0.3 should inform someone");
+    }
+
+    #[test]
+    fn alive_fraction_caps_reachability() {
+        let mut cfg = RingModelConfig::paper(60.0, 0.6);
+        cfg.alive_frac = 0.5;
+        let s = RingModel::new(cfg).run().phase_series();
+        let reach = s.final_reachability();
+        assert!(
+            reach <= 0.5 + 1e-9,
+            "half-dead field cannot exceed 0.5 reachability: {reach}"
+        );
+        assert!(reach > 0.2, "live half should still mostly be reached");
+        s.validate().expect("lossy profile still a valid series");
+    }
+
+    #[test]
+    fn default_fault_fields_are_bitwise_no_ops() {
+        // A config carrying explicit `link_q = 1.0, alive_frac = 1.0` must
+        // take the exact multiplication-by-one path: same kernel, same bits
+        // as the paper defaults.
+        let cfg = RingModelConfig::paper(80.0, 0.4);
+        assert_eq!(cfg.link_q, 1.0);
+        assert_eq!(cfg.alive_frac, 1.0);
+        let a = RingModel::cached(cfg).run();
+        let mut lossy = cfg;
+        lossy.link_q = 0.8;
+        // Fault fields are not part of the kernel fingerprint: the lossy
+        // config shares the interned kernel with the lossless one.
+        let m = RingModel::cached(lossy);
+        assert!(Arc::ptr_eq(RingModel::cached(cfg).kernel(), m.kernel()));
+        let b = m.run();
+        assert!(
+            a.total_informed() > b.total_informed(),
+            "20% loss must shrink expected informed count"
+        );
+    }
+
+    #[test]
+    fn fault_field_validation() {
+        let mut c = RingModelConfig::paper(60.0, 0.5);
+        c.link_q = 1.2;
+        assert!(matches!(
+            c.validate(),
+            Err(ConfigError::OutOfUnitRange {
+                field: "link_q",
+                ..
+            })
+        ));
+        c = RingModelConfig::paper(60.0, 0.5);
+        c.alive_frac = -0.1;
         assert!(c.validate().is_err());
     }
 

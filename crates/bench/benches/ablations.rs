@@ -102,7 +102,7 @@ fn bench_scratch_reuse(c: &mut Criterion) {
         let mut scratch = MediumScratch::new(t.len());
         b.iter(|| {
             let mut n = 0u64;
-            medium.resolve_slot(&t, &transmitters, &mut scratch, |_: NodeId, _| n += 1);
+            medium.resolve_slot(&t, &transmitters, &mut scratch, None, |_: NodeId, _| n += 1);
             black_box(n)
         })
     });
@@ -110,7 +110,7 @@ fn bench_scratch_reuse(c: &mut Criterion) {
         b.iter(|| {
             let mut scratch = MediumScratch::new(t.len());
             let mut n = 0u64;
-            medium.resolve_slot(&t, &transmitters, &mut scratch, |_: NodeId, _| n += 1);
+            medium.resolve_slot(&t, &transmitters, &mut scratch, None, |_: NodeId, _| n += 1);
             black_box(n)
         })
     });

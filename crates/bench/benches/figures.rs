@@ -27,13 +27,7 @@ fn mini_analysis_sweep() -> DensitySweep {
 }
 
 fn mini_sim(rho: f64, p: f64) -> Replication {
-    Replication {
-        deployment: Deployment::disk(5, 1.0, rho),
-        gossip: GossipConfig::pb_cam(p),
-        replications: 3,
-        master_seed: 9,
-        threads: 0,
-    }
+    Replication::paper(Deployment::disk(5, 1.0, rho), GossipConfig::pb_cam(p), 9).with_runs(3)
 }
 
 fn bench_analysis_figures(c: &mut Criterion) {

@@ -37,7 +37,9 @@ fn bench_substrate(c: &mut Criterion) {
         let mut scratch = MediumScratch::new(topo.len());
         b.iter(|| {
             let mut deliveries = 0u64;
-            medium_tr.resolve_slot(&topo, &transmitters, &mut scratch, |_, _| deliveries += 1);
+            medium_tr.resolve_slot(&topo, &transmitters, &mut scratch, None, |_, _| {
+                deliveries += 1
+            });
             deliveries
         })
     });
@@ -45,7 +47,9 @@ fn bench_substrate(c: &mut Criterion) {
         let mut scratch = MediumScratch::new(topo.len());
         b.iter(|| {
             let mut deliveries = 0u64;
-            medium_cs.resolve_slot(&topo, &transmitters, &mut scratch, |_, _| deliveries += 1);
+            medium_cs.resolve_slot(&topo, &transmitters, &mut scratch, None, |_, _| {
+                deliveries += 1
+            });
             deliveries
         })
     });
@@ -78,13 +82,8 @@ fn bench_protocols(c: &mut Criterion) {
         b.iter(|| run_ack_flood(&t25, &AckFloodConfig::default(), black_box(5)))
     });
     group.bench_function("replication_8x_rho60", |b| {
-        let rep = Replication {
-            deployment: Deployment::disk(5, 1.0, 60.0),
-            gossip: GossipConfig::pb_cam(0.2),
-            replications: 8,
-            master_seed: 5,
-            threads: 0,
-        };
+        let rep = Replication::paper(Deployment::disk(5, 1.0, 60.0), GossipConfig::pb_cam(0.2), 5)
+            .with_runs(8);
         b.iter(|| rep.run())
     });
     group.finish();

@@ -9,6 +9,7 @@
 //! [`BroadcastAlgorithm::instantiate`] lowers it onto the simulator.
 
 use nss_model::comm::CommunicationModel;
+use nss_model::error::ConfigError;
 use nss_sim::slotted::GossipConfig;
 use serde::{Deserialize, Serialize};
 
@@ -42,16 +43,23 @@ impl BroadcastAlgorithm {
     }
 
     /// Validates the parameterization.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         match *self {
             BroadcastAlgorithm::ProbabilityBased { prob } => {
                 if !(0.0..=1.0).contains(&prob) {
-                    return Err(format!("broadcast probability {prob} outside [0,1]"));
+                    return Err(ConfigError::OutOfUnitRange {
+                        field: "broadcast probability",
+                        value: prob,
+                    });
                 }
             }
             BroadcastAlgorithm::CounterBased { threshold } => {
                 if threshold == 0 {
-                    return Err("counter threshold must be ≥ 1".into());
+                    return Err(ConfigError::TooSmall {
+                        field: "counter threshold",
+                        min: 1,
+                        value: u64::from(threshold),
+                    });
                 }
             }
             BroadcastAlgorithm::SimpleFlooding => {}

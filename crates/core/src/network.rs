@@ -4,6 +4,7 @@
 
 use nss_model::comm::{CommunicationModel, CostParams, Primitive};
 use nss_model::deployment::Deployment;
+use nss_model::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// The abstract network model an algorithm is designed and optimized
@@ -48,10 +49,14 @@ impl NetworkModel {
     }
 
     /// Validates the model's internal consistency.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         self.costs.validate()?;
         if self.slots < 1 {
-            return Err("need at least one slot".into());
+            return Err(ConfigError::TooSmall {
+                field: "slots",
+                min: 1,
+                value: u64::from(self.slots),
+            });
         }
         Ok(())
     }

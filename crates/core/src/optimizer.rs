@@ -8,6 +8,7 @@ use nss_analysis::optimize::{Objective, Optimum, ProbabilitySweep};
 use nss_analysis::ring_model::RingModelConfig;
 use nss_model::comm::{CollisionRule, CommunicationModel};
 use nss_model::deployment::Deployment;
+use nss_model::error::ConfigError;
 use nss_sim::runner::{ReplicatedTraces, Replication};
 use nss_sim::slotted::GossipConfig;
 use serde::{Deserialize, Serialize};
@@ -24,13 +25,19 @@ pub struct DesignOptimizer {
 impl DesignOptimizer {
     /// Creates an optimizer for the given network model (must be a disk
     /// deployment under CAM — the configuration the analysis covers).
-    pub fn new(model: NetworkModel) -> Result<Self, String> {
+    pub fn new(model: NetworkModel) -> Result<Self, ConfigError> {
         model.validate()?;
         if model.rho().is_none() {
-            return Err("analytical optimization requires the disk deployment".into());
+            return Err(ConfigError::Inconsistent {
+                what: "analytical optimization requires the disk deployment",
+                at: None,
+            });
         }
         if !model.comm.collisions_possible() {
-            return Err("PB_CAM optimization targets the Collision Aware Model".into());
+            return Err(ConfigError::Inconsistent {
+                what: "PB_CAM optimization targets the Collision Aware Model",
+                at: None,
+            });
         }
         Ok(DesignOptimizer {
             model,
@@ -90,14 +97,9 @@ impl DesignOptimizer {
             track_success_rate: false,
             node_failure_per_phase: 0.0,
         };
-        Replication {
-            deployment: self.model.deployment,
-            gossip,
-            replications,
-            master_seed,
-            threads: 0,
-        }
-        .run()
+        Replication::paper(self.model.deployment, gossip, master_seed)
+            .with_runs(replications)
+            .run()
     }
 
     /// Full design loop: choose `p` analytically, validate by simulation,

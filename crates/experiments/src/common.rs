@@ -4,12 +4,44 @@ use nss_analysis::optimize::ProbabilitySweep;
 use nss_analysis::ring_model::RingModelConfig;
 use nss_analysis::sweep::DensitySweep;
 use nss_model::deployment::Deployment;
+use nss_model::faults::FaultPlan;
 use nss_sim::runner::{ReplicatedTraces, Replication};
 use nss_sim::slotted::GossipConfig;
 use std::fs;
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
+
+/// Calibration values and memoized sweeps threaded between figures.
+///
+/// Figures run in registry (declaration) order; earlier figures deposit the
+/// plateau/budget calibrations later ones consume, and the shared analysis
+/// and simulation sweeps are computed at most once per invocation.
+struct SharedState {
+    analysis: Option<Arc<DensitySweep>>,
+    sim: Option<Arc<SimSweep>>,
+    /// Reachability plateau target from Fig. 4 (paper default 0.72).
+    plateau: f64,
+    /// Energy budget for Fig. 7 (paper default 35.0).
+    energy_budget: f64,
+    /// Simulated plateau target from Fig. 8 (paper default 0.63).
+    sim_plateau: f64,
+    /// Broadcast budget for Fig. 11 (paper default 80.0).
+    sim_budget: f64,
+}
+
+impl std::fmt::Debug for SharedState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedState")
+            .field("analysis", &self.analysis.is_some())
+            .field("sim", &self.sim.is_some())
+            .field("plateau", &self.plateau)
+            .field("energy_budget", &self.energy_budget)
+            .field("sim_plateau", &self.sim_plateau)
+            .field("sim_budget", &self.sim_budget)
+            .finish()
+    }
+}
 
 /// Harness-wide options parsed from the command line.
 #[derive(Debug, Clone)]
@@ -24,9 +56,14 @@ pub struct Ctx {
     pub threads: usize,
     /// Master seed for all simulations.
     pub seed: u64,
+    /// Fault scenario applied to every simulated sweep (`--faults SPEC`);
+    /// the empty plan reproduces the fault-free figures bit-for-bit.
+    pub faults: FaultPlan,
     /// Every artifact written this run (shared across clones so the final
     /// manifest sees all of them).
     artifacts: Arc<Mutex<Vec<PathBuf>>>,
+    /// Cross-figure calibrations and memoized sweeps.
+    state: Arc<Mutex<SharedState>>,
 }
 
 impl Ctx {
@@ -38,8 +75,94 @@ impl Ctx {
             runs: 30,
             threads: 0,
             seed: 2005,
+            faults: FaultPlan::none(),
             artifacts: Arc::new(Mutex::new(Vec::new())),
+            state: Arc::new(Mutex::new(SharedState {
+                analysis: None,
+                sim: None,
+                plateau: 0.72,
+                energy_budget: 35.0,
+                sim_plateau: 0.63,
+                sim_budget: 80.0,
+            })),
         }
+    }
+
+    /// The shared analytical sweep (Figs. 4–7), computed on first use.
+    pub fn analysis(&self) -> Arc<DensitySweep> {
+        let mut st = self.state.lock().expect("shared state poisoned");
+        if st.analysis.is_none() {
+            nss_obs::status_err!("running analytical sweep...");
+            let _span = nss_obs::span!("repro.analysis_sweep");
+            st.analysis = Some(Arc::new(analysis_sweep(self)));
+        }
+        st.analysis.clone().expect("just computed")
+    }
+
+    /// The shared simulated sweep (Figs. 8–11), computed on first use.
+    pub fn sim(&self) -> Arc<SimSweep> {
+        let mut st = self.state.lock().expect("shared state poisoned");
+        if st.sim.is_none() {
+            nss_obs::status_err!(
+                "running simulated sweep ({} runs per point)...",
+                self.sim_runs()
+            );
+            let _span = nss_obs::span!("repro.sim_sweep");
+            st.sim = Some(Arc::new(sim_sweep(self, false)));
+        }
+        st.sim.clone().expect("just computed")
+    }
+
+    /// Analytical reachability plateau target (set by fig4).
+    pub fn plateau(&self) -> f64 {
+        self.state.lock().expect("shared state poisoned").plateau
+    }
+
+    /// Records the analytical plateau target for later figures.
+    pub fn set_plateau(&self, v: f64) {
+        self.state.lock().expect("shared state poisoned").plateau = v;
+    }
+
+    /// Analytical energy budget (set by fig6).
+    pub fn energy_budget(&self) -> f64 {
+        self.state
+            .lock()
+            .expect("shared state poisoned")
+            .energy_budget
+    }
+
+    /// Records the analytical energy budget for later figures.
+    pub fn set_energy_budget(&self, v: f64) {
+        self.state
+            .lock()
+            .expect("shared state poisoned")
+            .energy_budget = v;
+    }
+
+    /// Simulated reachability plateau target (set by fig8).
+    pub fn sim_plateau(&self) -> f64 {
+        self.state
+            .lock()
+            .expect("shared state poisoned")
+            .sim_plateau
+    }
+
+    /// Records the simulated plateau target for later figures.
+    pub fn set_sim_plateau(&self, v: f64) {
+        self.state
+            .lock()
+            .expect("shared state poisoned")
+            .sim_plateau = v;
+    }
+
+    /// Simulated broadcast budget (set by fig10).
+    pub fn sim_budget(&self) -> f64 {
+        self.state.lock().expect("shared state poisoned").sim_budget
+    }
+
+    /// Records the simulated broadcast budget for later figures.
+    pub fn set_sim_budget(&self, v: f64) {
+        self.state.lock().expect("shared state poisoned").sim_budget = v;
     }
 
     /// Paths of every artifact written through this context so far.
@@ -164,17 +287,15 @@ pub fn sim_sweep(ctx: &Ctx, track_success_rate: bool) -> SimSweep {
         for (pi, &p) in probs.iter().enumerate() {
             let mut gossip = GossipConfig::pb_cam(p);
             gossip.track_success_rate = track_success_rate;
-            let rep = Replication {
-                deployment: Deployment::disk(5, 1.0, rho),
-                gossip,
-                replications: ctx.sim_runs(),
-                // Independent seeds per cell, deterministic per master seed.
-                master_seed: ctx
-                    .seed
-                    .wrapping_add((ri as u64) << 32)
-                    .wrapping_add(pi as u64),
-                threads: ctx.threads,
-            };
+            // Independent seeds per cell, deterministic per master seed.
+            let cell_seed = ctx
+                .seed
+                .wrapping_add((ri as u64) << 32)
+                .wrapping_add(pi as u64);
+            let rep = Replication::paper(Deployment::disk(5, 1.0, rho), gossip, cell_seed)
+                .with_runs(ctx.sim_runs())
+                .with_threads(ctx.threads)
+                .with_faults(ctx.faults.clone());
             row.push(rep.run());
         }
         grid.push(row);

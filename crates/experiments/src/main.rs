@@ -5,17 +5,18 @@
 //! cargo run --release -p nss-experiments --bin repro -- all
 //! cargo run --release -p nss-experiments --bin repro -- fig4 fig12
 //! cargo run --release -p nss-experiments --bin repro -- --fast sim
+//! cargo run --release -p nss-experiments --bin repro -- list
 //! ```
 //!
-//! Commands: `fig4 fig5 fig6 fig7` (analysis), `fig8 fig9 fig10 fig11`
-//! (simulation), `fig12`, `ext-cs ext-cfmgap ext-grid ext-adaptive ext-ack
-//! ext-async ext-mumode`, and the groups `analysis`, `sim`, `ext`, `all`.
+//! Commands are [`figures::Figure`] registry entries (`repro list` prints
+//! them) plus the groups `analysis`, `sim`, `ext`, `misc`, and `all`.
 //! Options: `--fast` (smoke-scale), `--out DIR`, `--runs N`, `--threads N`,
-//! `--seed S`.
+//! `--seed S`, `--faults SPEC` (e.g. `"loss=0.2,dead=0.1"`).
 
 #![allow(clippy::needless_range_loop)] // tabular row/column code reads better indexed
 
 mod common;
+mod ext_faults;
 mod extensions;
 mod fig04;
 mod fig05;
@@ -26,300 +27,137 @@ mod fig09;
 mod fig10;
 mod fig11;
 mod fig12;
+mod figures;
 mod report;
 
 use common::Ctx;
+use figures::Figure;
+use nss_model::faults::FaultPlan;
 use std::collections::BTreeSet;
 use std::time::Instant;
 
-/// Runs one figure/extension under a named span so instrumented builds
-/// record per-figure wall time (`<name>.seconds` histograms + span events).
-fn timed<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
-    let _span = nss_obs::span!(name);
-    f()
+fn main() {
+    let (ctx, commands) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            eprintln!("error: {msg}\n");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+    if commands.is_empty() {
+        print_usage();
+        return;
+    }
+    if commands.iter().any(|c| c == "list") {
+        print_list();
+        return;
+    }
+
+    let selected = match select(&commands) {
+        Ok(s) => s,
+        Err(unknown) => {
+            eprintln!("unknown command: {unknown}");
+            print_usage();
+            std::process::exit(2);
+        }
+    };
+
+    let started = Instant::now();
+    nss_obs::status!(
+        "repro: {} (fast={}, runs={}, seed={}{})",
+        selected.iter().copied().collect::<Vec<_>>().join(" "),
+        ctx.fast,
+        ctx.sim_runs(),
+        ctx.seed,
+        if ctx.faults.is_empty() {
+            String::new()
+        } else {
+            format!(", faults={}", ctx.faults.to_spec())
+        }
+    );
+
+    // Registry (declaration) order, so figures that calibrate plateau and
+    // budget targets run before the figures that consume them.
+    for fig in figures::REGISTRY {
+        if selected.contains(fig.name()) {
+            fig.run(&ctx);
+        }
+    }
+
+    write_run_records(&ctx, &selected, started.elapsed().as_secs_f64());
+    nss_obs::status!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
 }
 
-fn main() {
+/// Parses flags and commands; any malformed flag is an `Err` (usage + exit
+/// status 2 at the call site, never a panic).
+fn parse_args(args: impl Iterator<Item = String>) -> Result<(Ctx, Vec<String>), String> {
     let mut ctx = Ctx::new();
-    let mut commands: BTreeSet<String> = BTreeSet::new();
-    let mut args = std::env::args().skip(1).peekable();
+    let mut commands = Vec::new();
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--fast" => ctx.fast = true,
             "--quiet" => nss_obs::console::set_verbosity(nss_obs::console::QUIET),
             "--out" => {
-                ctx.out_dir = args.next().expect("--out needs a directory").into();
+                ctx.out_dir = args.next().ok_or("--out needs a directory")?.into();
             }
             "--runs" => {
-                ctx.runs = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--runs needs a number");
+                let v = args.next().ok_or("--runs needs a number")?;
+                ctx.runs = v
+                    .parse()
+                    .map_err(|_| format!("--runs needs a number, got '{v}'"))?;
             }
             "--threads" => {
-                ctx.threads = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--threads needs a number");
+                let v = args.next().ok_or("--threads needs a number")?;
+                ctx.threads = v
+                    .parse()
+                    .map_err(|_| format!("--threads needs a number, got '{v}'"))?;
             }
             "--seed" => {
-                ctx.seed = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--seed needs a number");
+                let v = args.next().ok_or("--seed needs a number")?;
+                ctx.seed = v
+                    .parse()
+                    .map_err(|_| format!("--seed needs a number, got '{v}'"))?;
+            }
+            "--faults" => {
+                let v = args.next().ok_or("--faults needs a spec string")?;
+                ctx.faults =
+                    FaultPlan::parse_spec(&v).map_err(|e| format!("--faults spec '{v}': {e}"))?;
             }
             "--help" | "-h" => {
                 print_usage();
-                return;
+                std::process::exit(0);
             }
-            cmd => {
-                commands.insert(cmd.to_string());
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}"));
             }
+            cmd => commands.push(cmd.to_string()),
         }
     }
-    if commands.is_empty() {
-        print_usage();
-        return;
-    }
+    Ok((ctx, commands))
+}
 
-    // Expand groups.
-    let mut selected: BTreeSet<&str> = BTreeSet::new();
-    for cmd in &commands {
-        match cmd.as_str() {
-            "analysis" => {
-                selected.extend(["fig4", "fig5", "fig6", "fig7"]);
-            }
-            "sim" => {
-                selected.extend(["fig8", "fig9", "fig10", "fig11"]);
-            }
-            "ext" => {
-                selected.extend([
-                    "ext-cs",
-                    "ext-cfmgap",
-                    "ext-grid",
-                    "ext-adaptive",
-                    "ext-ack",
-                    "ext-async",
-                    "ext-mumode",
-                    "ext-survival",
-                    "ext-cfmcost",
-                    "ext-schemes",
-                    "ext-converge",
-                    "ext-failures",
-                    "ext-tdma",
-                    "ext-slots",
-                    "ext-hetero",
-                    "ext-fieldsize",
-                ]);
-            }
-            "all" => {
-                selected.extend([
-                    "fig4",
-                    "fig5",
-                    "fig6",
-                    "fig7",
-                    "fig8",
-                    "fig9",
-                    "fig10",
-                    "fig11",
-                    "fig12",
-                    "ext-cs",
-                    "ext-cfmgap",
-                    "ext-grid",
-                    "ext-adaptive",
-                    "ext-ack",
-                    "ext-async",
-                    "ext-mumode",
-                    "ext-survival",
-                    "ext-cfmcost",
-                    "ext-schemes",
-                    "ext-converge",
-                    "ext-failures",
-                    "ext-tdma",
-                    "ext-slots",
-                    "ext-hetero",
-                    "ext-fieldsize",
-                    "report",
-                ]);
-            }
-            other => {
-                selected.insert(other);
-            }
+/// Expands groups and validates names against the registry.
+fn select(commands: &[String]) -> Result<BTreeSet<&'static str>, String> {
+    let mut selected = BTreeSet::new();
+    for cmd in commands {
+        if cmd == "all" {
+            selected.extend(figures::REGISTRY.iter().map(Figure::name));
+        } else if figures::is_group(cmd) {
+            selected.extend(
+                figures::REGISTRY
+                    .iter()
+                    .filter(|f| f.group() == cmd)
+                    .map(Figure::name),
+            );
+        } else if let Some(fig) = figures::find(cmd) {
+            selected.insert(fig.name());
+        } else {
+            return Err(cmd.clone());
         }
     }
-    let known = [
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11",
-        "fig12",
-        "ext-cs",
-        "ext-cfmgap",
-        "ext-grid",
-        "ext-adaptive",
-        "ext-ack",
-        "ext-async",
-        "ext-mumode",
-        "ext-survival",
-        "ext-cfmcost",
-        "ext-schemes",
-        "ext-converge",
-        "ext-failures",
-        "ext-tdma",
-        "ext-slots",
-        "ext-hetero",
-        "ext-fieldsize",
-        "report",
-    ];
-    for cmd in &selected {
-        if !known.contains(cmd) {
-            eprintln!("unknown command: {cmd}");
-            print_usage();
-            std::process::exit(2);
-        }
-    }
-
-    let started = Instant::now();
-    nss_obs::status!(
-        "repro: {} (fast={}, runs={}, seed={})",
-        selected.iter().copied().collect::<Vec<_>>().join(" "),
-        ctx.fast,
-        ctx.sim_runs(),
-        ctx.seed
-    );
-
-    // Shared analytical sweep for Figs. 4–7.
-    let needs_analysis = ["fig4", "fig5", "fig6", "fig7"]
-        .iter()
-        .any(|f| selected.contains(f));
-    let analysis = if needs_analysis {
-        nss_obs::status_err!("running analytical sweep...");
-        Some(timed("repro.analysis_sweep", || {
-            common::analysis_sweep(&ctx)
-        }))
-    } else {
-        None
-    };
-
-    // Fig. 4 (and the plateau target Figs. 5/6 reuse).
-    let mut plateau = 0.72; // the paper's value, used if fig4 is skipped
-    let mut energy_budget = 35.0; // the paper's Fig. 7 budget
-    if let Some(sweep) = &analysis {
-        if selected.contains("fig4") {
-            let optima = timed("repro.fig4", || fig04::run(&ctx, sweep));
-            plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
-        }
-        if selected.contains("fig5") {
-            timed("repro.fig5", || fig05::run(&ctx, sweep, plateau));
-        }
-        if selected.contains("fig6") {
-            let optima = timed("repro.fig6", || fig06::run(&ctx, sweep, plateau));
-            if !optima.is_empty() {
-                // The paper sets the Fig. 7 budget just below its Fig. 6
-                // optimum; mirror that on our calibration.
-                energy_budget = optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
-            }
-        }
-        if selected.contains("fig7") {
-            timed("repro.fig7", || {
-                fig07::run(&ctx, sweep, energy_budget.round())
-            });
-        }
-    }
-
-    // Shared simulated sweep for Figs. 8–11.
-    let needs_sim = ["fig8", "fig9", "fig10", "fig11"]
-        .iter()
-        .any(|f| selected.contains(f));
-    if needs_sim {
-        nss_obs::status_err!(
-            "running simulated sweep ({} runs per point)...",
-            ctx.sim_runs()
-        );
-        let sweep = timed("repro.sim_sweep", || common::sim_sweep(&ctx, false));
-        let mut sim_plateau = 0.63; // the paper's simulated plateau
-        let mut sim_budget = 80.0; // the paper's Fig. 11 budget
-        if selected.contains("fig8") {
-            let optima = timed("repro.fig8", || fig08::run(&ctx, &sweep));
-            sim_plateau = optima.iter().map(|o| o.2).fold(f64::MAX, f64::min) * 0.999;
-        }
-        if selected.contains("fig9") {
-            timed("repro.fig9", || fig09::run(&ctx, &sweep, sim_plateau));
-        }
-        if selected.contains("fig10") {
-            let optima = timed("repro.fig10", || fig10::run(&ctx, &sweep, sim_plateau));
-            if !optima.is_empty() {
-                sim_budget = optima.iter().map(|o| o.2).sum::<f64>() / optima.len() as f64;
-            }
-        }
-        if selected.contains("fig11") {
-            timed("repro.fig11", || {
-                fig11::run(&ctx, &sweep, sim_budget.round())
-            });
-        }
-    }
-
-    if selected.contains("fig12") {
-        timed("repro.fig12", || fig12::run(&ctx));
-    }
-    if selected.contains("ext-cs") {
-        timed("repro.ext-cs", || extensions::ext_carrier_sense(&ctx));
-    }
-    if selected.contains("ext-cfmgap") {
-        timed("repro.ext-cfmgap", || extensions::ext_cfm_gap(&ctx));
-    }
-    if selected.contains("ext-grid") {
-        timed("repro.ext-grid", || extensions::ext_grid_percolation(&ctx));
-    }
-    if selected.contains("ext-adaptive") {
-        timed("repro.ext-adaptive", || extensions::ext_adaptive(&ctx));
-    }
-    if selected.contains("ext-ack") {
-        timed("repro.ext-ack", || extensions::ext_ack_flood(&ctx));
-    }
-    if selected.contains("ext-async") {
-        timed("repro.ext-async", || extensions::ext_async(&ctx));
-    }
-    if selected.contains("ext-mumode") {
-        timed("repro.ext-mumode", || extensions::ext_mu_mode(&ctx));
-    }
-    if selected.contains("ext-survival") {
-        timed("repro.ext-survival", || extensions::ext_survival(&ctx));
-    }
-    if selected.contains("ext-cfmcost") {
-        timed("repro.ext-cfmcost", || extensions::ext_cfm_cost(&ctx));
-    }
-    if selected.contains("ext-schemes") {
-        timed("repro.ext-schemes", || extensions::ext_schemes(&ctx));
-    }
-    if selected.contains("ext-converge") {
-        timed("repro.ext-converge", || extensions::ext_convergecast(&ctx));
-    }
-    if selected.contains("ext-failures") {
-        timed("repro.ext-failures", || extensions::ext_failures(&ctx));
-    }
-    if selected.contains("ext-tdma") {
-        timed("repro.ext-tdma", || extensions::ext_tdma(&ctx));
-    }
-    if selected.contains("ext-slots") {
-        timed("repro.ext-slots", || extensions::ext_slots(&ctx));
-    }
-    if selected.contains("ext-hetero") {
-        timed("repro.ext-hetero", || extensions::ext_hetero(&ctx));
-    }
-    if selected.contains("ext-fieldsize") {
-        timed("repro.ext-fieldsize", || extensions::ext_fieldsize(&ctx));
-    }
-    if selected.contains("report") {
-        timed("repro.report", || report::run(&ctx));
-    }
-
-    write_run_records(&ctx, &selected, started.elapsed().as_secs_f64());
-    nss_obs::status!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+    Ok(selected)
 }
 
 /// Emits the run's provenance next to its artifacts: `RUN_MANIFEST.json`
@@ -335,6 +173,7 @@ fn write_run_records(ctx: &Ctx, selected: &BTreeSet<&str>, wall_s: f64) {
     manifest.config_entry("runs", ctx.sim_runs());
     manifest.config_entry("threads", ctx.threads);
     manifest.config_entry("out_dir", ctx.out_dir.display());
+    manifest.config_entry("faults", ctx.faults.to_spec());
     manifest.config_entry("obs_enabled", nss_obs::enabled());
     for cmd in selected {
         manifest.commands.push((*cmd).to_string());
@@ -356,16 +195,29 @@ fn write_run_records(ctx: &Ctx, selected: &BTreeSet<&str>, wall_s: f64) {
     nss_obs::status!("  wrote {}", metrics_path.display());
 }
 
+/// `repro list`: every registered figure with its group and description.
+fn print_list() {
+    println!("{:<16} {:<10} description", "name", "group");
+    for fig in figures::REGISTRY {
+        println!("{:<16} {:<10} {}", fig.name(), fig.group(), fig.describe());
+    }
+    println!("\ngroups: analysis sim ext misc all");
+}
+
 fn print_usage() {
     println!(
-        "usage: repro [--fast] [--quiet] [--out DIR] [--runs N] [--threads N] [--seed S] COMMAND...\n\
+        "usage: repro [--fast] [--quiet] [--out DIR] [--runs N] [--threads N] [--seed S]\n             \
+         [--faults SPEC] COMMAND...\n\
          commands:\n  \
+         list                     print every registered figure\n  \
          fig4 fig5 fig6 fig7      analytical figures (ring model)\n  \
          fig8 fig9 fig10 fig11    simulated figures (30-run averages)\n  \
          fig12                    success-rate correlation\n  \
          ext-cs ext-cfmgap ext-grid ext-adaptive ext-ack ext-async ext-mumode\n  \
-         ext-survival ext-cfmcost ext-schemes ext-converge ext-failures ext-tdma ext-slots ext-hetero ext-fieldsize\n  \
+         ext-survival ext-cfmcost ext-schemes ext-converge ext-failures ext-tdma\n  \
+         ext-slots ext-hetero ext-fieldsize ext-faults\n  \
          report                   compose results/REPORT.md from the CSVs\n  \
-         analysis | sim | ext | all"
+         analysis | sim | ext | misc | all\n\
+         fault spec: comma-separated, e.g. \"loss=0.2,dead=0.1,duty=3/5,budget=2,out=3:2-5\""
     );
 }

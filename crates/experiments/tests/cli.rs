@@ -1,0 +1,73 @@
+//! CLI contract tests for the `repro` binary: malformed flags exit with
+//! usage + status 2 instead of panicking, and `list` prints the registry.
+
+use std::process::Command;
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("spawn repro")
+}
+
+#[test]
+fn malformed_runs_value_exits_2_with_usage() {
+    let out = repro(&["--runs", "x", "fig4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--runs needs a number"),
+        "stderr should name the bad flag: {err}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("usage: repro"), "usage goes to stdout");
+}
+
+#[test]
+fn missing_out_argument_exits_2() {
+    let out = repro(&["fig4", "--out"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--out needs a directory"));
+}
+
+#[test]
+fn unknown_flag_exits_2() {
+    let out = repro(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn unknown_command_exits_2() {
+    let out = repro(&["fig99"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command: fig99"));
+}
+
+#[test]
+fn invalid_fault_spec_exits_2() {
+    let out = repro(&["--faults", "loss=2.0", "fig4"]);
+    assert_eq!(out.status.code(), Some(2));
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("--faults"),
+        "stderr should blame the spec: {err}"
+    );
+}
+
+#[test]
+fn list_prints_registry() {
+    let out = repro(&["list"]);
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["fig4", "fig12", "ext-faults", "report"] {
+        assert!(stdout.contains(name), "list should mention {name}");
+    }
+}
+
+#[test]
+fn no_commands_prints_usage_and_succeeds() {
+    let out = repro(&[]);
+    assert_eq!(out.status.code(), Some(0));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage: repro"));
+}

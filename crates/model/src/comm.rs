@@ -13,6 +13,7 @@
 //! additionally treats any concurrent transmission within the *carrier-sense
 //! range* (typically `2r`) as destructive interference.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Which concurrent transmissions destroy a reception (CAM only).
@@ -74,21 +75,32 @@ impl CostParams {
     };
 
     /// Validates the model constraint `t_a ≤ t_f ∧ e_a ≤ e_f` and positivity.
-    pub fn validate(&self) -> Result<(), String> {
-        if !(self.t_f > 0.0 && self.e_f > 0.0 && self.t_a > 0.0 && self.e_a > 0.0) {
-            return Err("all costs must be positive".into());
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, value) in [
+            ("t_f", self.t_f),
+            ("e_f", self.e_f),
+            ("t_a", self.t_a),
+            ("e_a", self.e_a),
+        ] {
+            if !(value > 0.0 && value.is_finite()) {
+                return Err(ConfigError::NotPositive { field, value });
+            }
         }
         if self.t_a > self.t_f {
-            return Err(format!(
-                "t_a ({}) must not exceed t_f ({})",
-                self.t_a, self.t_f
-            ));
+            return Err(ConfigError::Exceeds {
+                field: "t_a",
+                bound: "t_f",
+                value: self.t_a,
+                limit: self.t_f,
+            });
         }
         if self.e_a > self.e_f {
-            return Err(format!(
-                "e_a ({}) must not exceed e_f ({})",
-                self.e_a, self.e_f
-            ));
+            return Err(ConfigError::Exceeds {
+                field: "e_a",
+                bound: "e_f",
+                value: self.e_a,
+                limit: self.e_f,
+            });
         }
         Ok(())
     }

@@ -38,6 +38,8 @@
 
 pub mod comm;
 pub mod deployment;
+pub mod error;
+pub mod faults;
 pub mod geometry;
 pub mod ids;
 pub mod io;
@@ -52,6 +54,8 @@ pub mod prelude {
     pub use crate::deployment::{
         ClusterDeployment, CountModel, DeployedNetwork, Deployment, DiskDeployment, GridDeployment,
     };
+    pub use crate::error::ConfigError;
+    pub use crate::faults::{DutyCycle, FaultPlan, NodeOutage};
     pub use crate::geometry::{annulus_area, disk_area, lens_area, lens_area_border, Point2};
     pub use crate::ids::NodeId;
     pub use crate::metrics::PhaseSeries;

@@ -8,6 +8,7 @@
 //! latency and energy are continuous quantities measured in fractional
 //! phases / broadcasts.
 
+use crate::error::ConfigError;
 use serde::{Deserialize, Serialize};
 
 /// Phase-granular summary of one broadcast execution.
@@ -41,27 +42,42 @@ pub struct PhaseSeries {
 
 impl PhaseSeries {
     /// Validates internal consistency (lengths match, monotone, bounded).
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.informed_cum.len() != self.broadcasts_cum.len() {
-            return Err("informed/broadcast series lengths differ".into());
+            return Err(ConfigError::Inconsistent {
+                what: "informed/broadcast series lengths differ",
+                at: None,
+            });
         }
         if self.n_total <= 0.0 {
-            return Err("n_total must be positive".into());
+            return Err(ConfigError::NotPositive {
+                field: "n_total",
+                value: self.n_total,
+            });
         }
         let mut prev = 0.0;
         for (i, &v) in self.informed_cum.iter().enumerate() {
             if v < prev - 1e-9 {
-                return Err(format!("informed_cum decreases at phase {}", i + 1));
+                return Err(ConfigError::Inconsistent {
+                    what: "informed_cum decreases at phase",
+                    at: Some(i + 1),
+                });
             }
             if v > self.n_total * (1.0 + 1e-9) {
-                return Err(format!("informed_cum exceeds n_total at phase {}", i + 1));
+                return Err(ConfigError::Inconsistent {
+                    what: "informed_cum exceeds n_total at phase",
+                    at: Some(i + 1),
+                });
             }
             prev = v;
         }
         let mut prev = 0.0;
         for (i, &v) in self.broadcasts_cum.iter().enumerate() {
             if v < prev - 1e-9 {
-                return Err(format!("broadcasts_cum decreases at phase {}", i + 1));
+                return Err(ConfigError::Inconsistent {
+                    what: "broadcasts_cum decreases at phase",
+                    at: Some(i + 1),
+                });
             }
             prev = v;
         }

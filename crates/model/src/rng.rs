@@ -50,6 +50,8 @@ pub enum Stream {
     Protocol,
     /// Slot-jitter selection.
     Jitter,
+    /// Fault injection (link loss, node death) — see `nss_model::faults`.
+    Faults,
     /// Anything else (tests, ad-hoc tools).
     Misc,
 }
@@ -62,6 +64,7 @@ impl Stream {
             Stream::Deployment => "deployment",
             Stream::Protocol => "protocol",
             Stream::Jitter => "jitter",
+            Stream::Faults => "faults",
             Stream::Misc => "misc",
         }
     }
@@ -102,9 +105,13 @@ mod tests {
         let a = f.seed(Stream::Deployment, 0);
         let b = f.seed(Stream::Protocol, 0);
         let c = f.seed(Stream::Jitter, 0);
+        let d = f.seed(Stream::Faults, 0);
         assert_ne!(a, b);
         assert_ne!(b, c);
         assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_ne!(b, d);
+        assert_ne!(c, d);
     }
 
     #[test]

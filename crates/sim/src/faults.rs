@@ -1,0 +1,259 @@
+//! Executor-side interpretation of a [`FaultPlan`].
+//!
+//! The plan itself (in `nss-model`) is a pure description; this module
+//! turns it into per-phase liveness masks and per-slot link-loss decisions
+//! for the simulator. Two invariants drive the design:
+//!
+//! 1. **Statelessness of random decisions.** Link-loss coins and
+//!    dead-from-start thinning are pure hashes of
+//!    `(faults_seed, phase, slot, tx, rx)` — no RNG object is advanced, so
+//!    outcomes are identical under any thread count and any evaluation
+//!    order, and the protocol/jitter streams are never perturbed.
+//! 2. **Zero cost when absent.** Executors map an empty plan to `None` and
+//!    take the exact pre-fault code path; nothing here runs.
+
+use crate::medium::SlotStats;
+use nss_model::faults::{hash_unit, FaultPlan};
+use nss_model::rng::splitmix64;
+
+/// Per-slot fault context handed to [`Medium::resolve_slot`]
+/// (crate::medium::Medium::resolve_slot): a liveness mask plus the link-loss
+/// coin for this `(phase, slot)`.
+#[derive(Debug)]
+pub struct SlotFaults<'a> {
+    /// Effective liveness this phase; dead receivers hear nothing.
+    pub alive: &'a [bool],
+    /// Per-delivery independent loss probability.
+    pub link_loss: f64,
+    /// Whitened `(seed, phase, slot)` mix keying the per-link coins.
+    mix: u64,
+}
+
+impl<'a> SlotFaults<'a> {
+    /// Builds the context for one slot. `phase` and `slot` index the coin
+    /// space so repeated transmissions over the same link see independent
+    /// losses.
+    pub fn new(alive: &'a [bool], link_loss: f64, faults_seed: u64, phase: u32, slot: u32) -> Self {
+        let mut s = faults_seed
+            ^ u64::from(phase).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ u64::from(slot).wrapping_mul(0x1656_67B1_9E37_79F9);
+        let mix = splitmix64(&mut s);
+        SlotFaults {
+            alive,
+            link_loss,
+            mix,
+        }
+    }
+
+    /// Whether the `tx → rx` packet survives the independent link-loss
+    /// coin in this slot. Pure function of `(mix, tx, rx)`.
+    pub fn link_delivers(&self, tx: u32, rx: u32) -> bool {
+        if self.link_loss <= 0.0 {
+            return true;
+        }
+        if self.link_loss >= 1.0 {
+            return false;
+        }
+        hash_unit(self.mix, (u64::from(tx) << 32) | u64::from(rx)) >= self.link_loss
+    }
+}
+
+/// Phase-stepped liveness tracking for one execution of a [`FaultPlan`].
+///
+/// Composes the plan's downtime sources — scheduled outages, duty cycling,
+/// dead-from-start thinning, and energy exhaustion — into a single `alive`
+/// mask, recomputed at each [`FaultState::begin_phase`]. Energy exhaustion
+/// ([`FaultState::note_broadcast`]) takes effect at the *next* phase
+/// boundary: a node finishes the phase in which it spends its last unit.
+#[derive(Debug)]
+pub struct FaultState<'a> {
+    plan: &'a FaultPlan,
+    seed: u64,
+    /// Survives the run-level `dead_frac` thinning (fixed at construction).
+    survives: Vec<bool>,
+    /// Broadcast counts toward `energy_budget`.
+    broadcasts: Vec<u32>,
+    exhausted: Vec<bool>,
+    alive: Vec<bool>,
+}
+
+impl<'a> FaultState<'a> {
+    /// Prepares fault tracking for an `n`-node execution under `seed`
+    /// (derived from [`Stream::Faults`](nss_model::rng::Stream::Faults)).
+    pub fn new(plan: &'a FaultPlan, seed: u64, n: usize) -> Self {
+        let survives: Vec<bool> = (0..n)
+            .map(|u| plan.survives_thinning(u as u32, seed))
+            .collect();
+        FaultState {
+            plan,
+            seed,
+            survives,
+            broadcasts: vec![0; n],
+            exhausted: vec![false; n],
+            alive: vec![true; n],
+        }
+    }
+
+    /// Recomputes the effective liveness mask for `phase` (1-based).
+    pub fn begin_phase(&mut self, phase: u32) {
+        for u in 0..self.alive.len() {
+            self.alive[u] = self.survives[u]
+                && !self.exhausted[u]
+                && self.plan.scheduled_awake(u as u32, phase);
+        }
+    }
+
+    /// Effective liveness mask for the current phase.
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Whether node `u` is alive in the current phase.
+    pub fn is_alive(&self, u: usize) -> bool {
+        self.alive[u]
+    }
+
+    /// Number of alive nodes in the current phase.
+    pub fn alive_count(&self) -> u32 {
+        self.alive.iter().filter(|&&a| a).count() as u32
+    }
+
+    /// Records one broadcast by `u` toward its energy budget. The source
+    /// (node 0) is exempt — a dead source makes every metric degenerate.
+    pub fn note_broadcast(&mut self, u: u32) {
+        if u == 0 {
+            return;
+        }
+        let Some(budget) = self.plan.energy_budget else {
+            return;
+        };
+        let c = &mut self.broadcasts[u as usize];
+        *c += 1;
+        if *c >= budget {
+            self.exhausted[u as usize] = true;
+        }
+    }
+
+    /// Per-slot fault context for the medium.
+    pub fn slot(&self, phase: u32, slot: u32) -> SlotFaults<'_> {
+        SlotFaults::new(&self.alive, self.plan.link_loss, self.seed, phase, slot)
+    }
+}
+
+/// Publishes a phase's fault counters to `nss-obs` (no-ops when the `obs`
+/// feature is off or instrumentation is disabled).
+pub fn record_fault_obs(stats: &SlotStats) {
+    nss_obs::counter!("sim.losses").add(stats.losses);
+    nss_obs::counter!("sim.dead_drops").add(stats.dead_drops);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nss_model::faults::{DutyCycle, NodeOutage};
+
+    #[test]
+    fn link_coins_are_deterministic_and_slot_independent() {
+        let alive = vec![true; 4];
+        let a = SlotFaults::new(&alive, 0.5, 99, 3, 1);
+        let b = SlotFaults::new(&alive, 0.5, 99, 3, 1);
+        for tx in 0..4u32 {
+            for rx in 0..4u32 {
+                assert_eq!(a.link_delivers(tx, rx), b.link_delivers(tx, rx));
+            }
+        }
+        // Different slots / phases / seeds key independent coins: over many
+        // links the outcomes must not all agree.
+        let c = SlotFaults::new(&alive, 0.5, 99, 3, 2);
+        let d = SlotFaults::new(&alive, 0.5, 100, 3, 1);
+        let links: Vec<(u32, u32)> = (0..40).map(|i| (i, (i + 1) % 40)).collect();
+        let same_c = links
+            .iter()
+            .filter(|&&(t, r)| a.link_delivers(t, r) == c.link_delivers(t, r))
+            .count();
+        let same_d = links
+            .iter()
+            .filter(|&&(t, r)| a.link_delivers(t, r) == d.link_delivers(t, r))
+            .count();
+        assert!(same_c < links.len(), "slot index must matter");
+        assert!(same_d < links.len(), "seed must matter");
+    }
+
+    #[test]
+    fn link_loss_extremes() {
+        let alive = vec![true; 2];
+        let never = SlotFaults::new(&alive, 0.0, 1, 1, 0);
+        assert!(never.link_delivers(0, 1));
+        let always = SlotFaults::new(&alive, 1.0, 1, 1, 0);
+        assert!(!always.link_delivers(0, 1));
+    }
+
+    #[test]
+    fn link_loss_rate_matches_probability() {
+        let alive = vec![true; 2];
+        let f = SlotFaults::new(&alive, 0.3, 7, 2, 0);
+        let lost = (0..10_000u32)
+            .filter(|&i| !f.link_delivers(i, i.wrapping_add(1)))
+            .count();
+        let rate = lost as f64 / 10_000.0;
+        assert!((0.27..=0.33).contains(&rate), "loss rate {rate}");
+    }
+
+    #[test]
+    fn fault_state_composes_downtime() {
+        let mut plan = FaultPlan::none();
+        plan.outages.push(NodeOutage {
+            node: 2,
+            from_phase: 2,
+            until_phase: Some(4),
+        });
+        plan.duty_cycle = Some(DutyCycle {
+            period: 2,
+            on_phases: 1,
+        });
+        let mut fs = FaultState::new(&plan, 5, 4);
+        fs.begin_phase(1);
+        // Source always alive; others follow the duty stagger.
+        assert!(fs.is_alive(0));
+        fs.begin_phase(2);
+        assert!(!fs.is_alive(2), "outage overrides duty cycle");
+        fs.begin_phase(4);
+        // Outage over; node 2's duty phase: (4+2)%2=0 < 1 → awake.
+        assert!(fs.is_alive(2));
+        assert!(fs.alive_count() >= 1);
+    }
+
+    #[test]
+    fn energy_budget_exhausts_at_next_phase() {
+        let mut plan = FaultPlan::none();
+        plan.energy_budget = Some(2);
+        let mut fs = FaultState::new(&plan, 0, 3);
+        fs.begin_phase(1);
+        fs.note_broadcast(1);
+        fs.begin_phase(2);
+        assert!(fs.is_alive(1), "one broadcast of two spent");
+        fs.note_broadcast(1);
+        assert!(fs.is_alive(1), "still alive within the phase");
+        fs.begin_phase(3);
+        assert!(!fs.is_alive(1), "budget exhausted");
+        // The source never exhausts.
+        fs.note_broadcast(0);
+        fs.note_broadcast(0);
+        fs.note_broadcast(0);
+        fs.begin_phase(4);
+        assert!(fs.is_alive(0));
+    }
+
+    #[test]
+    fn thinning_fixed_for_whole_run() {
+        let plan = FaultPlan::thinned(0.5);
+        let mut fs = FaultState::new(&plan, 31, 200);
+        fs.begin_phase(1);
+        let first: Vec<bool> = fs.alive().to_vec();
+        fs.begin_phase(7);
+        assert_eq!(fs.alive(), &first[..], "thinning is run-level");
+        assert!(fs.is_alive(0), "source survives");
+        let dead = first.iter().filter(|&&a| !a).count();
+        assert!(dead > 50, "roughly half should die, got {dead}/200");
+    }
+}

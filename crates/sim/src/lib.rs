@@ -28,6 +28,7 @@
 
 pub mod engine;
 pub mod exact;
+pub mod faults;
 pub mod medium;
 pub mod probe;
 pub mod protocols;
@@ -40,12 +41,13 @@ pub mod trace;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::exact::{exact_expected_informed, exact_expected_reachability};
+    pub use crate::faults::{FaultState, SlotFaults};
     pub use crate::medium::{Medium, MediumScratch};
     pub use crate::probe::probe_per_node_success;
     pub use crate::runner::{ReplicatedTraces, Replication};
-    pub use crate::slotted::{run_gossip, run_gossip_per_node, GossipConfig};
+    pub use crate::slotted::{run_gossip, run_gossip_faulty, run_gossip_per_node, GossipConfig};
     pub use crate::stats::Summary;
-    pub use crate::tdma::{run_tdma_flooding, TdmaOutcome, TdmaSchedule};
+    pub use crate::tdma::{run_tdma_flooding, run_tdma_flooding_faulty, TdmaOutcome, TdmaSchedule};
     pub use crate::trace::{SimTrace, NEVER};
 }
 

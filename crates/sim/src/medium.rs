@@ -11,6 +11,7 @@
 //! * **CAM, carrier sense `f·r`** — additionally, no node in the annulus
 //!   `(r, f·r]` of `v` may have transmitted.
 
+use crate::faults::SlotFaults;
 use nss_model::comm::{CollisionRule, CommunicationModel};
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
@@ -60,6 +61,13 @@ pub struct SlotStats {
     /// Receivers whose single clean reception was destroyed by
     /// carrier-annulus interference (Appendix A rule only).
     pub cs_deferrals: u64,
+    /// Clean receptions destroyed by the fault plan's independent
+    /// link-loss coin (the packet still occupied the channel, so it
+    /// collided like any other transmission before the coin was flipped).
+    pub losses: u64,
+    /// Clean receptions addressed to a node the fault plan had killed
+    /// (crash schedule, duty-cycle sleep, thinning, energy exhaustion).
+    pub dead_drops: u64,
 }
 
 impl SlotStats {
@@ -68,6 +76,8 @@ impl SlotStats {
         self.deliveries += other.deliveries;
         self.collisions += other.collisions;
         self.cs_deferrals += other.cs_deferrals;
+        self.losses += other.losses;
+        self.dead_drops += other.dead_drops;
     }
 }
 
@@ -93,25 +103,44 @@ impl Medium {
     /// Returns the slot's delivery/collision accounting (see [`SlotStats`]).
     ///
     /// Deliveries are reported for *all* in-range nodes, informed or not —
-    /// duplicate-suppression is protocol logic, not medium logic.
+    /// duplicate-suppression is protocol logic, not medium logic. When a
+    /// [`SlotFaults`] context is supplied, each *arbitration-clean* delivery
+    /// is additionally gated by the receiver's liveness (`dead_drops`) and
+    /// the independent link-loss coin (`losses`); arbitration itself is
+    /// unaffected — a lost or unheard packet still occupied the channel.
     pub fn resolve_slot(
         &self,
         topo: &Topology,
         transmitters: &[u32],
         scratch: &mut MediumScratch,
+        faults: Option<&SlotFaults<'_>>,
         mut on_delivery: impl FnMut(NodeId, NodeId),
     ) -> SlotStats {
         let mut stats = SlotStats::default();
         if transmitters.is_empty() {
             return stats;
         }
+        // Gate one arbitration-clean delivery through the fault plan.
+        let mut deliver = |stats: &mut SlotStats, rx: u32, tx: u32| {
+            if let Some(f) = faults {
+                if !f.alive[rx as usize] {
+                    stats.dead_drops += 1;
+                    return;
+                }
+                if !f.link_delivers(tx, rx) {
+                    stats.losses += 1;
+                    return;
+                }
+            }
+            stats.deliveries += 1;
+            on_delivery(NodeId(rx), NodeId(tx));
+        };
         match self.model {
             CommunicationModel::Cfm => {
                 // Reliable: every neighbor hears every transmission.
                 for &t in transmitters {
                     for &v in topo.neighbors(NodeId(t)) {
-                        stats.deliveries += 1;
-                        on_delivery(NodeId(v), NodeId(t));
+                        deliver(&mut stats, v, t);
                     }
                 }
             }
@@ -148,8 +177,7 @@ impl Medium {
                 for &v in &scratch.touched {
                     let rx = scratch.rx_count[v as usize];
                     if rx == 1 && scratch.cs_count[v as usize] == 0 {
-                        stats.deliveries += 1;
-                        on_delivery(NodeId(v), NodeId(scratch.last_tx[v as usize]));
+                        deliver(&mut stats, v, scratch.last_tx[v as usize]);
                     } else if rx > 1 {
                         stats.collisions += 1;
                     } else if rx == 1 {
@@ -161,6 +189,9 @@ impl Medium {
         nss_obs::counter!("sim.deliveries").add(stats.deliveries);
         nss_obs::counter!("sim.collisions").add(stats.collisions);
         nss_obs::counter!("sim.cs_deferrals").add(stats.cs_deferrals);
+        if faults.is_some() {
+            crate::faults::record_fault_obs(&stats);
+        }
         stats
     }
 }
@@ -180,7 +211,7 @@ mod tests {
     fn collect_deliveries(medium: &Medium, topo: &Topology, tx: &[u32]) -> Vec<(u32, u32)> {
         let mut scratch = MediumScratch::new(topo.len());
         let mut out = Vec::new();
-        medium.resolve_slot(topo, tx, &mut scratch, |rx, t| out.push((rx.0, t.0)));
+        medium.resolve_slot(topo, tx, &mut scratch, None, |rx, t| out.push((rx.0, t.0)));
         out.sort_unstable();
         out
     }
@@ -302,7 +333,7 @@ mod tests {
 
     fn slot_stats(medium: &Medium, topo: &Topology, tx: &[u32]) -> SlotStats {
         let mut scratch = MediumScratch::new(topo.len());
-        medium.resolve_slot(topo, tx, &mut scratch, |_, _| {})
+        medium.resolve_slot(topo, tx, &mut scratch, None, |_, _| {})
     }
 
     #[test]
@@ -316,7 +347,7 @@ mod tests {
             SlotStats {
                 deliveries: 1,
                 collisions: 1,
-                cs_deferrals: 0
+                ..SlotStats::default()
             }
         );
         // CFM never collides: 1 reaches {0, 2}, 3 reaches {2}.
@@ -351,20 +382,80 @@ mod tests {
             deliveries: 1,
             collisions: 2,
             cs_deferrals: 3,
+            losses: 4,
+            dead_drops: 5,
         };
         a.absorb(SlotStats {
             deliveries: 10,
             collisions: 20,
             cs_deferrals: 30,
+            losses: 40,
+            dead_drops: 50,
         });
         assert_eq!(
             a,
             SlotStats {
                 deliveries: 11,
                 collisions: 22,
-                cs_deferrals: 33
+                cs_deferrals: 33,
+                losses: 44,
+                dead_drops: 55,
             }
         );
+    }
+
+    #[test]
+    fn faults_gate_clean_deliveries() {
+        use crate::faults::SlotFaults;
+        let topo = line(4); // 0-1-2-3
+        let cam = Medium::new(CommunicationModel::CAM);
+        let mut scratch = MediumScratch::new(topo.len());
+        // Node 2 is dead: 1's transmission reaches 0 but drops at 2.
+        let alive = vec![true, true, false, true];
+        let f = SlotFaults::new(&alive, 0.0, 0, 1, 0);
+        let mut out = Vec::new();
+        let s = cam.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |rx, t| {
+            out.push((rx.0, t.0));
+        });
+        assert_eq!(out, vec![(0, 1)]);
+        assert_eq!(s.deliveries, 1);
+        assert_eq!(s.dead_drops, 1);
+        assert_eq!(s.losses, 0);
+        // Total link loss: every clean reception is destroyed.
+        let alive = vec![true; 4];
+        let f = SlotFaults::new(&alive, 1.0, 0, 1, 0);
+        let s = cam.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |_, _| {
+            panic!("nothing should be delivered")
+        });
+        assert_eq!(s.deliveries, 0);
+        assert_eq!(s.losses, 2);
+        // CFM deliveries are gated by the same coins.
+        let cfm = Medium::new(CommunicationModel::Cfm);
+        let s = cfm.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |_, _| {
+            panic!("nothing should be delivered")
+        });
+        assert_eq!(s.losses, 2);
+        // No fault context: behavior unchanged.
+        let s = cam.resolve_slot(&topo, &[1], &mut scratch, None, |_, _| {});
+        assert_eq!(s.deliveries, 2);
+        assert_eq!(s.losses + s.dead_drops, 0);
+    }
+
+    #[test]
+    fn lost_packets_still_collide() {
+        use crate::faults::SlotFaults;
+        // 1 and 3 both cover 2. Even with link_loss = 1 the collision at 2
+        // is still a collision (arbitration precedes the loss coin), and 0's
+        // clean reception becomes a loss, not a delivery.
+        let topo = line(4);
+        let cam = Medium::new(CommunicationModel::CAM);
+        let mut scratch = MediumScratch::new(topo.len());
+        let alive = vec![true; 4];
+        let f = SlotFaults::new(&alive, 1.0, 0, 1, 0);
+        let s = cam.resolve_slot(&topo, &[1, 3], &mut scratch, Some(&f), |_, _| {});
+        assert_eq!(s.collisions, 1);
+        assert_eq!(s.deliveries, 0);
+        assert!(s.losses >= 1);
     }
 
     #[test]
@@ -374,7 +465,9 @@ mod tests {
         let mut scratch = MediumScratch::new(topo.len());
         for _ in 0..3 {
             let mut out = Vec::new();
-            medium.resolve_slot(&topo, &[1], &mut scratch, |rx, t| out.push((rx.0, t.0)));
+            medium.resolve_slot(&topo, &[1], &mut scratch, None, |rx, t| {
+                out.push((rx.0, t.0))
+            });
             out.sort_unstable();
             assert_eq!(out, vec![(0, 1), (2, 1)]);
         }

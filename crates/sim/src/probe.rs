@@ -56,7 +56,7 @@ pub fn probe_per_node_success(topo: &Topology, s: u32, rounds: u32, master_seed:
             }
             let mut newly: Vec<u32> = Vec::new();
             for sl in &slots {
-                medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
+                medium.resolve_slot(topo, sl, &mut scratch, None, |rx, tx| {
                     delivered[tx.index()] += 1;
                     if !informed[rx.index()] {
                         informed[rx.index()] = true;

@@ -150,7 +150,7 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
 
         let mut newly: Vec<u32> = Vec::new();
         for sl in &slots {
-            medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
+            medium.resolve_slot(topo, sl, &mut scratch, None, |rx, tx| {
                 let rxi = rx.index();
                 match frame[tx.index()] {
                     Frame::Data => {

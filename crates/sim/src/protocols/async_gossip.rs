@@ -14,8 +14,11 @@
 //! transmitter in the annulus `(r, factor·r]`).
 
 use crate::engine::{EventQueue, Time};
+use crate::faults::FaultState;
 use crate::trace::SimTrace;
 use nss_model::comm::CollisionRule;
+use nss_model::error::ConfigError;
+use nss_model::faults::FaultPlan;
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
 use rand::rngs::SmallRng;
@@ -52,15 +55,24 @@ impl AsyncGossipConfig {
     }
 
     /// Validates parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if !(0.0..=1.0).contains(&self.prob) {
-            return Err(format!("probability {} outside [0,1]", self.prob));
+            return Err(ConfigError::OutOfUnitRange {
+                field: "prob",
+                value: self.prob,
+            });
         }
         if !self.t_a.is_finite() || self.t_a <= 0.0 {
-            return Err("t_a must be positive".into());
+            return Err(ConfigError::NotPositive {
+                field: "t_a",
+                value: self.t_a,
+            });
         }
         if !self.window.is_finite() || self.window <= 0.0 {
-            return Err("window must be positive".into());
+            return Err(ConfigError::NotPositive {
+                field: "window",
+                value: self.window,
+            });
         }
         Ok(())
     }
@@ -75,6 +87,34 @@ enum Ev {
 /// Runs one asynchronous execution. Reception times are quantized to
 /// analysis windows (`window` = one phase) for the returned [`SimTrace`].
 pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> SimTrace {
+    run_async_with(topo, cfg, seed, None)
+}
+
+/// Asynchronous PB_CAM under a [`FaultPlan`]. The fault "phase" is the
+/// analysis window index, advanced as simulated time crosses window
+/// boundaries; a node asleep when its scheduled rebroadcast fires forfeits
+/// it. An empty plan takes the exact fault-free code path.
+pub fn run_async_gossip_faulty(
+    topo: &Topology,
+    cfg: &AsyncGossipConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    faults_seed: u64,
+) -> SimTrace {
+    if plan.is_empty() {
+        return run_async_with(topo, cfg, seed, None);
+    }
+    plan.validate()
+        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+    run_async_with(topo, cfg, seed, Some((plan, faults_seed)))
+}
+
+fn run_async_with(
+    topo: &Topology,
+    cfg: &AsyncGossipConfig,
+    seed: u64,
+    faults: Option<(&FaultPlan, u64)>,
+) -> SimTrace {
     cfg.validate()
         .unwrap_or_else(|e| panic!("invalid AsyncGossipConfig: {e}"));
     let n = topo.len();
@@ -110,12 +150,40 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
     // Receptions garbled by overlap or annulus interference, by end time.
     let mut corrupted: Vec<f64> = Vec::new();
 
+    // Fault bookkeeping (only for non-empty plans): window-stepped liveness,
+    // per-transmission sequence numbers keying stateless link-loss coins,
+    // and drop timestamps for the quantized trace.
+    let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
+    let mut fault_phase = 0u32;
+    let mut tx_seq = 0u32;
+    let mut seq_of: Vec<u32> = vec![0; if fault_state.is_some() { n } else { 0 }];
+    let mut lost: Vec<f64> = Vec::new();
+    let mut dead_dropped: Vec<f64> = Vec::new();
+    let mut alive_marks: Vec<(u32, u32)> = Vec::new(); // (phase, alive count)
+
     while let Some((t, ev)) = queue.pop() {
         if t.as_f64() > horizon {
             break;
         }
+        if let Some(fs) = fault_state.as_mut() {
+            // Events pop in time order, so the window index is monotone.
+            let phase = (t.as_f64() / cfg.window).floor() as u32 + 1;
+            if phase != fault_phase {
+                fault_phase = phase;
+                fs.begin_phase(phase);
+                alive_marks.push((phase, fs.alive_count()));
+            }
+        }
         match ev {
             Ev::TxStart(u) => {
+                if let Some(fs) = fault_state.as_mut() {
+                    if !fs.is_alive(u as usize) {
+                        continue; // asleep/dead at fire time: forfeits the tx
+                    }
+                    tx_seq += 1;
+                    seq_of[u as usize] = tx_seq;
+                    fs.note_broadcast(u);
+                }
                 tx_times.push(t.as_f64());
                 for &v in topo.neighbors(NodeId(u)) {
                     let slot = &mut audible[v as usize];
@@ -161,6 +229,17 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
                         corrupted.push(end);
                         continue;
                     }
+                    if let Some(fs) = fault_state.as_ref() {
+                        if !fs.is_alive(v as usize) {
+                            dead_dropped.push(end);
+                            continue;
+                        }
+                        let sf = fs.slot(fault_phase, seq_of[u as usize]);
+                        if !sf.link_delivers(u, v) {
+                            lost.push(end);
+                            continue;
+                        }
+                    }
                     deliveries.push(end);
                     if !informed[v as usize] {
                         informed[v as usize] = true;
@@ -198,6 +277,33 @@ pub fn run_async_gossip(topo: &Topology, cfg: &AsyncGossipConfig, seed: u64) -> 
     for &t in &corrupted {
         let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
         trace.collisions_by_phase[w] += 1;
+    }
+    if let Some(fs) = fault_state.as_ref() {
+        trace.losses_by_phase = vec![0; total_windows];
+        trace.dead_drops_by_phase = vec![0; total_windows];
+        for &t in &lost {
+            let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
+            trace.losses_by_phase[w] += 1;
+        }
+        for &t in &dead_dropped {
+            let w = ((t / cfg.window).floor() as usize).min(total_windows - 1);
+            trace.dead_drops_by_phase[w] += 1;
+        }
+        // Carry the last observed alive count through windows with no
+        // events (liveness only changes at window boundaries we visited).
+        let mut counts = vec![fs.alive_count(); total_windows];
+        let mut cursor = 0usize;
+        let mut last = alive_marks.first().map_or(n as u32, |&(_, c)| c);
+        for (w, slot) in counts.iter_mut().enumerate() {
+            while cursor < alive_marks.len() && alive_marks[cursor].0 as usize <= w + 1 {
+                last = alive_marks[cursor].1;
+                cursor += 1;
+            }
+            *slot = last;
+        }
+        trace.alive_by_phase = counts;
+        nss_obs::counter!("sim.losses").add(lost.len() as u64);
+        nss_obs::counter!("sim.dead_drops").add(dead_dropped.len() as u64);
     }
     nss_obs::counter!("sim.broadcasts").add(tx_times.len() as u64);
     nss_obs::counter!("sim.deliveries").add(deliveries.len() as u64);
@@ -356,5 +462,55 @@ mod tests {
         assert!(c.validate().is_err());
         c = AsyncGossipConfig::paper(2.0);
         assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_run() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 30.0).sample(3));
+        let cfg = AsyncGossipConfig::paper(0.5);
+        let plain = run_async_gossip(&topo, &cfg, 5);
+        let faulted = run_async_gossip_faulty(&topo, &cfg, &FaultPlan::none(), 5, 77);
+        assert_eq!(plain.first_rx_phase, faulted.first_rx_phase);
+        assert_eq!(plain.broadcasts_by_phase, faulted.broadcasts_by_phase);
+        assert_eq!(plain.deliveries_by_phase, faulted.deliveries_by_phase);
+        assert!(faulted.losses_by_phase.is_empty());
+    }
+
+    #[test]
+    fn link_loss_degrades_async_reachability() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(8));
+        let cfg = AsyncGossipConfig::paper(0.6);
+        let reach = |loss: f64| {
+            (0..8)
+                .map(|s| {
+                    run_async_gossip_faulty(&topo, &cfg, &FaultPlan::lossy(loss), s, s + 50)
+                        .final_reachability()
+                })
+                .sum::<f64>()
+                / 8.0
+        };
+        let clean = reach(0.0);
+        let lossy = reach(0.7);
+        assert!(
+            lossy < clean,
+            "70% loss should hurt async gossip: {lossy} vs {clean}"
+        );
+        let t = run_async_gossip_faulty(&topo, &cfg, &FaultPlan::lossy(0.7), 0, 50);
+        assert!(t.total_losses() > 0);
+        assert_eq!(t.alive_by_phase.len(), t.phases());
+        // Deterministic under fixed seeds.
+        let u = run_async_gossip_faulty(&topo, &cfg, &FaultPlan::lossy(0.7), 0, 50);
+        assert_eq!(t.first_rx_phase, u.first_rx_phase);
+        assert_eq!(t.losses_by_phase, u.losses_by_phase);
+    }
+
+    #[test]
+    fn thinned_async_records_dead_drops() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(8));
+        let cfg = AsyncGossipConfig::paper(0.8);
+        let t = run_async_gossip_faulty(&topo, &cfg, &FaultPlan::thinned(0.4), 2, 9);
+        assert!(t.total_dead_drops() > 0);
+        let n = topo.len() as u32;
+        assert!(t.min_alive().unwrap() < n);
     }
 }

@@ -160,7 +160,7 @@ pub fn run_convergecast(
         let mut arrived: Vec<(usize, u32)> = Vec::new();
         let mut drained: Vec<usize> = Vec::new();
         for sl in &slots {
-            medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
+            medium.resolve_slot(topo, sl, &mut scratch, None, |rx, tx| {
                 let txi = tx.index();
                 if parent[txi] == rx.0 {
                     arrived.push((rx.index(), in_flight[txi]));

@@ -101,6 +101,7 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
                 topo,
                 &transmitters,
                 &mut scratch,
+                None,
                 |rx, _tx| {
                     deliveries += 1;
                     let rxi = rx.index();

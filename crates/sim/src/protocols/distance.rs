@@ -94,8 +94,12 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
                     .filter(|&u| phase == 1 || closest[u as usize] > suppress_r),
             );
             tx_count += transmitters.len() as u32;
-            phase_stats.absorb(
-                medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, tx| {
+            phase_stats.absorb(medium.resolve_slot(
+                topo,
+                &transmitters,
+                &mut scratch,
+                None,
+                |rx, tx| {
                     deliveries += 1;
                     let rxi = rx.index();
                     let d = topo.position(rx).dist(&topo.position(tx));
@@ -107,8 +111,8 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
                         trace.first_rx_phase[rxi] = phase;
                         newly.push(rx.0);
                     }
-                }),
-            );
+                },
+            ));
         }
         trace.broadcasts_by_phase.push(tx_count);
         trace.deliveries_by_phase.push(deliveries);

@@ -5,11 +5,12 @@
 //! stream derived from one master seed ([`nss_model::rng::SeedFactory`]),
 //! so results are bit-reproducible regardless of thread scheduling.
 
-use crate::slotted::{run_gossip, GossipConfig};
+use crate::slotted::{run_gossip, run_gossip_faulty, GossipConfig};
 use crate::stats::Summary;
 use crate::trace::SimTrace;
 use crossbeam::channel;
 use nss_model::deployment::Deployment;
+use nss_model::faults::FaultPlan;
 use nss_model::metrics::PhaseSeries;
 use nss_model::rng::{SeedFactory, Stream};
 use nss_model::topology::Topology;
@@ -17,7 +18,12 @@ use serde::{Deserialize, Serialize};
 
 /// A replicated experiment: one deployment spec, one protocol config,
 /// `replications` independent runs.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+///
+/// Construct with [`Replication::paper`] and refine with the builder
+/// methods ([`with_runs`](Replication::with_runs),
+/// [`with_threads`](Replication::with_threads),
+/// [`with_faults`](Replication::with_faults)) rather than mutating fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Replication {
     /// Deployment specification (re-sampled each run).
     pub deployment: Deployment,
@@ -29,6 +35,9 @@ pub struct Replication {
     pub master_seed: u64,
     /// Worker threads (0 = available parallelism).
     pub threads: usize,
+    /// Fault scenario; [`FaultPlan::none`] (the default) takes the exact
+    /// fault-free code path.
+    pub faults: FaultPlan,
 }
 
 impl Replication {
@@ -40,7 +49,26 @@ impl Replication {
             replications: 30,
             master_seed,
             threads: 0,
+            faults: FaultPlan::none(),
         }
+    }
+
+    /// Sets the number of independent runs.
+    pub fn with_runs(mut self, runs: u32) -> Self {
+        self.replications = runs;
+        self
+    }
+
+    /// Sets the worker-thread count (0 = available parallelism).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the fault scenario applied to every run.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
     }
 
     /// Runs all replications and collects their traces (ordered by
@@ -51,10 +79,11 @@ impl Replication {
         nss_obs::set_label!(
             "sim.rng_streams",
             format!(
-                "{}/{}/{}/{}",
+                "{}/{}/{}/{}/{}",
                 Stream::Deployment.label(),
                 Stream::Protocol.label(),
                 Stream::Jitter.label(),
+                Stream::Faults.label(),
                 Stream::Misc.label()
             )
         );
@@ -108,7 +137,17 @@ impl Replication {
             .deployment
             .sample(factory.seed(Stream::Deployment, rep));
         let topo = Topology::build(&net);
-        let trace = run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep));
+        let trace = if self.faults.is_empty() {
+            run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep))
+        } else {
+            run_gossip_faulty(
+                &topo,
+                &self.gossip,
+                &self.faults,
+                factory.seed(Stream::Protocol, rep),
+                factory.seed(Stream::Faults, rep),
+            )
+        };
         if let Some(start) = start {
             nss_obs::observe!("sim.replication_seconds", start.elapsed().as_secs_f64());
             nss_obs::counter!("sim.replications").inc();
@@ -208,13 +247,13 @@ mod tests {
     use super::*;
 
     fn small_replication(threads: usize) -> Replication {
-        Replication {
-            deployment: Deployment::disk(4, 1.0, 30.0),
-            gossip: GossipConfig::pb_cam(0.4),
-            replications: 8,
-            master_seed: 42,
-            threads,
-        }
+        Replication::paper(
+            Deployment::disk(4, 1.0, 30.0),
+            GossipConfig::pb_cam(0.4),
+            42,
+        )
+        .with_runs(8)
+        .with_threads(threads)
     }
 
     #[test]
@@ -225,6 +264,32 @@ mod tests {
         for (a, b) in seq.traces.iter().zip(&par.traces) {
             assert_eq!(a.first_rx_phase, b.first_rx_phase);
             assert_eq!(a.broadcasts_by_phase, b.broadcasts_by_phase);
+        }
+    }
+
+    #[test]
+    fn faulty_replication_reproducible_across_thread_counts() {
+        let plan = FaultPlan::lossy(0.2);
+        let seq = small_replication(1).with_faults(plan.clone()).run();
+        let par = small_replication(4).with_faults(plan).run();
+        for (a, b) in seq.traces.iter().zip(&par.traces) {
+            assert_eq!(a.first_rx_phase, b.first_rx_phase);
+            assert_eq!(a.broadcasts_by_phase, b.broadcasts_by_phase);
+            assert_eq!(a.losses_by_phase, b.losses_by_phase);
+            assert_eq!(a.alive_by_phase, b.alive_by_phase);
+        }
+        assert!(
+            seq.traces.iter().any(|t| t.total_losses() > 0),
+            "a 20% lossy plan over 8 runs should lose at least one packet"
+        );
+    }
+
+    #[test]
+    fn empty_fault_plan_matches_plain_replication() {
+        let plain = small_replication(0).run();
+        let faulted = small_replication(0).with_faults(FaultPlan::none()).run();
+        for (a, b) in plain.traces.iter().zip(&faulted.traces) {
+            assert_eq!(a, b, "FaultPlan::none must be a bitwise no-op");
         }
     }
 

@@ -10,9 +10,12 @@
 //! collision-free execution the paper uses as a motivating contrast, and a
 //! CAM medium gives PB_CAM proper (with either collision rule).
 
+use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
+use nss_model::error::ConfigError;
+use nss_model::faults::FaultPlan;
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
 use rand::rngs::SmallRng;
@@ -71,21 +74,32 @@ impl GossipConfig {
     }
 
     /// Validates parameter ranges.
-    pub fn validate(&self) -> Result<(), String> {
+    pub fn validate(&self) -> Result<(), ConfigError> {
         if self.s < 1 {
-            return Err("s must be ≥ 1".into());
+            return Err(ConfigError::TooSmall {
+                field: "s",
+                min: 1,
+                value: u64::from(self.s),
+            });
         }
         if !(0.0..=1.0).contains(&self.prob) {
-            return Err(format!("probability {} outside [0,1]", self.prob));
+            return Err(ConfigError::OutOfUnitRange {
+                field: "prob",
+                value: self.prob,
+            });
         }
         if !(0.0..=1.0).contains(&self.node_failure_per_phase) {
-            return Err(format!(
-                "failure probability {} outside [0,1]",
-                self.node_failure_per_phase
-            ));
+            return Err(ConfigError::OutOfUnitRange {
+                field: "node_failure_per_phase",
+                value: self.node_failure_per_phase,
+            });
         }
         if self.max_phases < 1 {
-            return Err("need at least one phase".into());
+            return Err(ConfigError::TooSmall {
+                field: "max_phases",
+                min: 1,
+                value: self.max_phases as u64,
+            });
         }
         Ok(())
     }
@@ -95,7 +109,31 @@ impl GossipConfig {
 ///
 /// The source is [`NodeId::SOURCE`] (index 0).
 pub fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
-    run_gossip_with(topo, cfg, |_| cfg.prob, seed)
+    run_gossip_with(topo, cfg, |_| cfg.prob, seed, None)
+}
+
+/// Runs one gossip execution under a [`FaultPlan`].
+///
+/// `faults_seed` keys every random fault decision (link-loss coins and
+/// dead-from-start thinning); derive it from
+/// [`Stream::Faults`](nss_model::rng::Stream::Faults) so the protocol and
+/// jitter streams stay untouched. An empty plan takes the exact fault-free
+/// code path — the returned trace is identical to [`run_gossip`]'s.
+pub fn run_gossip_faulty(
+    topo: &Topology,
+    cfg: &GossipConfig,
+    plan: &FaultPlan,
+    seed: u64,
+    faults_seed: u64,
+) -> SimTrace {
+    let faults = if plan.is_empty() {
+        None
+    } else {
+        plan.validate()
+            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        Some((plan, faults_seed))
+    };
+    run_gossip_with(topo, cfg, |_| cfg.prob, seed, faults)
 }
 
 /// Runs gossip with a **per-node** rebroadcast probability — the §6
@@ -113,7 +151,7 @@ pub fn run_gossip_per_node(
         probs.iter().all(|p| (0.0..=1.0).contains(p)),
         "per-node probabilities must lie in [0,1]"
     );
-    run_gossip_with(topo, cfg, |u| probs[u], seed)
+    run_gossip_with(topo, cfg, |u| probs[u], seed, None)
 }
 
 fn run_gossip_with(
@@ -121,6 +159,7 @@ fn run_gossip_with(
     cfg: &GossipConfig,
     prob_of: impl Fn(usize) -> f64,
     seed: u64,
+    faults: Option<(&FaultPlan, u64)>,
 ) -> SimTrace {
     cfg.validate()
         .unwrap_or_else(|e| panic!("invalid GossipConfig: {e}"));
@@ -136,6 +175,9 @@ fn run_gossip_with(
     let mut informed = vec![false; n];
     informed[NodeId::SOURCE.index()] = true;
     let mut alive = vec![true; n];
+    // Fault interpretation is only instantiated for non-empty plans; the
+    // `None` path below is byte-for-byte the pre-fault executor.
+    let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
 
     // Nodes informed in the previous phase, pending their (single)
     // rebroadcast decision.
@@ -148,6 +190,9 @@ fn run_gossip_with(
     for phase in 1..=cfg.max_phases as u32 {
         for sl in &mut slots {
             sl.clear();
+        }
+        if let Some(fs) = fault_state.as_mut() {
+            fs.begin_phase(phase);
         }
         // Failure injection: each alive non-source node dies independently
         // at the start of the phase.
@@ -168,11 +213,21 @@ fn run_gossip_with(
                 if !alive[u as usize] {
                     continue;
                 }
+                // A node the fault plan has down this phase forfeits its
+                // (single) rebroadcast opportunity.
+                if let Some(fs) = fault_state.as_ref() {
+                    if !fs.is_alive(u as usize) {
+                        continue;
+                    }
+                }
                 let p_u = prob_of(u as usize);
                 if p_u >= 1.0 || rng.random::<f64>() < p_u {
                     let sl = rng.random_range(0..cfg.s) as usize;
                     slots[sl].push(u);
                     tx_count += 1;
+                    if let Some(fs) = fault_state.as_mut() {
+                        fs.note_broadcast(u);
+                    }
                 }
             }
         }
@@ -182,23 +237,38 @@ fn run_gossip_with(
         let mut newly: Vec<u32> = Vec::new();
         let mut deliveries = 0u64;
         let mut phase_stats = SlotStats::default();
-        for sl in &slots {
-            phase_stats.absorb(medium.resolve_slot(topo, sl, &mut scratch, |rx, tx| {
-                if !alive[rx.index()] {
-                    return; // dead radios hear nothing
-                }
-                deliveries += 1;
-                delivered[tx.index()] += 1;
-                if !informed[rx.index()] {
-                    informed[rx.index()] = true;
-                    trace.first_rx_phase[rx.index()] = phase;
-                    newly.push(rx.0);
-                }
-            }));
+        for (si, sl) in slots.iter().enumerate() {
+            let sf = fault_state.as_ref().map(|fs| fs.slot(phase, si as u32));
+            phase_stats.absorb(medium.resolve_slot(
+                topo,
+                sl,
+                &mut scratch,
+                sf.as_ref(),
+                |rx, tx| {
+                    if !alive[rx.index()] {
+                        return; // dead radios hear nothing
+                    }
+                    deliveries += 1;
+                    delivered[tx.index()] += 1;
+                    if !informed[rx.index()] {
+                        informed[rx.index()] = true;
+                        trace.first_rx_phase[rx.index()] = phase;
+                        newly.push(rx.0);
+                    }
+                },
+            ));
         }
         trace.deliveries_by_phase.push(deliveries);
         trace.collisions_by_phase.push(phase_stats.collisions);
         trace.cs_deferrals_by_phase.push(phase_stats.cs_deferrals);
+        if let Some(fs) = fault_state.as_ref() {
+            trace.losses_by_phase.push(phase_stats.losses);
+            trace.dead_drops_by_phase.push(phase_stats.dead_drops);
+            // Effective liveness combines the plan with the legacy per-phase
+            // failure injection.
+            let effective = (0..n).filter(|&u| alive[u] && fs.is_alive(u)).count() as u32;
+            trace.alive_by_phase.push(effective);
+        }
 
         if cfg.track_success_rate {
             let mut rate_sum = 0.0f64;
@@ -505,6 +575,94 @@ mod tests {
         // is informed and nobody relays.
         assert_eq!(t.informed_count(), 1);
         assert_eq!(t.total_broadcasts(), 1);
+    }
+
+    #[test]
+    fn empty_fault_plan_is_bitwise_identical() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(7));
+        let cfg = GossipConfig::pb_cam(0.4);
+        let plain = run_gossip(&topo, &cfg, 21);
+        let faulted = run_gossip_faulty(&topo, &cfg, &FaultPlan::none(), 21, 999);
+        assert_eq!(plain.first_rx_phase, faulted.first_rx_phase);
+        assert_eq!(plain.broadcasts_by_phase, faulted.broadcasts_by_phase);
+        assert_eq!(plain.deliveries_by_phase, faulted.deliveries_by_phase);
+        assert_eq!(plain.collisions_by_phase, faulted.collisions_by_phase);
+        assert!(faulted.losses_by_phase.is_empty());
+        assert!(faulted.alive_by_phase.is_empty());
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(7));
+        let cfg = GossipConfig::pb_cam(0.4);
+        let plan = FaultPlan::lossy(0.3);
+        let a = run_gossip_faulty(&topo, &cfg, &plan, 21, 5);
+        let b = run_gossip_faulty(&topo, &cfg, &plan, 21, 5);
+        assert_eq!(a.first_rx_phase, b.first_rx_phase);
+        assert_eq!(a.losses_by_phase, b.losses_by_phase);
+        // A different faults seed changes which packets drop without
+        // touching the protocol stream (same broadcasting schedule in
+        // phase 1, at least).
+        let c = run_gossip_faulty(&topo, &cfg, &plan, 21, 6);
+        assert_eq!(a.broadcasts_by_phase[0], c.broadcasts_by_phase[0]);
+    }
+
+    #[test]
+    fn link_loss_degrades_reachability_monotonically() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(3));
+        let cfg = GossipConfig::pb_cam(0.6);
+        let reach = |loss: f64| {
+            let plan = FaultPlan::lossy(loss);
+            (0..6)
+                .map(|seed| {
+                    run_gossip_faulty(&topo, &cfg, &plan, seed, seed + 100).final_reachability()
+                })
+                .sum::<f64>()
+                / 6.0
+        };
+        let r0 = reach(0.0);
+        let r5 = reach(0.5);
+        let r9 = reach(0.9);
+        assert!(r0 > r5 + 0.02, "loss 0.5 should hurt: {r0} vs {r5}");
+        assert!(r5 > r9, "loss 0.9 should hurt more: {r5} vs {r9}");
+        // Losses are recorded once loss is non-zero.
+        let t = run_gossip_faulty(&topo, &cfg, &FaultPlan::lossy(0.5), 0, 100);
+        assert!(t.total_losses() > 0);
+    }
+
+    #[test]
+    fn thinning_kills_nodes_and_records_alive_counts() {
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(3));
+        let cfg = GossipConfig::pb_cam(0.6);
+        let plan = FaultPlan::thinned(0.4);
+        let t = run_gossip_faulty(&topo, &cfg, &plan, 1, 77);
+        let n = topo.len() as u32;
+        let alive = t.min_alive().expect("alive counts recorded");
+        assert!(alive < n, "thinning should kill someone");
+        assert!(alive > n / 4, "but not everyone");
+        // Dead receivers show up as drops whenever they are in range.
+        assert!(t.total_dead_drops() > 0);
+        // Reachability can never exceed the alive fraction (plus nothing:
+        // dead nodes are never informed).
+        assert!(t.informed_count() as u32 <= alive.max(t.alive_by_phase[0]));
+    }
+
+    #[test]
+    fn energy_budget_suppresses_reception_after_spend() {
+        // With budget 1 every relay dies right after its broadcast; the
+        // cascade still progresses (transmissions happen before death) but
+        // alive counts shrink as the wave spends its energy.
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(2));
+        let mut plan = FaultPlan::none();
+        plan.energy_budget = Some(1);
+        let cfg = GossipConfig::flooding_cam();
+        let t = run_gossip_faulty(&topo, &cfg, &plan, 4, 8);
+        let first = t.alive_by_phase.first().copied().unwrap();
+        let last = t.alive_by_phase.last().copied().unwrap();
+        assert!(
+            last < first,
+            "relays should exhaust their budget: {first} -> {last}"
+        );
     }
 
     #[test]

@@ -19,8 +19,10 @@
 //!   reliability — the trade-off the paper invokes to justify studying
 //!   CSMA-style CAM algorithms instead.
 
+use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
+use nss_model::faults::FaultPlan;
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
 use serde::{Deserialize, Serialize};
@@ -119,6 +121,12 @@ pub struct TdmaOutcome {
     pub deliveries: u64,
     /// Collisions observed (must be zero for a valid schedule).
     pub collisions: u64,
+    /// Receptions destroyed by the fault plan's link-loss coin (zero for
+    /// fault-free runs).
+    pub losses: u64,
+    /// Receptions addressed to fault-killed nodes (zero for fault-free
+    /// runs).
+    pub dead_drops: u64,
     /// Elapsed time in **slots** (contrast with CSMA phases of `s` slots).
     pub slots_elapsed: u64,
     /// Frame length of the schedule used.
@@ -138,10 +146,38 @@ impl TdmaOutcome {
 /// Each node transmits exactly once, in its first assigned slot after
 /// receiving the packet. Deterministic: TDMA needs no coin flips.
 pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcome {
+    run_tdma_with(topo, schedule, None)
+}
+
+/// TDMA flooding under a [`FaultPlan`]: the fault "phase" is the TDMA
+/// frame index, so outage schedules and duty cycles advance once per frame.
+/// A node sleeping through its assigned slot keeps its transmission pending
+/// and retries in the next frame it is awake. An empty plan takes the
+/// exact fault-free code path.
+pub fn run_tdma_flooding_faulty(
+    topo: &Topology,
+    schedule: &TdmaSchedule,
+    plan: &FaultPlan,
+    faults_seed: u64,
+) -> TdmaOutcome {
+    if plan.is_empty() {
+        return run_tdma_with(topo, schedule, None);
+    }
+    plan.validate()
+        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+    run_tdma_with(topo, schedule, Some((plan, faults_seed)))
+}
+
+fn run_tdma_with(
+    topo: &Topology,
+    schedule: &TdmaSchedule,
+    faults: Option<(&FaultPlan, u64)>,
+) -> TdmaOutcome {
     let n = topo.len();
     assert_eq!(schedule.slot_of.len(), n, "schedule/topology size mismatch");
     let medium = Medium::new(CommunicationModel::CAM);
     let mut scratch = MediumScratch::new(n);
+    let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
 
     let mut informed = vec![false; n];
     informed[NodeId::SOURCE.index()] = true;
@@ -151,18 +187,32 @@ pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcom
     let mut transmissions = 0u64;
     let mut deliveries = 0u64;
     let mut collisions = 0u64;
+    let mut losses = 0u64;
+    let mut dead_drops = 0u64;
     let mut slots_elapsed = 0u64;
     let frame = u64::from(schedule.frame_len.max(1));
 
-    // Safety cap: every node transmits at most once, so at most n frames.
+    // Safety cap: every node transmits at most once, so at most n frames
+    // suffice in the fault-free case; faults can only remove transmissions.
     let max_slots = frame * (n as u64 + 1);
     let mut transmitters: Vec<u32> = Vec::new();
     while pending > 0 && slots_elapsed < max_slots {
         let slot = (slots_elapsed % frame) as u32;
+        let phase = (slots_elapsed / frame) as u32 + 1;
+        if slot == 0 {
+            if let Some(fs) = fault_state.as_mut() {
+                fs.begin_phase(phase);
+            }
+        }
         transmitters.clear();
         for u in 0..n as u32 {
             let ui = u as usize;
             if informed[ui] && !has_tx[ui] && schedule.slot_of[ui] == slot {
+                if let Some(fs) = fault_state.as_ref() {
+                    if !fs.is_alive(ui) {
+                        continue; // sleeps through its slot; retries next frame
+                    }
+                }
                 transmitters.push(u);
             }
         }
@@ -172,20 +222,27 @@ pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcom
                 .iter()
                 .map(|&t| topo.degree(NodeId(t)) as u64)
                 .sum();
-            let mut got = 0u64;
-            medium.resolve_slot(topo, &transmitters, &mut scratch, |rx, _tx| {
-                got += 1;
-                if !informed[rx.index()] {
-                    informed[rx.index()] = true;
-                    pending += 1;
-                }
-            });
-            deliveries += got;
-            collisions += expected - got;
+            let sf = fault_state.as_ref().map(|fs| fs.slot(phase, slot));
+            let stats =
+                medium.resolve_slot(topo, &transmitters, &mut scratch, sf.as_ref(), |rx, _tx| {
+                    if !informed[rx.index()] {
+                        informed[rx.index()] = true;
+                        pending += 1;
+                    }
+                });
+            deliveries += stats.deliveries;
+            collisions += expected - stats.deliveries - stats.losses - stats.dead_drops;
+            losses += stats.losses;
+            dead_drops += stats.dead_drops;
             transmissions += transmitters.len() as u64;
             for &t in &transmitters {
                 has_tx[t as usize] = true;
                 pending -= 1;
+            }
+            if let Some(fs) = fault_state.as_mut() {
+                for &t in &transmitters {
+                    fs.note_broadcast(t);
+                }
             }
         }
         slots_elapsed += 1;
@@ -197,6 +254,8 @@ pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcom
         transmissions,
         deliveries,
         collisions,
+        losses,
+        dead_drops,
         slots_elapsed,
         frame_len: schedule.frame_len,
     }
@@ -318,6 +377,55 @@ mod tests {
             run_tdma_flooding(&topo, &s1).slots_elapsed,
             run_tdma_flooding(&topo, &s2).slots_elapsed
         );
+    }
+
+    #[test]
+    fn empty_plan_matches_fault_free_run() {
+        let topo = Topology::build(&Deployment::disk(3, 1.0, 40.0).sample(2));
+        let schedule = TdmaSchedule::build(&topo);
+        let plain = run_tdma_flooding(&topo, &schedule);
+        let faulted = run_tdma_flooding_faulty(&topo, &schedule, &FaultPlan::none(), 123);
+        assert_eq!(plain, faulted);
+    }
+
+    #[test]
+    fn link_loss_breaks_tdma_reliability() {
+        // TDMA implements CFM only under Assumption 5; with lossy links the
+        // schedule still avoids collisions but deliveries drop.
+        let topo = Topology::build(&Deployment::disk(3, 1.0, 40.0).sample(2));
+        let schedule = TdmaSchedule::build(&topo);
+        let plain = run_tdma_flooding(&topo, &schedule);
+        let lossy = run_tdma_flooding_faulty(&topo, &schedule, &FaultPlan::lossy(0.4), 9);
+        assert_eq!(lossy.collisions, 0, "schedule still collision-free");
+        assert!(lossy.losses > 0);
+        assert!(lossy.deliveries < plain.deliveries);
+        assert!(lossy.informed <= plain.informed);
+        // Deterministic under the same faults seed.
+        let again = run_tdma_flooding_faulty(&topo, &schedule, &FaultPlan::lossy(0.4), 9);
+        assert_eq!(lossy, again);
+    }
+
+    #[test]
+    fn duty_cycling_degrades_but_stays_deterministic() {
+        // Sleeping receivers miss their neighbor's single transmission
+        // permanently (TDMA has no retransmission), so duty cycling can
+        // only reduce coverage — and the drops are accounted for.
+        let topo = line(6);
+        let schedule = TdmaSchedule::build(&topo);
+        let mut plan = FaultPlan::none();
+        plan.duty_cycle = Some(nss_model::faults::DutyCycle {
+            period: 2,
+            on_phases: 1,
+        });
+        let out = run_tdma_flooding_faulty(&topo, &schedule, &plan, 3);
+        let plain = run_tdma_flooding(&topo, &schedule);
+        assert!(out.informed <= plain.informed);
+        assert!(
+            out.informed >= 2,
+            "the always-awake source still reaches someone"
+        );
+        assert!(out.dead_drops > 0, "sleeping receivers drop packets");
+        assert_eq!(out, run_tdma_flooding_faulty(&topo, &schedule, &plan, 3));
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 pub const NEVER: u32 = u32::MAX;
 
 /// One simulated execution.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SimTrace {
     /// Total node count (including the source).
     pub n_total: usize,
@@ -36,6 +36,15 @@ pub struct SimTrace {
     /// with at least one neighbor: `(Σ delivered/deg, count)`. Aggregated
     /// per phase to keep traces compact.
     pub success_rate_by_phase: Vec<(f64, u32)>,
+    /// Clean receptions destroyed by the fault plan's link-loss coin, per
+    /// phase. Empty for fault-free executions.
+    pub losses_by_phase: Vec<u64>,
+    /// Clean receptions addressed to fault-killed nodes, per phase. Empty
+    /// for fault-free executions.
+    pub dead_drops_by_phase: Vec<u64>,
+    /// Effectively-alive node count at each phase under the fault plan.
+    /// Empty for fault-free executions (everyone is alive).
+    pub alive_by_phase: Vec<u32>,
 }
 
 impl SimTrace {
@@ -53,6 +62,9 @@ impl SimTrace {
             collisions_by_phase: Vec::new(),
             cs_deferrals_by_phase: Vec::new(),
             success_rate_by_phase: Vec::new(),
+            losses_by_phase: Vec::new(),
+            dead_drops_by_phase: Vec::new(),
+            alive_by_phase: Vec::new(),
         }
     }
 
@@ -89,6 +101,21 @@ impl SimTrace {
     /// Total carrier-sense deferrals over the execution.
     pub fn total_cs_deferrals(&self) -> u64 {
         self.cs_deferrals_by_phase.iter().sum()
+    }
+
+    /// Total link-loss drops over the execution (fault injection only).
+    pub fn total_losses(&self) -> u64 {
+        self.losses_by_phase.iter().sum()
+    }
+
+    /// Total dead-receiver drops over the execution (fault injection only).
+    pub fn total_dead_drops(&self) -> u64 {
+        self.dead_drops_by_phase.iter().sum()
+    }
+
+    /// Smallest per-phase alive count, if fault tracking recorded any.
+    pub fn min_alive(&self) -> Option<u32> {
+        self.alive_by_phase.iter().copied().min()
     }
 
     /// Total energy in cost units: `e · (transmissions + receptions)`,
@@ -171,6 +198,21 @@ mod tests {
         assert_eq!(t.total_cs_deferrals(), 1);
         assert!((t.total_energy(2.0) - 14.0).abs() < 1e-12);
         assert_eq!(t.phases(), 3);
+    }
+
+    #[test]
+    fn fault_accounting() {
+        let mut t = sample_trace();
+        // Fault-free traces leave the fault series empty.
+        assert_eq!(t.total_losses(), 0);
+        assert_eq!(t.total_dead_drops(), 0);
+        assert_eq!(t.min_alive(), None);
+        t.losses_by_phase = vec![0, 2, 1];
+        t.dead_drops_by_phase = vec![1, 0, 0];
+        t.alive_by_phase = vec![6, 5, 5];
+        assert_eq!(t.total_losses(), 3);
+        assert_eq!(t.total_dead_drops(), 1);
+        assert_eq!(t.min_alive(), Some(5));
     }
 
     #[test]

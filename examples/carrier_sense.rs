@@ -38,16 +38,15 @@ fn main() {
 
         let deployment = Deployment::disk(5, 1.0, rho);
         let sim = |model| {
-            Replication {
+            Replication::paper(
                 deployment,
-                gossip: GossipConfig {
+                GossipConfig {
                     model,
                     ..GossipConfig::pb_cam(p)
                 },
-                replications: 8,
-                master_seed: 3,
-                threads: 0,
-            }
+                3,
+            )
+            .with_runs(8)
             .run()
             .reachability_at_latency(5.0)
             .mean

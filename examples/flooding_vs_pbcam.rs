@@ -25,22 +25,12 @@ fn main() {
         let p = (13.0 / rho).clamp(0.05, 1.0);
         let deployment = Deployment::disk(5, 1.0, rho);
 
-        let flood = Replication {
-            deployment,
-            gossip: GossipConfig::flooding_cam(),
-            replications: RUNS,
-            master_seed: 1,
-            threads: 0,
-        }
-        .run();
-        let pbcam = Replication {
-            deployment,
-            gossip: GossipConfig::pb_cam(p),
-            replications: RUNS,
-            master_seed: 1,
-            threads: 0,
-        }
-        .run();
+        let flood = Replication::paper(deployment, GossipConfig::flooding_cam(), 1)
+            .with_runs(RUNS)
+            .run();
+        let pbcam = Replication::paper(deployment, GossipConfig::pb_cam(p), 1)
+            .with_runs(RUNS)
+            .run();
 
         println!(
             "{rho:>6.0} {p:>8.2} {:>13.3} {:>13.3} {:>11.0} {:>11.0}",

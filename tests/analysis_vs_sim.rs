@@ -16,13 +16,12 @@ fn analytical_reach(rho: f64, p: f64, phases: f64) -> f64 {
 }
 
 fn simulated_reach(rho: f64, p: f64, phases: f64, runs: u32) -> f64 {
-    Replication {
-        deployment: Deployment::disk(5, 1.0, rho),
-        gossip: GossipConfig::pb_cam(p),
-        replications: runs,
-        master_seed: 20_05,
-        threads: 0,
-    }
+    Replication::paper(
+        Deployment::disk(5, 1.0, rho),
+        GossipConfig::pb_cam(p),
+        20_05,
+    )
+    .with_runs(runs)
     .run()
     .reachability_at_latency(phases)
     .mean

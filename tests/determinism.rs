@@ -19,13 +19,12 @@ fn deployments_replay_exactly() {
 #[test]
 fn full_pipeline_replays_exactly() {
     let run = || {
-        Replication {
-            deployment: Deployment::disk(4, 1.0, 45.0),
-            gossip: GossipConfig::pb_cam(0.35),
-            replications: 6,
-            master_seed: 5150,
-            threads: 0,
-        }
+        Replication::paper(
+            Deployment::disk(4, 1.0, 45.0),
+            GossipConfig::pb_cam(0.35),
+            5150,
+        )
+        .with_runs(6)
         .run()
         .traces
         .iter()
@@ -38,13 +37,13 @@ fn full_pipeline_replays_exactly() {
 #[test]
 fn thread_count_does_not_change_results() {
     let with_threads = |threads| {
-        Replication {
-            deployment: Deployment::disk(4, 1.0, 45.0),
-            gossip: GossipConfig::pb_cam(0.35),
-            replications: 8,
-            master_seed: 31,
-            threads,
-        }
+        Replication::paper(
+            Deployment::disk(4, 1.0, 45.0),
+            GossipConfig::pb_cam(0.35),
+            31,
+        )
+        .with_runs(8)
+        .with_threads(threads)
         .run()
         .traces
         .iter()

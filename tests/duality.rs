@@ -71,13 +71,12 @@ fn energy_reach_duality_on_analytical_curves() {
 fn duality_holds_per_series_for_simulated_traces() {
     // Per-series inverse relationships (exact, by construction of the
     // interpolation) on real simulated traces.
-    let rep = Replication {
-        deployment: Deployment::disk(4, 1.0, 50.0),
-        gossip: GossipConfig::pb_cam(0.3),
-        replications: 6,
-        master_seed: 77,
-        threads: 0,
-    }
+    let rep = Replication::paper(
+        Deployment::disk(4, 1.0, 50.0),
+        GossipConfig::pb_cam(0.3),
+        77,
+    )
+    .with_runs(6)
     .run();
     for series in rep.series() {
         series.validate().unwrap();
