@@ -43,7 +43,7 @@ impl RefinedCfm {
                 (rho, flooding_success_rate(cfg))
             })
             .collect();
-        table.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rho is never NaN"));
+        table.sort_by(|a, b| a.0.total_cmp(&b.0));
         RefinedCfm { table }
     }
 
@@ -57,7 +57,7 @@ impl RefinedCfm {
                 .all(|&(r, s)| r > 0.0 && (0.0..=1.0).contains(&s)),
             "samples must have positive rho and sr in [0,1]"
         );
-        samples.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("rho is never NaN"));
+        samples.sort_by(|a, b| a.0.total_cmp(&b.0));
         RefinedCfm { table: samples }
     }
 

@@ -71,7 +71,10 @@ impl BinomialPmf {
                 0.0
             }
         } else {
-            (1.0 - q).powi(i32::try_from(k).expect("K too large"))
+            // `powi` for bit-stable results at every realistic K; beyond
+            // i32 range the power underflows anyway, so `powf` is exact
+            // enough and avoids a panic.
+            i32::try_from(k).map_or_else(|_| (1.0 - q).powf(k as f64), |k| (1.0 - q).powi(k))
         };
         BinomialPmf {
             k,
@@ -110,6 +113,7 @@ impl Iterator for BinomialPmf {
 /// falls below `tail_eps` (after the mode, so the loop always terminates).
 pub fn poisson_pmf(lambda: f64, tail_eps: f64) -> Vec<(u64, f64)> {
     assert!(lambda >= 0.0 && tail_eps > 0.0);
+    // nss-lint: allow(float-safety) — exact degenerate case: λ = 0 puts all mass at 0
     if lambda == 0.0 {
         return vec![(0, 1.0)];
     }
@@ -117,6 +121,7 @@ pub fn poisson_pmf(lambda: f64, tail_eps: f64) -> Vec<(u64, f64)> {
     let mut p = (-lambda).exp();
     let mut i = 0u64;
     // For very large λ, e^{−λ} underflows; start from the mode in log space.
+    // nss-lint: allow(float-safety) — exact IEEE zero detects e^{−λ} underflow, the trigger for the log-space path
     if p == 0.0 {
         let mode = lambda.floor() as u64;
         let ln_pmode = -lambda + mode as f64 * lambda.ln() - ln_factorial(mode);

@@ -123,6 +123,7 @@ impl MuTable {
             for kk in 2..target {
                 let mut acc = 0.0;
                 for (i, pi) in BinomialPmf::new(kk as u64, q) {
+                    // nss-lint: allow(float-safety) — skip terms whose pmf underflowed to literal 0.0; they contribute nothing
                     if pi == 0.0 {
                         continue;
                     }
@@ -173,6 +174,7 @@ pub fn mu_closed_form(k: u64, s: u32) -> f64 {
         binom_st *= (f64::from(s) - (t - 1) as f64) / t as f64;
         let base = (sf - t as f64) / sf;
         // 0^0 = 1 (t = s and K = t); 0^positive = 0.
+        // nss-lint: allow(float-safety) — base = (s−t)/s is exactly 0.0 iff t = s; the 0^0 lattice case below needs the exact branch
         let pow = if base == 0.0 {
             if k == t {
                 1.0
@@ -193,7 +195,9 @@ pub fn mu_closed_form(k: u64, s: u32) -> f64 {
 }
 
 /// How to evaluate `μ` at a *real-valued* expected contender count.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub enum MuMode {
     /// Linear interpolation between the integer lattice points — the
     /// paper's (implicit) choice; `μ(k) = k` for `k ∈ [0, 1]`.

@@ -64,11 +64,13 @@ impl MuCsTable {
         let pb: Vec<(u64, f64)> = BinomialPmf::new(k2, q).collect();
         let mut acc = 0.0;
         for &(i, pi) in &pa {
+            // nss-lint: allow(float-safety) — skip terms whose pmf underflowed to literal 0.0
             if pi == 0.0 {
                 continue;
             }
             for &(j, pj) in &pb {
                 let p = pi * pj;
+                // nss-lint: allow(float-safety) — exact zero product of underflowed pmfs contributes nothing
                 if p == 0.0 {
                     continue;
                 }
@@ -102,7 +104,9 @@ pub fn mu_cs_closed_form(k1: u64, k2: u64, s: u32) -> f64 {
         binom_st *= (sf - (t - 1) as f64) / t as f64;
         let base = (sf - t as f64) / sf;
         let expo = (k1 - t + k2) as f64;
+        // nss-lint: allow(float-safety) — base is exactly 0.0 iff t = s; an exact 0^0 lattice branch
         let pow = if base == 0.0 {
+            // nss-lint: allow(float-safety) — expo is an integer-valued cast of k1 − t + k2, so exact zero is the K = t case
             if expo == 0.0 {
                 1.0
             } else {
@@ -127,6 +131,7 @@ pub fn mu_cs_poisson(lambda1: f64, lambda2: f64, s: u32) -> f64 {
     assert!(s >= 1);
     let l1 = lambda1.max(0.0);
     let l2 = lambda2.max(0.0);
+    // nss-lint: allow(float-safety) — exact zero after `.max(0.0)` clamping: no senders at all
     if l1 == 0.0 {
         return 0.0;
     }

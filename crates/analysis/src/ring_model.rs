@@ -250,7 +250,7 @@ impl RingModel {
     pub fn new(config: RingModelConfig) -> Self {
         config
             .validate()
-            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: constructors panic on invalid configs; `validate()` is the fallible path
         RingModel {
             config,
             kernel: Arc::new(SharedKernel::build(&config)),
@@ -265,7 +265,7 @@ impl RingModel {
     pub fn cached(config: RingModelConfig) -> Self {
         config
             .validate()
-            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: constructors panic on invalid configs; `validate()` is the fallible path
         RingModel {
             config,
             kernel: KernelCache::global().get(&config),
@@ -279,7 +279,7 @@ impl RingModel {
     pub fn with_kernel(config: RingModelConfig, kernel: Arc<SharedKernel>) -> Self {
         config
             .validate()
-            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}"));
+            .unwrap_or_else(|e| panic!("invalid RingModelConfig: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: constructors panic on invalid configs; `validate()` is the fallible path
         assert!(
             kernel.matches(&config),
             "kernel fingerprint {:?} does not serve this configuration",
@@ -358,7 +358,7 @@ impl RingModel {
         }
 
         for _phase in 2..=cfg.max_phases {
-            let prev = new_by_phase.last().expect("at least phase 1 exists");
+            let prev = new_by_phase.last().expect("at least phase 1 exists"); // nss-lint: allow(panic-hygiene) — loop starts at phase 2, so phase 1 was pushed unconditionally above
             let prev_total: f64 = prev.iter().sum();
             // Transmitters this phase: last phase's newly informed, thinned
             // by the broadcast probability.
@@ -444,11 +444,13 @@ impl RingModel {
                     // with K(x) the expected transmitter count in range and
                     // q = (s−1)/s the per-slot avoidance probability.
                     let q = (f64::from(cfg.s) - 1.0) / f64::from(cfg.s);
+                    // nss-lint: allow(float-safety) — q = (s−1)/s is exactly 0.0 iff s = 1; an exact branch, not a tolerance test
+                    let single_slot = q == 0.0;
                     let num = tables.integrate(|i, x| {
                         let k = gtx[i];
                         let clean = if k <= 0.0 {
                             0.0
-                        } else if q == 0.0 {
+                        } else if single_slot {
                             // s = 1: only an uncontended sender delivers.
                             if k <= 1.0 {
                                 k

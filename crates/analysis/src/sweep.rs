@@ -88,7 +88,12 @@ impl DensitySweep {
                             );
                             nss_obs::counter!("analysis.sweep.cells").inc();
                         }
-                        tx.send((i, series)).expect("collector alive");
+                        // The receiver outlives this scope; a closed channel
+                        // means the collector is unwinding, so stop quietly
+                        // rather than panic on top of a panic.
+                        if tx.send((i, series)).is_err() {
+                            break;
+                        }
                     });
                 }
                 drop(tx); // workers hold the remaining senders
@@ -102,6 +107,7 @@ impl DensitySweep {
         let mut it = results.into_iter();
         for _ in 0..rhos.len() {
             let row: Vec<PhaseSeries> = (0..probs.len())
+                // nss-lint: allow(panic-hygiene) — the cursor protocol claims every index exactly once (exhaustively checked by tests/loom_sweep.rs), so a missing cell is unreachable
                 .map(|_| it.next().flatten().expect("sweep cell missing"))
                 .collect();
             grid.push(row);

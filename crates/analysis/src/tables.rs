@@ -31,7 +31,7 @@ use crate::ring_geometry::RingGeometry;
 use crate::ring_model::RingModelConfig;
 use nss_model::comm::CollisionRule;
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -432,7 +432,7 @@ impl SharedKernel {
 
 /// The ρ/p-independent fingerprint of a [`RingModelConfig`]: two configs
 /// with equal keys can share one [`SharedKernel`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct KernelKey {
     /// Ring count `P`.
     pub p: u32,
@@ -468,12 +468,14 @@ impl KernelKey {
 /// Interning cache of [`SharedKernel`]s keyed by [`KernelKey`].
 ///
 /// Read-mostly: after the first sweep over a configuration every lookup is
-/// a shared-lock hash probe returning an `Arc` clone. Use
+/// a shared-lock probe returning an `Arc` clone. A `BTreeMap` (rather than
+/// a hash map) keeps every traversal — `bytes()`, debug dumps — in key
+/// order, so cache reports are deterministic across runs. Use
 /// [`KernelCache::global`] for the process-wide instance the sweep and
 /// experiment pipelines share.
 #[derive(Debug, Default)]
 pub struct KernelCache {
-    map: RwLock<HashMap<KernelKey, Arc<SharedKernel>>>,
+    map: RwLock<BTreeMap<KernelKey, Arc<SharedKernel>>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }

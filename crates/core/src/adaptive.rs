@@ -120,6 +120,7 @@ pub fn evaluate_adaptive(
     master_seed: u64,
 ) -> AdaptiveOutcome {
     let Deployment::Disk(d) = model.deployment else {
+        // nss-lint: allow(panic-hygiene) — documented precondition of the adaptive experiment; only the disk deployment defines a true density
         panic!("adaptive evaluation requires the disk deployment");
     };
     let factory = SeedFactory::new(master_seed);
@@ -133,7 +134,7 @@ pub fn evaluate_adaptive(
         .optimum(Objective::MaxReachAtLatency {
             phases: latency_phases,
         })
-        .expect("max objective always feasible");
+        .expect("max objective always feasible"); // nss-lint: allow(panic-hygiene) — MaxReachAtLatency is total over a non-empty grid, so an optimum always exists
 
     // Probe + run on fresh deployments per replication.
     let mut sr_total = 0.0;

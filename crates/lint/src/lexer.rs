@@ -1,0 +1,407 @@
+//! A comment- and string-aware token scanner for Rust source.
+//!
+//! `nss-lint` deliberately avoids a full parser (`syn` is not vendorable
+//! under the no-network constraint, and the rules below are lexical): the
+//! scanner strips comments, string/char literals, and lifetimes into typed
+//! tokens with line numbers, which is exactly enough context for the rule
+//! engine to match call-shaped patterns (`ident ( … )`, `.method(`,
+//! `path :: macro !`) without being fooled by occurrences inside comments
+//! or string literals.
+//!
+//! Line comments are additionally scanned for `nss-lint:` pragmas, which
+//! are returned alongside the token stream (see [`crate::pragma`]).
+
+/// Classification of a scanned token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/octal/binary and suffixed forms).
+    Int,
+    /// Floating-point literal (`1.0`, `1e3`, `2.5f64`, …).
+    Float,
+    /// String literal of any flavor (regular, raw, byte); text is dropped.
+    Str,
+    /// Character literal; text is dropped.
+    Char,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Punctuation. Multi-character operators that the rules care about
+    /// (`==`, `!=`, `::`, `->`, `..`) are emitted as single tokens; all
+    /// other punctuation is single-character.
+    Punct,
+}
+
+/// One scanned token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Token text. Empty for `Str`/`Char` (contents are irrelevant to the
+    /// rules and would only invite accidental matching).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// True if this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == s
+    }
+
+    /// True if this token is the punctuation `s`.
+    pub fn is_punct(&self, s: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == s
+    }
+}
+
+/// A line comment captured during scanning (pragma candidates).
+#[derive(Debug, Clone)]
+pub struct LineComment {
+    /// 1-based line the comment appears on.
+    pub line: u32,
+    /// Comment text after the `//` marker, untrimmed.
+    pub text: String,
+}
+
+/// Result of scanning one source file.
+#[derive(Debug)]
+pub struct Scan {
+    /// The token stream, comments and literals stripped.
+    pub toks: Vec<Tok>,
+    /// Every `//` comment in the file (block comments are not pragma
+    /// carriers by design; the grammar is line-comment only).
+    pub comments: Vec<LineComment>,
+}
+
+/// Scans `src` into tokens and line comments.
+pub fn scan(src: &str) -> Scan {
+    let b: Vec<char> = src.chars().collect();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut line: u32 = 1;
+    let mut i = 0usize;
+    let n = b.len();
+
+    let push = |toks: &mut Vec<Tok>, kind, text: String, line| {
+        toks.push(Tok { kind, text, line });
+    };
+
+    while i < n {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if i + 1 < n && b[i + 1] == '/' => {
+                let start = i + 2;
+                let mut j = start;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                comments.push(LineComment {
+                    line,
+                    text: b[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && b[i + 1] == '*' => {
+                // Block comment with nesting, newline-aware.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                while j < n && depth > 0 {
+                    if b[j] == '\n' {
+                        line += 1;
+                        j += 1;
+                    } else if b[j] == '/' && j + 1 < n && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < n && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(&b, i, &mut line);
+                push(&mut toks, TokKind::Str, String::new(), tok_line);
+            }
+            '\'' => {
+                // Char literal vs lifetime. A lifetime is `'` followed by an
+                // identifier that is *not* closed by another `'`.
+                let tok_line = line;
+                if i + 1 < n && (b[i + 1].is_alphanumeric() || b[i + 1] == '_') && b[i + 1] != '\\'
+                {
+                    let mut j = i + 1;
+                    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                        j += 1;
+                    }
+                    if j < n && b[j] == '\'' && j == i + 2 {
+                        // 'x' — a one-character char literal.
+                        push(&mut toks, TokKind::Char, String::new(), tok_line);
+                        i = j + 1;
+                    } else {
+                        let text: String = b[i + 1..j].iter().collect();
+                        push(&mut toks, TokKind::Lifetime, text, tok_line);
+                        i = j;
+                    }
+                } else {
+                    // Escaped char like '\n' or '\u{..}'.
+                    let mut j = i + 1;
+                    while j < n && b[j] != '\'' {
+                        if b[j] == '\\' {
+                            j += 1;
+                        }
+                        if j < n && b[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                    push(&mut toks, TokKind::Char, String::new(), tok_line);
+                    i = (j + 1).min(n);
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let tok_line = line;
+                let (j, kind, text) = scan_number(&b, i);
+                push(&mut toks, kind, text, tok_line);
+                i = j;
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+                let is_str_prefix = matches!(text.as_str(), "r" | "b" | "br" | "rb");
+                if is_str_prefix && j < n && (b[j] == '"' || b[j] == '#') {
+                    let tok_line = line;
+                    i = skip_raw_string(&b, j, &mut line);
+                    push(&mut toks, TokKind::Str, String::new(), tok_line);
+                } else {
+                    push(&mut toks, TokKind::Ident, text, line);
+                    i = j;
+                }
+            }
+            _ => {
+                // Punctuation; combine the few multi-char operators the
+                // rules must see as units.
+                let two: Option<&str> = if i + 1 < n {
+                    match (c, b[i + 1]) {
+                        ('=', '=') => Some("=="),
+                        ('!', '=') => Some("!="),
+                        (':', ':') => Some("::"),
+                        ('-', '>') => Some("->"),
+                        ('.', '.') => Some(".."),
+                        _ => None,
+                    }
+                } else {
+                    None
+                };
+                if let Some(op) = two {
+                    push(&mut toks, TokKind::Punct, op.to_string(), line);
+                    i += 2;
+                    // `..=` — fold the `=` in so it cannot pair elsewhere.
+                    if op == ".." && i < n && b[i] == '=' {
+                        i += 1;
+                    }
+                } else {
+                    push(&mut toks, TokKind::Punct, c.to_string(), line);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    Scan { toks, comments }
+}
+
+/// Skips a regular string literal starting at the opening `"`; returns the
+/// index just past the closing quote and updates the line counter.
+fn skip_string(b: &[char], start: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut j = start + 1;
+    while j < n {
+        match b[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    n
+}
+
+/// Skips a raw string body starting at the first `#` or `"` after the `r`
+/// prefix; returns the index just past the closing delimiter.
+fn skip_raw_string(b: &[char], start: usize, line: &mut u32) -> usize {
+    let n = b.len();
+    let mut hashes = 0usize;
+    let mut j = start;
+    while j < n && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    if j >= n || b[j] != '"' {
+        // Not actually a raw string (e.g. `r#ident`); treat as consumed.
+        return j;
+    }
+    j += 1;
+    while j < n {
+        if b[j] == '\n' {
+            *line += 1;
+            j += 1;
+        } else if b[j] == '"' {
+            let mut k = j + 1;
+            let mut seen = 0usize;
+            while k < n && seen < hashes && b[k] == '#' {
+                seen += 1;
+                k += 1;
+            }
+            if seen == hashes {
+                return k;
+            }
+            j += 1;
+        } else {
+            j += 1;
+        }
+    }
+    n
+}
+
+/// Scans a numeric literal starting at a digit; returns (end index, kind,
+/// text). Distinguishes floats from ints, including exponent and suffix
+/// forms; `1..2` and `1.max(…)` keep the `1` integral.
+fn scan_number(b: &[char], start: usize) -> (usize, TokKind, String) {
+    let n = b.len();
+    let mut j = start;
+    let mut float = false;
+    if b[j] == '0' && j + 1 < n && matches!(b[j + 1], 'x' | 'o' | 'b') {
+        j += 2;
+        while j < n && (b[j].is_ascii_hexdigit() || b[j] == '_') {
+            j += 1;
+        }
+    } else {
+        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+            j += 1;
+        }
+        // Fractional part: only if `.` is followed by a digit (so ranges
+        // and method calls on integers stay integral) or ends the number.
+        if j < n && b[j] == '.' {
+            let next = b.get(j + 1);
+            let next_is_digit = next.is_some_and(|c| c.is_ascii_digit());
+            let next_is_cont = next.is_some_and(|c| c.is_alphanumeric() || *c == '_' || *c == '.');
+            if next_is_digit || !next_is_cont {
+                float = true;
+                j += 1;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+        // Exponent.
+        if j < n && (b[j] == 'e' || b[j] == 'E') {
+            let mut k = j + 1;
+            if k < n && (b[k] == '+' || b[k] == '-') {
+                k += 1;
+            }
+            if k < n && b[k].is_ascii_digit() {
+                float = true;
+                j = k;
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+            }
+        }
+    }
+    // Type suffix (`f64` forces float; `u32` etc. keep the kind).
+    let suffix_start = j;
+    while j < n && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    if suffix_start < j && b[suffix_start] == 'f' {
+        float = true;
+    }
+    let text: String = b[start..j].iter().collect();
+    let kind = if float { TokKind::Float } else { TokKind::Int };
+    (j, kind, text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        scan(src)
+            .toks
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_stripped() {
+        let s = scan("let x = \"thread_rng()\"; // thread_rng\n/* unwrap() */ y");
+        assert!(!s.toks.iter().any(|t| t.is_ident("thread_rng")));
+        assert!(!s.toks.iter().any(|t| t.is_ident("unwrap")));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("thread_rng"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let ks = kinds(r##"let a = r#"unwrap()"#; let c = 'x'; let lt: &'a str;"##);
+        assert!(!ks.iter().any(|(_, t)| t == "unwrap"));
+        assert!(ks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Lifetime && t == "a"));
+    }
+
+    #[test]
+    fn numbers_classified() {
+        let ks = kinds("1 1.0 1e3 0x10 1..2 1.max(2) 2.5f64 3f32 7u64");
+        let floats: Vec<&String> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Float)
+            .map(|(_, t)| t)
+            .collect();
+        assert_eq!(floats, ["1.0", "1e3", "2.5f64", "3f32"]);
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Int && t == "0x10"));
+        assert!(ks.iter().any(|(k, t)| *k == TokKind::Int && t == "7u64"));
+    }
+
+    #[test]
+    fn operators_combined() {
+        let ks = kinds("a == b != c :: d -> e .. f <= g");
+        let puncts: Vec<&String> = ks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Punct)
+            .map(|(_, t)| t)
+            .collect();
+        assert!(puncts.contains(&&"==".to_string()));
+        assert!(puncts.contains(&&"!=".to_string()));
+        assert!(puncts.contains(&&"::".to_string()));
+        assert!(puncts.contains(&&"->".to_string()));
+        assert!(puncts.contains(&&"..".to_string()));
+        // `<=` must not manufacture a spurious `==`.
+        assert_eq!(puncts.iter().filter(|p| ***p == "==").count(), 1);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let s = scan("a\n\"two\nlines\"\nb");
+        let b = s.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+}

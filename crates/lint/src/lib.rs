@@ -1,0 +1,450 @@
+//! `nss-lint` — workspace static analysis for determinism, RNG-stream
+//! discipline, and numerical safety.
+//!
+//! The repo's promise is that analytical predictions are validated against
+//! **bitwise-reproducible** simulation. That promise rests on invariants a
+//! compiler cannot see: every random draw flows through a labeled
+//! [`Stream`](https://docs.rs/nss-model) seed, nothing iterates a hash
+//! collection on a path that feeds output or float accumulation, library
+//! code fails through `ConfigError` rather than panicking, lens-geometry
+//! math stays inside its domain, and the obs macros stay zero-cost when the
+//! feature is off. This crate checks those invariants mechanically as a CI
+//! gate:
+//!
+//! ```text
+//! cargo run -p nss-lint -- check [--json report.json]
+//! ```
+//!
+//! The pass is deliberately **lexical** (see [`lexer`]): a comment- and
+//! string-aware token scanner plus call-shape pattern rules. That keeps the
+//! crate dependency-free (no `syn` under the no-network vendoring
+//! constraint) at the cost of heuristic precision — which is why every rule
+//! has an inline escape hatch, the
+//! [`// nss-lint: allow(<rule>) — <reason>`](pragma) pragma, whose reason
+//! text is mandatory and machine-checked.
+//!
+//! Rule catalogue (ids are what pragmas name):
+//!
+//! | id | invariant |
+//! |---|---|
+//! | `rng-discipline` | no `thread_rng`/`from_entropy`/`OsRng`; no literal-seeded `SmallRng` and no raw string stream labels outside `nss-model::rng` — every RNG originates from a labeled `Stream` |
+//! | `determinism` | no iteration over `HashMap`/`HashSet` (order-dependent) outside tests; use `BTreeMap` or an explicit sort |
+//! | `panic-hygiene` | no `unwrap`/`expect`/`panic!`-family in library crates outside `#[cfg(test)]`; route through `ConfigError` |
+//! | `float-safety` | no `==`/`!=` against float literals and no unguarded `.sqrt()`/`.acos()`/`.asin()` in `analysis`/`core` |
+//! | `feature-hygiene` | obs macros must be `nss_obs::`-qualified and carry effect-free arguments, so `--no-default-features` builds stay identical |
+//!
+//! Malformed pragmas (missing reason, unknown rule) and pragmas that no
+//! longer suppress anything are reported under the reserved id `pragma`.
+
+pub mod json;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+
+use lexer::{scan, Tok, TokKind};
+use pragma::{parse_pragmas, Pragma};
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// How a file participates in the build, which scopes the rules.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// `src/` of a library crate (strictest: all rules).
+    LibSrc,
+    /// `src/` of a binary or tool crate (panic-hygiene off).
+    BinSrc,
+    /// Integration tests / benches (panic-hygiene off, literal seeds ok).
+    TestSrc,
+}
+
+/// First-party library crates held to panic-hygiene (binaries may panic at
+/// the top level; these must route errors through `ConfigError`).
+pub const LIB_CRATES: &[&str] = &["model", "analysis", "sim", "core", "plot", "obs", "nss"];
+
+/// One rule finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule id (see crate docs) or `pragma` for pragma-hygiene findings.
+    pub rule: &'static str,
+    /// Human-readable diagnostic.
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.path, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A scanned source file plus the derived context rules match against.
+pub struct SourceFile {
+    /// Workspace-relative path (diagnostics).
+    pub path: String,
+    /// Crate directory name (`model`, `analysis`, …; `nss` for the root).
+    pub crate_name: String,
+    /// Build role of the file.
+    pub kind: FileKind,
+    /// Token stream.
+    pub toks: Vec<Tok>,
+    /// `test_lines[line as usize]` = line is inside a `#[cfg(test)]` /
+    /// `#[test]` region (index 0 unused).
+    pub test_lines: Vec<bool>,
+    /// Parsed pragmas.
+    pub pragmas: Vec<Pragma>,
+}
+
+impl SourceFile {
+    /// Scans `src` into a rule-ready file model.
+    pub fn parse(path: &str, crate_name: &str, kind: FileKind, src: &str) -> SourceFile {
+        let scanned = scan(src);
+        let last_line = src.lines().count() as u32 + 1;
+        let mut test_lines = vec![false; last_line as usize + 2];
+        if kind == FileKind::TestSrc {
+            for t in test_lines.iter_mut() {
+                *t = true;
+            }
+        } else {
+            mark_test_regions(&scanned.toks, &mut test_lines);
+        }
+        let pragmas = parse_pragmas(&scanned.comments, &rules::ids());
+        SourceFile {
+            path: path.to_string(),
+            crate_name: crate_name.to_string(),
+            kind,
+            toks: scanned.toks,
+            test_lines,
+            pragmas,
+        }
+    }
+
+    /// True if `line` lies inside test-only code.
+    pub fn is_test_line(&self, line: u32) -> bool {
+        self.test_lines.get(line as usize).copied().unwrap_or(false)
+    }
+
+    /// Index of the token matching the opening delimiter at `open`
+    /// (`(`/`[`/`{`), or `None` if unbalanced.
+    pub fn match_delim(&self, open: usize) -> Option<usize> {
+        let (o, c) = match self.toks[open].text.as_str() {
+            "(" => ("(", ")"),
+            "[" => ("[", "]"),
+            "{" => ("{", "}"),
+            _ => return None,
+        };
+        let mut depth = 0usize;
+        for (j, t) in self.toks.iter().enumerate().skip(open) {
+            if t.is_punct(o) {
+                depth += 1;
+            } else if t.is_punct(c) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(j);
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Marks lines covered by `#[cfg(test)]` (any `cfg` attribute mentioning
+/// `test`) and `#[test]` item bodies.
+fn mark_test_regions(toks: &[Tok], test_lines: &mut [bool]) {
+    let n = toks.len();
+    let mut i = 0usize;
+    while i < n {
+        if toks[i].is_punct("#") && i + 1 < n && toks[i + 1].is_punct("[") {
+            // Find the attribute's closing bracket.
+            let mut depth = 0usize;
+            let mut close = None;
+            for (j, t) in toks.iter().enumerate().skip(i + 1) {
+                if t.is_punct("[") {
+                    depth += 1;
+                } else if t.is_punct("]") {
+                    depth -= 1;
+                    if depth == 0 {
+                        close = Some(j);
+                        break;
+                    }
+                }
+            }
+            let Some(close) = close else { break };
+            let attr: Vec<&str> = toks[i + 2..close]
+                .iter()
+                .filter(|t| t.kind == TokKind::Ident)
+                .map(|t| t.text.as_str())
+                .collect();
+            let is_test_attr =
+                attr == ["test"] || (attr.first() == Some(&"cfg") && attr.contains(&"test"));
+            if is_test_attr {
+                // The attributed item's body is the next `{…}` before any
+                // bare `;` (a `#[cfg(test)] use …;` has no body).
+                let mut j = close + 1;
+                let mut open = None;
+                while j < n {
+                    let t = &toks[j];
+                    if t.is_punct("{") {
+                        open = Some(j);
+                        break;
+                    }
+                    if t.is_punct(";") {
+                        break;
+                    }
+                    // Skip stacked attributes on the same item.
+                    if t.is_punct("#") && j + 1 < n && toks[j + 1].is_punct("[") {
+                        let mut d = 0usize;
+                        while j < n {
+                            if toks[j].is_punct("[") {
+                                d += 1;
+                            } else if toks[j].is_punct("]") {
+                                d -= 1;
+                                if d == 0 {
+                                    break;
+                                }
+                            }
+                            j += 1;
+                        }
+                    }
+                    j += 1;
+                }
+                if let Some(open) = open {
+                    let mut depth = 0usize;
+                    let mut end = open;
+                    for (k, t) in toks.iter().enumerate().skip(open) {
+                        if t.is_punct("{") {
+                            depth += 1;
+                        } else if t.is_punct("}") {
+                            depth -= 1;
+                            if depth == 0 {
+                                end = k;
+                                break;
+                            }
+                        }
+                    }
+                    let (lo, hi) = (toks[open].line as usize, toks[end].line as usize);
+                    for line in test_lines.iter_mut().take(hi + 1).skip(lo) {
+                        *line = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+            i = close + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Lints a single in-memory source (the fixture-test entry point).
+pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Violation> {
+    let file = SourceFile::parse(path, crate_name, kind, src);
+    lint_file(&file)
+}
+
+/// Runs every rule over a parsed file, applies pragmas, and appends
+/// pragma-hygiene findings.
+pub fn lint_file(file: &SourceFile) -> Vec<Violation> {
+    let mut raw = Vec::new();
+    for rule in rules::all() {
+        rule.check(file, &mut raw);
+    }
+    let mut out = Vec::new();
+    // A pragma on line L covers violations on L and L+1.
+    let covers = |p: &Pragma, v: &Violation| {
+        (v.line == p.line || v.line == p.line + 1) && p.rules.iter().any(|r| r == v.rule)
+    };
+    for v in &raw {
+        let suppressed = file
+            .pragmas
+            .iter()
+            .any(|p| p.error.is_none() && covers(p, v));
+        if !suppressed {
+            out.push(v.clone());
+        }
+    }
+    for p in &file.pragmas {
+        if let Some(err) = &p.error {
+            out.push(Violation {
+                path: file.path.clone(),
+                line: p.line,
+                rule: "pragma",
+                message: err.clone(),
+            });
+        } else {
+            // An allow that suppresses nothing is stale and must go: dead
+            // pragmas erode trust in the live ones.
+            for r in &p.rules {
+                let used = raw
+                    .iter()
+                    .any(|v| v.rule == r.as_str() && (v.line == p.line || v.line == p.line + 1));
+                if !used {
+                    out.push(Violation {
+                        path: file.path.clone(),
+                        line: p.line,
+                        rule: "pragma",
+                        message: format!(
+                            "stale pragma: no `{r}` violation on this or the next line — remove it"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    out
+}
+
+/// A full workspace lint result.
+#[derive(Debug)]
+pub struct Report {
+    /// Files scanned, in deterministic (sorted) order.
+    pub files: Vec<String>,
+    /// Surviving violations, ordered by (path, line, rule).
+    pub violations: Vec<Violation>,
+}
+
+/// Walks the workspace at `root` and lints every first-party `.rs` file.
+///
+/// Scanned: `src/` (root crate), `crates/*/{src,tests,benches}`. Skipped:
+/// `vendor/` (third-party API mirrors), `target/`, and any `fixtures`
+/// directory (linter test inputs contain deliberate violations).
+pub fn lint_workspace(root: &Path) -> Result<Report, String> {
+    if !root.join("Cargo.toml").exists() || !root.join("crates").is_dir() {
+        return Err(format!(
+            "{} does not look like the workspace root (need Cargo.toml and crates/)",
+            root.display()
+        ));
+    }
+    let mut files: Vec<(PathBuf, String, FileKind)> = Vec::new();
+    collect_rs(&root.join("src"), &mut files, "nss", FileKind::LibSrc)?;
+    let mut crate_dirs: Vec<PathBuf> = std::fs::read_dir(root.join("crates"))
+        .map_err(|e| format!("reading crates/: {e}"))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+    for dir in crate_dirs {
+        let name = dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or_default()
+            .to_string();
+        if name == "lint" {
+            // The linter's own sources are tool code; its fixtures are
+            // deliberate violations. It still lints itself as BinSrc.
+            collect_rs(&dir.join("src"), &mut files, &name, FileKind::BinSrc)?;
+            continue;
+        }
+        let src_kind = if LIB_CRATES.contains(&name.as_str()) {
+            FileKind::LibSrc
+        } else {
+            FileKind::BinSrc
+        };
+        collect_rs(&dir.join("src"), &mut files, &name, src_kind)?;
+        collect_rs(&dir.join("tests"), &mut files, &name, FileKind::TestSrc)?;
+        collect_rs(&dir.join("benches"), &mut files, &name, FileKind::TestSrc)?;
+    }
+
+    let mut report = Report {
+        files: Vec::new(),
+        violations: Vec::new(),
+    };
+    for (path, crate_name, kind) in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = std::fs::read_to_string(&path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let file = SourceFile::parse(&rel, &crate_name, kind, &src);
+        report.violations.extend(lint_file(&file));
+        report.files.push(rel);
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collects `.rs` files under `dir` (sorted for deterministic
+/// reports), skipping `fixtures` directories.
+fn collect_rs(
+    dir: &Path,
+    out: &mut Vec<(PathBuf, String, FileKind)>,
+    crate_name: &str,
+    kind: FileKind,
+) -> Result<(), String> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for p in entries {
+        if p.is_dir() {
+            if p.file_name().and_then(|n| n.to_str()) == Some("fixtures") {
+                continue;
+            }
+            collect_rs(&p, out, crate_name, kind)?;
+        } else if p.extension().and_then(|e| e.to_str()) == Some("rs") {
+            out.push((p, crate_name.to_string(), kind));
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_region_marking() {
+        let src = "fn a() {}\n#[cfg(test)]\nmod tests {\n    fn b() {}\n}\nfn c() {}\n";
+        let f = SourceFile::parse("x.rs", "model", FileKind::LibSrc, src);
+        assert!(!f.is_test_line(1));
+        assert!(f.is_test_line(3));
+        assert!(f.is_test_line(4));
+        assert!(!f.is_test_line(6));
+    }
+
+    #[test]
+    fn cfg_test_without_body_is_no_region() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn a() {}\n";
+        let f = SourceFile::parse("x.rs", "model", FileKind::LibSrc, src);
+        assert!(!f.is_test_line(3));
+    }
+
+    #[test]
+    fn test_attribute_marks_fn_body() {
+        let src = "#[test]\nfn t() {\n    boom();\n}\n";
+        let f = SourceFile::parse("x.rs", "model", FileKind::LibSrc, src);
+        assert!(f.is_test_line(3));
+    }
+
+    #[test]
+    fn pragma_suppresses_same_and_next_line() {
+        let src = "fn f(x: std::collections::HashMap<u32, u32>) {\n    // nss-lint: allow(determinism) — sum of u64 is order-independent\n    let _: u64 = x.values().map(|&v| u64::from(v)).sum();\n}\n";
+        let vs = lint_source("x.rs", "model", FileKind::LibSrc, src);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn stale_pragma_is_flagged() {
+        let src = "// nss-lint: allow(determinism) — nothing here\nfn f() {}\n";
+        let vs = lint_source("x.rs", "model", FileKind::LibSrc, src);
+        assert_eq!(vs.len(), 1);
+        assert_eq!(vs[0].rule, "pragma");
+        assert!(vs[0].message.contains("stale"));
+    }
+}

@@ -1,0 +1,83 @@
+//! `nss-lint` CLI.
+//!
+//! ```text
+//! cargo run -p nss-lint -- check [--root DIR] [--json FILE]
+//! cargo run -p nss-lint -- rules
+//! ```
+//!
+//! `check` exits 0 when the workspace is clean, 1 with one `file:line:
+//! [rule] message` diagnostic per violation otherwise, and 2 on usage or IO
+//! errors. `--json` additionally writes the machine-readable report
+//! (uploaded as a CI artifact).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("nss-lint: {msg}");
+            eprintln!("usage: nss-lint <check|rules> [--root DIR] [--json FILE]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<ExitCode, String> {
+    let mut cmd: Option<&str> = None;
+    let mut root = PathBuf::from(".");
+    let mut json_out: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a directory")?);
+            }
+            "--json" => {
+                json_out = Some(PathBuf::from(it.next().ok_or("--json needs a file path")?));
+            }
+            "check" | "rules" if cmd.is_none() => cmd = Some(a),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    match cmd {
+        Some("rules") => {
+            for rule in nss_lint::rules::all() {
+                println!("{:<16} {}", rule.id(), rule.describe());
+            }
+            println!(
+                "{:<16} reserved: malformed or stale `// nss-lint: allow(…) — reason` pragmas",
+                "pragma"
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Some("check") => {
+            let report = nss_lint::lint_workspace(&root)?;
+            if let Some(path) = json_out {
+                std::fs::write(&path, nss_lint::json::render(&report))
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.violations.is_empty() {
+                println!(
+                    "nss-lint: {} files clean ({} rules)",
+                    report.files.len(),
+                    nss_lint::rules::all().len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                println!(
+                    "nss-lint: {} violation(s) in {} files scanned",
+                    report.violations.len(),
+                    report.files.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        _ => Err("missing subcommand".to_string()),
+    }
+}

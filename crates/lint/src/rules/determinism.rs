@@ -1,0 +1,250 @@
+//! `determinism` — no iteration over hash-ordered collections.
+//!
+//! `HashMap`/`HashSet` iteration order is unspecified and (upstream)
+//! randomized per process; any such order reaching CSV/SVG/trace output or
+//! a float accumulation (`sum` over f64 is not associative) breaks bitwise
+//! reproducibility. The rule tracks identifiers bound to hash collections
+//! within a file — `name: HashMap<…>` annotations (fields, lets, params,
+//! including nested types like `Vec<HashMap<…>>`) and
+//! `let name = HashMap::new()` initializers — and flags any iteration-shaped
+//! use of them: `.iter()`, `.values()`, `.drain()`, … (through postfix
+//! chains like `self.map.read().values()`) or direct `for x in &name`.
+//!
+//! Keyed access (`get`/`insert`/`entry`/`remove`) is order-free and not
+//! flagged. Order-independent folds (e.g. summing `usize`) are legitimate —
+//! use a pragma with that reason.
+
+use super::{violation, Rule};
+use crate::lexer::TokKind;
+use crate::{SourceFile, Violation};
+
+const HASH_TYPES: &[&str] = &["HashMap", "HashSet"];
+const ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "into_keys",
+    "values",
+    "values_mut",
+    "into_values",
+    "drain",
+    "retain",
+    "extract_if",
+];
+
+pub struct Determinism;
+
+impl Rule for Determinism {
+    fn id(&self) -> &'static str {
+        "determinism"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no iteration over HashMap/HashSet outside tests (unspecified order); \
+         use BTreeMap/BTreeSet or sort before draining"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        let toks = &file.toks;
+        let names = hash_bound_names(file);
+        if names.is_empty() {
+            return;
+        }
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || !names.contains(&t.text) || file.is_test_line(t.line) {
+                continue;
+            }
+            // Skip the declaration site itself (`name :` / `name =`).
+            if toks
+                .get(i + 1)
+                .is_some_and(|n| n.is_punct(":") || n.is_punct("="))
+            {
+                continue;
+            }
+            if let Some((line, method)) = chain_iteration(file, i) {
+                out.push(violation(
+                    file,
+                    line,
+                    self.id(),
+                    format!(
+                        "iteration over hash-ordered `{}` via `.{}()` has unspecified \
+                         order; use a BTree collection or an explicit sort",
+                        t.text, method
+                    ),
+                ));
+            }
+            // `for x in name` / `for x in &mut name { … }`.
+            let mut back = i;
+            while back > 0 {
+                let p = &toks[back - 1];
+                if p.is_punct("&") || p.is_ident("mut") {
+                    back -= 1;
+                } else {
+                    break;
+                }
+            }
+            if back >= 1
+                && toks[back - 1].is_ident("in")
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("{"))
+            {
+                out.push(violation(
+                    file,
+                    t.line,
+                    self.id(),
+                    format!(
+                        "`for … in {}` iterates a hash-ordered collection in \
+                         unspecified order",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// Identifiers in this file that are (or contain) hash collections: type
+/// ascriptions whose type mentions `HashMap`/`HashSet`, and `let`-bindings
+/// initialized from `HashMap::new()`-style constructors.
+fn hash_bound_names(file: &SourceFile) -> Vec<String> {
+    let toks = &file.toks;
+    let mut names: Vec<String> = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.kind != TokKind::Ident || !HASH_TYPES.contains(&t.text.as_str()) {
+            continue;
+        }
+        // Walk back over the type expression to the `:` or `=` that binds
+        // it, then take the identifier before that. Bounded lookback keeps
+        // this linear in practice.
+        let lo = i.saturating_sub(24);
+        let mut j = i;
+        while j > lo {
+            j -= 1;
+            let p = &toks[j];
+            if p.is_punct(":") || p.is_punct("=") {
+                if j > 0 && toks[j - 1].kind == TokKind::Ident {
+                    let name = &toks[j - 1].text;
+                    if name != "mut" && !names.contains(name) {
+                        names.push(name.clone());
+                    }
+                }
+                break;
+            }
+            // A statement boundary or arrow before the binder means this
+            // mention is a return type / standalone path — no binder.
+            if p.is_punct(";") || p.is_punct("{") || p.is_punct("}") || p.is_punct("->") {
+                break;
+            }
+        }
+    }
+    names
+}
+
+/// If the postfix chain rooted at token `i` reaches an iteration method,
+/// returns `(line, method)`. The chain follows field projections, index
+/// groups, and intermediate calls (`self.map.read().values()`).
+fn chain_iteration(file: &SourceFile, i: usize) -> Option<(u32, String)> {
+    let toks = &file.toks;
+    let mut j = i + 1;
+    let mut hops = 0usize;
+    while j < toks.len() && hops < 8 {
+        let t = &toks[j];
+        if t.is_punct("[") {
+            j = file.match_delim(j)? + 1;
+            continue;
+        }
+        if !t.is_punct(".") {
+            return None;
+        }
+        let m = toks.get(j + 1)?;
+        if m.kind != TokKind::Ident {
+            return None;
+        }
+        if ITER_METHODS.contains(&m.text.as_str())
+            && toks.get(j + 2).is_some_and(|n| n.is_punct("("))
+        {
+            return Some((m.line, m.text.clone()));
+        }
+        match toks.get(j + 2) {
+            Some(n) if n.is_punct("(") => {
+                // Intermediate call (e.g. `.read()`); continue after it.
+                j = file.match_delim(j + 2)? + 1;
+            }
+            _ => {
+                // Field projection; continue after the field.
+                j += 2;
+            }
+        }
+        hops += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, FileKind};
+
+    fn lint(src: &str) -> Vec<Violation> {
+        lint_source(
+            "crates/analysis/src/x.rs",
+            "analysis",
+            FileKind::LibSrc,
+            src,
+        )
+        .into_iter()
+        .filter(|v| v.rule == "determinism")
+        .collect()
+    }
+
+    #[test]
+    fn direct_iteration_flagged() {
+        let vs = lint("fn f(m: HashMap<u32, f64>) { for (k, v) in m.iter() { use_it(k, v); } }\n");
+        assert_eq!(vs.len(), 1);
+        assert!(vs[0].message.contains("iter"));
+    }
+
+    #[test]
+    fn for_loop_over_reference_flagged() {
+        let vs = lint("fn f(s: HashSet<u32>) { for v in &s { use_it(v); } }\n");
+        assert_eq!(vs.len(), 1);
+    }
+
+    #[test]
+    fn chained_iteration_through_lock_flagged() {
+        let src = "struct C { map: RwLock<HashMap<K, V>> }\n\
+                   impl C { fn b(&self) -> usize { self.map.read().values().count() } }\n";
+        let vs = lint(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("values"));
+    }
+
+    #[test]
+    fn nested_type_and_index_flagged() {
+        let src = "fn f(audible: Vec<HashMap<u32, bool>>, v: usize) {\n\
+                   for flag in audible[v].values_mut() { *flag = false; }\n}\n";
+        let vs = lint(src);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn keyed_access_clean() {
+        let src = "fn f(memo: &mut HashMap<(u64, u64), f64>) -> f64 {\n\
+                   if let Some(&v) = memo.get(&(1, 2)) { return v; }\n\
+                   memo.insert((1, 2), 0.5);\n\
+                   *memo.entry((1, 2)).or_insert(0.0)\n}\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn btree_iteration_clean() {
+        let src = "fn f(m: BTreeMap<u32, f64>) { for (k, v) in m.iter() { use_it(k, v); } }\n";
+        assert!(lint(src).is_empty());
+    }
+
+    #[test]
+    fn tests_exempt() {
+        let src = "#[cfg(test)]\nmod tests {\n fn t(m: HashMap<u32, u32>) { for v in m.values() { use_it(v); } }\n}\n";
+        assert!(lint(src).is_empty());
+    }
+}

@@ -1,0 +1,54 @@
+//! The rule catalogue.
+//!
+//! Each rule is a pure function over a parsed [`SourceFile`]; adding a rule
+//! means adding a module here, registering it in [`all`], and giving it a
+//! fixture pair under `tests/fixtures/` (see DESIGN.md §8 for the recipe).
+
+use crate::{SourceFile, Violation};
+
+mod determinism;
+mod float;
+mod obs;
+mod panic;
+mod rng;
+
+/// A single lint rule.
+pub trait Rule {
+    /// Stable id, as named by pragmas and JSON reports.
+    fn id(&self) -> &'static str;
+    /// One-line description for `nss-lint rules`.
+    fn describe(&self) -> &'static str;
+    /// Appends findings for `file` to `out`.
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
+}
+
+/// Every registered rule, in reporting order.
+pub fn all() -> Vec<Box<dyn Rule>> {
+    vec![
+        Box::new(rng::RngDiscipline),
+        Box::new(determinism::Determinism),
+        Box::new(panic::PanicHygiene),
+        Box::new(float::FloatSafety),
+        Box::new(obs::FeatureHygiene),
+    ]
+}
+
+/// Ids of every rule (pragma validation).
+pub fn ids() -> Vec<&'static str> {
+    all().iter().map(|r| r.id()).collect()
+}
+
+/// Shorthand used by the rule modules.
+pub(crate) fn violation(
+    file: &SourceFile,
+    line: u32,
+    rule: &'static str,
+    message: String,
+) -> Violation {
+    Violation {
+        path: file.path.clone(),
+        line,
+        rule,
+        message,
+    }
+}

@@ -1,0 +1,125 @@
+//! `panic-hygiene` — library crates fail through `ConfigError`, not panics.
+//!
+//! A panic inside `nss-model`/`nss-analysis`/`nss-sim`/… aborts a whole
+//! sweep or replication batch from deep inside a worker thread; callers
+//! can neither map it to a grid cell nor degrade gracefully. Library code
+//! must surface failures as `Result<_, ConfigError>` (or `io::Error` at IO
+//! boundaries). `assert!` on internal invariants is fine — those are bug
+//! traps, not error paths — as are panics in tests, binaries, and benches.
+//!
+//! Flagged in `LibSrc` outside `#[cfg(test)]`: `.unwrap()`, `.expect(…)`,
+//! `panic!`, `todo!`, `unimplemented!`.
+
+use super::{violation, Rule};
+use crate::lexer::TokKind;
+use crate::{FileKind, SourceFile, Violation};
+
+const PANIC_MACROS: &[&str] = &["panic", "todo", "unimplemented"];
+
+pub struct PanicHygiene;
+
+impl Rule for PanicHygiene {
+    fn id(&self) -> &'static str {
+        "panic-hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no unwrap()/expect()/panic! in library crates outside #[cfg(test)]; \
+         route failures through ConfigError"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        if file.kind != FileKind::LibSrc {
+            return;
+        }
+        let toks = &file.toks;
+        for (i, t) in toks.iter().enumerate() {
+            if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+                continue;
+            }
+            let method_call = |name: &str| {
+                t.text == name
+                    && i > 0
+                    && toks[i - 1].is_punct(".")
+                    && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            };
+            if method_call("unwrap") || method_call("expect") {
+                out.push(violation(
+                    file,
+                    t.line,
+                    self.id(),
+                    format!(
+                        "`.{}()` can panic in library code; return a ConfigError \
+                         (or io::Error) instead",
+                        t.text
+                    ),
+                ));
+            } else if PANIC_MACROS.contains(&t.text.as_str())
+                && toks.get(i + 1).is_some_and(|n| n.is_punct("!"))
+            {
+                out.push(violation(
+                    file,
+                    t.line,
+                    self.id(),
+                    format!(
+                        "`{}!` in library code aborts the caller; return a \
+                         ConfigError instead",
+                        t.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, FileKind};
+
+    fn lint(kind: FileKind, src: &str) -> Vec<Violation> {
+        lint_source("crates/model/src/x.rs", "model", kind, src)
+            .into_iter()
+            .filter(|v| v.rule == "panic-hygiene")
+            .collect()
+    }
+
+    #[test]
+    fn unwrap_expect_panic_flagged_in_lib() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n\
+                   let a = x.unwrap();\n\
+                   let b = x.expect(\"msg\");\n\
+                   if a + b == 0 { panic!(\"boom\"); }\n\
+                   a\n}\n";
+        let vs = lint(FileKind::LibSrc, src);
+        assert_eq!(vs.len(), 3, "{vs:?}");
+    }
+
+    #[test]
+    fn unwrap_or_family_clean() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0) + x.unwrap_or_else(|| 1) + x.unwrap_or_default() }\n";
+        assert!(lint(FileKind::LibSrc, src).is_empty());
+    }
+
+    #[test]
+    fn asserts_are_allowed() {
+        let src = "fn f(s: u32) { assert!(s >= 1); debug_assert_eq!(s, s); }\n";
+        assert!(lint(FileKind::LibSrc, src).is_empty());
+    }
+
+    #[test]
+    fn tests_bins_and_benches_exempt() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\n";
+        assert!(lint(FileKind::BinSrc, src).is_empty());
+        assert!(lint(FileKind::TestSrc, src).is_empty());
+        let in_test_mod = "#[cfg(test)]\nmod tests {\n fn t() { None::<u32>.unwrap(); }\n}\n";
+        assert!(lint(FileKind::LibSrc, in_test_mod).is_empty());
+    }
+
+    #[test]
+    fn doc_comment_mentions_not_flagged() {
+        let src =
+            "/// Panics if `x` is `None` — call `validate()` first; never unwrap().\nfn f() {}\n";
+        assert!(lint(FileKind::LibSrc, src).is_empty());
+    }
+}

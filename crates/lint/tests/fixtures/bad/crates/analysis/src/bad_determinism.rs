@@ -1,0 +1,26 @@
+//! Fixture: `determinism` violations — hash-ordered iteration feeding
+//! output.
+
+use std::collections::{HashMap, HashSet};
+
+pub fn dump_csv(rows: &HashMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows.iter() {
+        // unspecified order leaks into the CSV
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}
+
+pub fn first_seen(labels: &[&str]) -> Vec<String> {
+    let mut seen = HashSet::new();
+    for l in labels {
+        seen.insert(l.to_string());
+    }
+    let mut out = Vec::new();
+    for l in &seen {
+        // unspecified order leaks into the result
+        out.push(l.clone());
+    }
+    out
+}

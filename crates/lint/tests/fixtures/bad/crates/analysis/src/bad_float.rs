@@ -1,0 +1,13 @@
+//! Fixture: `float-safety` violations in an analysis-crate file.
+
+pub fn exact_equality(x: f64) -> bool {
+    x == 0.3 // exact IEEE comparison against a float literal
+}
+
+pub fn lens_sqrt(d2: f64, r2: f64) -> f64 {
+    (d2 - r2).sqrt() // radicand can round negative
+}
+
+pub fn lens_angle(c: f64) -> f64 {
+    (c / 2.0).acos() // argument can round outside [-1, 1]
+}

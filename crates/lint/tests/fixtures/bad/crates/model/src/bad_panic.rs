@@ -1,0 +1,13 @@
+//! Fixture: `panic-hygiene` violations in library code.
+
+pub fn parse_count(s: &str) -> u32 {
+    let v: u32 = s.parse().unwrap(); // library unwrap
+    if v == 0 {
+        panic!("count must be positive"); // library panic
+    }
+    v
+}
+
+pub fn lookup(xs: &[u32], i: usize) -> u32 {
+    *xs.get(i).expect("index in range") // library expect
+}

@@ -1,0 +1,23 @@
+//! Fixture: `determinism`-clean collections — ordered maps for anything
+//! traversed, hash maps only for keyed lookup, pragma'd sorted drains.
+
+use std::collections::{BTreeMap, HashMap};
+
+pub fn dump_csv(rows: &BTreeMap<String, f64>) -> String {
+    let mut out = String::new();
+    for (k, v) in rows.iter() {
+        out.push_str(&format!("{k},{v}\n"));
+    }
+    out
+}
+
+pub fn keyed_lookup(memo: &HashMap<u64, f64>, k: u64) -> Option<f64> {
+    memo.get(&k).copied()
+}
+
+pub fn sorted_drain(memo: &HashMap<u64, f64>) -> Vec<(u64, f64)> {
+    // nss-lint: allow(determinism) — fixture: pairs are sorted by key immediately below, so hash order never escapes
+    let mut pairs: Vec<(u64, f64)> = memo.iter().map(|(k, v)| (*k, *v)).collect();
+    pairs.sort_by_key(|p| p.0);
+    pairs
+}

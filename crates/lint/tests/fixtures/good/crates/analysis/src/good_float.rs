@@ -1,0 +1,14 @@
+//! Fixture: `float-safety`-clean numerics — tolerance comparisons and
+//! domain-guarded special functions.
+
+pub fn tolerant_equality(x: f64) -> bool {
+    (x - 0.3).abs() < 1e-9
+}
+
+pub fn lens_sqrt(d2: f64, r2: f64) -> f64 {
+    (d2 - r2).max(0.0).sqrt()
+}
+
+pub fn lens_angle(c: f64) -> f64 {
+    (c / 2.0).clamp(-1.0, 1.0).acos()
+}

@@ -1,0 +1,19 @@
+//! Fixture: `panic-hygiene`-clean error handling — fallible paths return
+//! `Result`; unwraps appear only under `#[cfg(test)]`.
+
+pub fn parse_count(s: &str) -> Result<u32, std::num::ParseIntError> {
+    s.parse()
+}
+
+pub fn lookup(xs: &[u32], i: usize) -> Option<u32> {
+    xs.get(i).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::parse_count("3").unwrap(), 3);
+        assert!(super::lookup(&[1], 9).is_none());
+    }
+}

@@ -1,0 +1,10 @@
+//! Fixture: `feature-hygiene`-clean instrumentation — fully qualified obs
+//! macros with side-effect-free arguments.
+
+pub fn record(n: u64) {
+    nss_obs::counter!("sim.events").add(n);
+}
+
+pub fn record_timing(seconds: f64) {
+    nss_obs::observe!("sim.step_seconds", seconds);
+}

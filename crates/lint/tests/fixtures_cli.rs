@@ -1,0 +1,148 @@
+//! End-to-end tests of the `nss-lint` binary over the fixture trees under
+//! `tests/fixtures/` — each rule has a `bad_*.rs` that must be flagged with
+//! `file:line` diagnostics and a `good_*.rs` (including pragma-respected
+//! cases) that must pass — plus the meta-test: the live workspace itself
+//! is clean.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn fixtures(tree: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(tree)
+}
+
+fn run_check(root: &Path, extra: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_nss-lint"))
+        .arg("check")
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("spawn nss-lint")
+}
+
+fn stdout(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+/// Every `bad_*.rs` fixture produces at least one `file:line: [rule]`
+/// diagnostic for its rule, and the process exits non-zero.
+#[test]
+fn bad_fixtures_are_flagged() {
+    let out = run_check(&fixtures("bad"), &[]);
+    assert_eq!(out.status.code(), Some(1), "stdout:\n{}", stdout(&out));
+    let text = stdout(&out);
+    let expected = [
+        ("bad_rng.rs", "rng-discipline"),
+        ("bad_panic.rs", "panic-hygiene"),
+        ("bad_float.rs", "float-safety"),
+        ("bad_determinism.rs", "determinism"),
+        ("bad_obs.rs", "feature-hygiene"),
+        ("bad_pragma.rs", "pragma"),
+    ];
+    for (file, rule) in expected {
+        let hit = text.lines().any(|l| {
+            l.contains(file) && l.contains(&format!("[{rule}]")) && {
+                // `path:line:` — a numeric line number between the colons.
+                let after = l.split(':').nth(1).unwrap_or("");
+                after.chars().all(|c| c.is_ascii_digit()) && !after.is_empty()
+            }
+        });
+        assert!(
+            hit,
+            "expected a `{file}:<line>: [{rule}]` diagnostic in:\n{text}"
+        );
+    }
+}
+
+/// Both pragma failure modes are reported: a missing reason and a stale
+/// (nothing-to-suppress) allow.
+#[test]
+fn pragma_misuse_is_flagged_both_ways() {
+    let out = run_check(&fixtures("bad"), &[]);
+    let text = stdout(&out);
+    let pragma_lines: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("bad_pragma.rs") && l.contains("[pragma]"))
+        .collect();
+    assert!(
+        pragma_lines.iter().any(|l| l.contains("reason")),
+        "missing-reason pragma not reported:\n{text}"
+    );
+    assert!(
+        pragma_lines.iter().any(|l| l.contains("stale")),
+        "stale pragma not reported:\n{text}"
+    );
+}
+
+/// The good tree — clean idioms plus justified pragmas — passes.
+#[test]
+fn good_fixtures_pass() {
+    let out = run_check(&fixtures("good"), &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "good fixtures flagged:\n{}",
+        stdout(&out)
+    );
+}
+
+/// META-TEST: the live workspace is clean. This is the CI gate run against
+/// the repository itself; a failure here means a violation (or an
+/// unjustified pragma) landed in real code.
+#[test]
+fn live_workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = run_check(&root, &[]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "live workspace has lint violations:\n{}",
+        stdout(&out)
+    );
+}
+
+/// `--json` writes the machine-readable report consumed by CI artifacts.
+#[test]
+fn json_report_is_written() {
+    let dir = std::env::temp_dir().join(format!("nss-lint-json-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let json_path = dir.join("report.json");
+    let out = run_check(
+        &fixtures("bad"),
+        &["--json", json_path.to_str().expect("utf-8 path")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let json = std::fs::read_to_string(&json_path).expect("json written");
+    assert!(json.contains("\"schema_version\": 1"), "{json}");
+    assert!(json.contains("\"rng-discipline\""), "{json}");
+    assert!(json.contains("bad_rng.rs"), "{json}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `rules` lists the full catalogue (the 5 rules plus the reserved
+/// `pragma` channel).
+#[test]
+fn rules_subcommand_lists_catalogue() {
+    let out = Command::new(env!("CARGO_BIN_EXE_nss-lint"))
+        .arg("rules")
+        .output()
+        .expect("spawn nss-lint");
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout).into_owned();
+    for rule in [
+        "rng-discipline",
+        "determinism",
+        "panic-hygiene",
+        "float-safety",
+        "feature-hygiene",
+        "pragma",
+    ] {
+        assert!(text.contains(rule), "missing `{rule}` in:\n{text}");
+    }
+}

@@ -244,7 +244,7 @@ fn sample_grid(g: &GridDeployment, rng: &mut SmallRng) -> Vec<Point2> {
     cells.sort_by(|a, b| {
         let da = (a.0 as f64 - half).abs() + (a.1 as f64 - half).abs();
         let db = (b.0 as f64 - half).abs() + (b.1 as f64 - half).abs();
-        da.partial_cmp(&db).unwrap()
+        da.total_cmp(&db)
     });
     for (i, j) in cells {
         let jx = if g.jitter > 0.0 {

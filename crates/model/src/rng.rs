@@ -52,6 +52,9 @@ pub enum Stream {
     Jitter,
     /// Fault injection (link loss, node death) — see `nss_model::faults`.
     Faults,
+    /// Density-probe rounds of the adaptive controller (`nss-sim`'s
+    /// `probe` module).
+    Probe,
     /// Anything else (tests, ad-hoc tools).
     Misc,
 }
@@ -65,6 +68,7 @@ impl Stream {
             Stream::Protocol => "protocol",
             Stream::Jitter => "jitter",
             Stream::Faults => "faults",
+            Stream::Probe => "probe",
             Stream::Misc => "misc",
         }
     }

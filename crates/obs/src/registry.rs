@@ -240,8 +240,16 @@ impl Registry {
     }
 
     /// Interns (on first use) and returns the counter named `name`.
+    ///
+    /// Lock poisoning is recovered with `into_inner` here and throughout
+    /// the registry: the maps hold plain interned handles, so state left by
+    /// a panicking thread is still structurally valid, and instrumentation
+    /// must never turn an unrelated panic into a second one.
     pub fn counter(&self, name: &str) -> &'static Counter {
-        let mut map = self.counters.lock().expect("registry poisoned");
+        let mut map = self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(c) = map.get(name) {
             return c;
         }
@@ -252,7 +260,10 @@ impl Registry {
 
     /// Interns (on first use) and returns the histogram named `name`.
     pub fn histogram(&self, name: &str) -> &'static Histogram {
-        let mut map = self.histograms.lock().expect("registry poisoned");
+        let mut map = self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         if let Some(h) = map.get(name) {
             return h;
         }
@@ -265,7 +276,7 @@ impl Registry {
     pub fn set_label(&self, key: &str, value: String) {
         self.labels
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .insert(key.to_string(), value);
     }
 
@@ -273,7 +284,7 @@ impl Registry {
     pub fn counters_snapshot(&self) -> Vec<(String, u64)> {
         self.counters
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, c)| (k.clone(), c.get()))
             .collect()
@@ -283,7 +294,7 @@ impl Registry {
     pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         self.histograms
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, h)| (k.clone(), h.snapshot()))
             .collect()
@@ -293,7 +304,7 @@ impl Registry {
     pub fn labels_snapshot(&self) -> Vec<(String, String)> {
         self.labels
             .lock()
-            .expect("registry poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(k, v)| (k.clone(), v.clone()))
             .collect()
@@ -303,13 +314,26 @@ impl Registry {
     /// handles stay valid (tests and repeated bench runs use this to take
     /// clean deltas).
     pub fn reset(&self) {
-        for c in self.counters.lock().expect("registry poisoned").values() {
+        for c in self
+            .counters
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             c.reset();
         }
-        for h in self.histograms.lock().expect("registry poisoned").values() {
+        for h in self
+            .histograms
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
             h.reset();
         }
-        self.labels.lock().expect("registry poisoned").clear();
+        self.labels
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .clear();
     }
 }
 

@@ -28,12 +28,18 @@ fn sink() -> &'static Mutex<Vec<SpanEvent>> {
 
 /// Copies out every retained span event, oldest first.
 pub fn events() -> Vec<SpanEvent> {
-    sink().lock().expect("span sink poisoned").clone()
+    sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clone()
 }
 
 /// Clears the sink.
 pub fn clear_events() {
-    sink().lock().expect("span sink poisoned").clear();
+    sink()
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .clear();
 }
 
 /// An in-flight span; finishes (records + reports) on drop.
@@ -77,7 +83,9 @@ impl Drop for SpanTimer {
         Registry::global()
             .histogram(&format!("{}.seconds", self.name))
             .record(seconds);
-        let mut sink = sink().lock().expect("span sink poisoned");
+        let mut sink = sink()
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         let dropped = sink.len() >= SINK_CAPACITY;
         if dropped {
             sink.remove(0); // evict the oldest; keep the newest

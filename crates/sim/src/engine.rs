@@ -42,7 +42,7 @@ impl PartialOrd for Time {
 
 impl Ord for Time {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.0.partial_cmp(&other.0).expect("times are never NaN")
+        self.0.total_cmp(&other.0)
     }
 }
 

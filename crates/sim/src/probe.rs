@@ -15,7 +15,7 @@
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
-use nss_model::rng::derive_seed;
+use nss_model::rng::{derive_seed, Stream};
 use nss_model::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
@@ -35,7 +35,11 @@ pub fn probe_per_node_success(topo: &Topology, s: u32, rounds: u32, master_seed:
     let mut delivered = vec![0u32; n];
 
     for round in 0..rounds {
-        let mut rng = SmallRng::seed_from_u64(derive_seed(master_seed, "probe", u64::from(round)));
+        let mut rng = SmallRng::seed_from_u64(derive_seed(
+            master_seed,
+            Stream::Probe.label(),
+            u64::from(round),
+        ));
         let mut informed = vec![false; n];
         informed[NodeId::SOURCE.index()] = true;
         let mut pending: Vec<u32> = vec![NodeId::SOURCE.0];

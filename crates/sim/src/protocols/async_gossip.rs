@@ -24,7 +24,7 @@ use nss_model::topology::Topology;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Configuration of an asynchronous PB_CAM execution.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,7 +105,7 @@ pub fn run_async_gossip_faulty(
         return run_async_with(topo, cfg, seed, None);
     }
     plan.validate()
-        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
     run_async_with(topo, cfg, seed, Some((plan, faults_seed)))
 }
 
@@ -116,7 +116,7 @@ fn run_async_with(
     faults: Option<(&FaultPlan, u64)>,
 ) -> SimTrace {
     cfg.validate()
-        .unwrap_or_else(|e| panic!("invalid AsyncGossipConfig: {e}"));
+        .unwrap_or_else(|e| panic!("invalid AsyncGossipConfig: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
     let n = topo.len();
     let mut trace = SimTrace::new(n);
     if n == 0 {
@@ -127,8 +127,9 @@ fn run_async_with(
     informed[NodeId::SOURCE.index()] = true;
 
     // Per-receiver set of currently audible transmissions; the flag is
-    // "still clean" (no overlap so far).
-    let mut audible: Vec<HashMap<u32, bool>> = vec![HashMap::new(); n];
+    // "still clean" (no overlap so far). Ordered map so every traversal is
+    // in sender order — iteration order can never leak into the trace.
+    let mut audible: Vec<BTreeMap<u32, bool>> = vec![BTreeMap::new(); n];
     // Carrier-sense bookkeeping: count of active annulus interferers per
     // receiver (always zero under the transmission-range rule).
     let mut interference: Vec<u32> = vec![0; n];

@@ -114,7 +114,11 @@ impl Replication {
                             break;
                         }
                         let trace = self.run_one(factory, i as u64);
-                        tx.send((i, trace)).expect("collector alive");
+                        // Closed channel = collector unwinding; stop quietly
+                        // rather than panic on top of a panic.
+                        if tx.send((i, trace)).is_err() {
+                            break;
+                        }
                     });
                 }
                 drop(tx);
@@ -126,6 +130,7 @@ impl Replication {
         ReplicatedTraces {
             traces: traces
                 .into_iter()
+                // nss-lint: allow(panic-hygiene) — the cursor protocol claims every replication index exactly once (same protocol loom-checked in analysis/tests/loom_sweep.rs), so a missing trace is unreachable
                 .map(|t| t.expect("all runs complete"))
                 .collect(),
         }

@@ -130,7 +130,7 @@ pub fn run_gossip_faulty(
         None
     } else {
         plan.validate()
-            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
         Some((plan, faults_seed))
     };
     run_gossip_with(topo, cfg, |_| cfg.prob, seed, faults)
@@ -162,7 +162,7 @@ fn run_gossip_with(
     faults: Option<(&FaultPlan, u64)>,
 ) -> SimTrace {
     cfg.validate()
-        .unwrap_or_else(|e| panic!("invalid GossipConfig: {e}"));
+        .unwrap_or_else(|e| panic!("invalid GossipConfig: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
     let n = topo.len();
     let mut trace = SimTrace::new(n);
     if n == 0 {

@@ -81,7 +81,7 @@ impl TdmaSchedule {
             let slot = used
                 .iter()
                 .position(|&b| !b)
-                .expect("bitmap always has a free trailing slot") as u32;
+                .expect("bitmap always has a free trailing slot") as u32; // nss-lint: allow(panic-hygiene) — `used` is sized `max_degree + 2`, so a free slot always exists past the neighbors' claims
             slot_of[u as usize] = slot;
             frame_len = frame_len.max(slot + 1);
         }
@@ -164,7 +164,7 @@ pub fn run_tdma_flooding_faulty(
         return run_tdma_with(topo, schedule, None);
     }
     plan.validate()
-        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}"));
+        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
     run_tdma_with(topo, schedule, Some((plan, faults_seed)))
 }
 

@@ -1,0 +1,489 @@
+//! Minimal loom-style exhaustive-interleaving model checker.
+//!
+//! API-compatible subset of the `loom` crate sufficient for checking the
+//! atomic-cursor work-claiming protocol used by `nss-analysis`'s parallel
+//! sweep and `nss-sim`'s replication runner: [`model`] reruns a test body
+//! under **every** schedule of its spawned threads, where a scheduling
+//! decision is taken before each atomic operation (and at thread startup
+//! and exit). A property that holds under `model` holds under every
+//! sequentially consistent interleaving of those operations.
+//!
+//! # How it works
+//!
+//! Threads spawned with [`thread::spawn`] run as real OS threads, but a
+//! cooperative scheduler (a mutex + condvar handshake) admits exactly one
+//! at a time. Each wrapped atomic operation first *yields*: the running
+//! thread picks which runnable thread proceeds next, records the choice,
+//! and blocks until it is picked again. One execution therefore produces a
+//! decision trace; the driver performs a depth-first search over traces by
+//! replaying a prefix and taking the next untried alternative at the
+//! deepest branch point (the classic stateless-model-checking loop, cf.
+//! CHESS). Exploration is exhaustive up to [`MAX_EXECUTIONS`]; overrunning
+//! the bound fails the test rather than silently truncating the search.
+//!
+//! # Scope and deliberate limits
+//!
+//! * **Sequential consistency only.** Memory `Ordering` arguments are
+//!   accepted for API compatibility but every modeled operation is
+//!   executed `SeqCst`; weak-memory reorderings are *not* explored. For
+//!   the claim-cursor protocol this is sound to check at SC: the property
+//!   (each index handed to exactly one thread) already follows from the
+//!   atomicity of `fetch_add` alone, which is ordering-independent.
+//! * The closure passed to `model` is the *controller*: it spawns, joins,
+//!   and asserts, but its own atomic operations are not interleaved (it
+//!   runs between schedules, like loom's main thread before spawn).
+//! * Every spawned thread must be joined before the closure returns, or
+//!   the execution (and its OS threads) is abandoned mid-schedule.
+//! * Scheduling decisions must be the only nondeterminism: the body must
+//!   not branch on wall-clock time, ambient randomness, or I/O.
+
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Upper bound on schedules explored by one [`model`] call. The sweep
+/// protocol at its test size needs a few thousand; hitting this bound
+/// means the modeled state space exploded and the test must shrink.
+pub const MAX_EXECUTIONS: usize = 200_000;
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct State {
+    /// Thread currently admitted to run (`None` while the controller picks).
+    active: Option<usize>,
+    /// Ids of spawned, not-yet-finished threads, in spawn (= id) order so
+    /// decision indices are deterministic across replays.
+    runnable: Vec<usize>,
+    finished: Vec<bool>,
+    /// Decision prefix to replay this execution.
+    replay: Vec<usize>,
+    /// Decisions taken so far this execution.
+    depth: usize,
+    /// `(choice index, alternatives)` per decision, for the DFS driver.
+    trace: Vec<(usize, usize)>,
+}
+
+struct Sched {
+    st: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Sched {
+    fn new(replay: Vec<usize>) -> Self {
+        Sched {
+            st: Mutex::new(State {
+                replay,
+                ..State::default()
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Takes the next scheduling decision: an index into `runnable`.
+    /// Follows the replay prefix, then defaults to the first alternative.
+    fn choose(st: &mut State) -> usize {
+        let n = st.runnable.len();
+        debug_assert!(n > 0, "decision with no runnable thread");
+        let idx = if st.depth < st.replay.len() {
+            st.replay[st.depth]
+        } else {
+            0
+        };
+        debug_assert!(idx < n, "replayed choice out of range");
+        st.trace.push((idx, n));
+        st.depth += 1;
+        st.runnable[idx]
+    }
+
+    /// Yield point before an atomic operation by thread `me`: hand the
+    /// schedule to whichever runnable thread the explorer picks (possibly
+    /// `me` again) and block until re-admitted.
+    fn yield_point(&self, me: usize) {
+        let mut st = self
+            .st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if st.active != Some(me) {
+            // A panic is unwinding elsewhere; don't fight over the schedule.
+            return;
+        }
+        let next = Self::choose(&mut st);
+        st.active = Some(next);
+        self.cv.notify_all();
+        while st.active != Some(me) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Blocks thread `me` until first admitted to run.
+    fn wait_for_start(&self, me: usize) {
+        let mut st = self
+            .st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        while st.active != Some(me) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks `me` finished and releases the schedule; the controller (or a
+    /// joining thread) takes the next decision.
+    fn finish(&self, me: usize) {
+        let mut st = self
+            .st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        st.finished[me] = true;
+        st.runnable.retain(|&t| t != me);
+        if st.active == Some(me) {
+            st.active = None;
+        }
+        self.cv.notify_all();
+    }
+
+    /// Controller-side wait for thread `id` to finish, taking scheduling
+    /// decisions whenever the schedule is unowned.
+    fn join_wait(&self, id: usize) {
+        let mut st = self
+            .st
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        loop {
+            if st.finished[id] {
+                return;
+            }
+            if st.active.is_none() && !st.runnable.is_empty() {
+                let next = Self::choose(&mut st);
+                st.active = Some(next);
+                self.cv.notify_all();
+            }
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+// Execution context of the current OS thread: the scheduler, and this
+// thread's model id (`None` = the controller running the model closure).
+thread_local! {
+    static CTX: std::cell::RefCell<Option<(Arc<Sched>, Option<usize>)>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+fn with_ctx<R>(f: impl FnOnce(Option<(Arc<Sched>, Option<usize>)>) -> R) -> R {
+    CTX.with(|c| f(c.borrow().clone()))
+}
+
+/// Yield point used by the atomic wrappers: a no-op outside [`model`] and
+/// on the controller thread.
+fn maybe_yield() {
+    with_ctx(|ctx| {
+        if let Some((sched, Some(me))) = ctx {
+            sched.yield_point(me);
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Public API: model driver
+// ---------------------------------------------------------------------------
+
+/// Runs `f` under every schedule of its spawned threads (see crate docs).
+/// Panics — with the schedule still current, so assertion messages point at
+/// the failing interleaving — as soon as any schedule fails.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom: exceeded {MAX_EXECUTIONS} schedules; shrink the model"
+        );
+        let sched = Arc::new(Sched::new(replay.clone()));
+        CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&sched), None)));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(&f));
+        CTX.with(|c| *c.borrow_mut() = None);
+        if let Err(payload) = result {
+            std::panic::resume_unwind(payload);
+        }
+        // Next DFS leaf: bump the deepest decision with an untried
+        // alternative; drop everything below it.
+        let mut trace = {
+            let st = sched
+                .st
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            st.trace.clone()
+        };
+        loop {
+            match trace.last_mut() {
+                None => return, // space exhausted: every schedule passed
+                Some((idx, n)) if *idx + 1 < *n => {
+                    *idx += 1;
+                    break;
+                }
+                Some(_) => {
+                    trace.pop();
+                }
+            }
+        }
+        replay = trace.into_iter().map(|(idx, _)| idx).collect();
+    }
+}
+
+/// Number of schedules `f` generates — exposed for shim self-tests.
+pub fn schedule_count<F>(f: F) -> usize
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let counter = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+    let c2 = Arc::clone(&counter);
+    model(move || {
+        c2.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        f();
+    });
+    counter.load(std::sync::atomic::Ordering::SeqCst)
+}
+
+// ---------------------------------------------------------------------------
+// Public API: threads
+// ---------------------------------------------------------------------------
+
+/// Cooperatively scheduled threads (see [`spawn`]).
+pub mod thread {
+    use super::{Arc, Sched, CTX};
+
+    /// Handle to a modeled thread; join to collect its result (panics from
+    /// the thread surface as `Err`, exactly like `std`).
+    pub struct JoinHandle<T> {
+        sched: Arc<Sched>,
+        id: usize,
+        inner: std::thread::JoinHandle<T>,
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Waits for the thread under the model schedule, then reaps it.
+        pub fn join(self) -> std::thread::Result<T> {
+            self.sched.join_wait(self.id);
+            self.inner.join()
+        }
+    }
+
+    /// Spawns a thread under the model scheduler. Must be called from
+    /// inside a [`super::model`] closure; the thread does not run until
+    /// the explorer admits it.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let sched = CTX.with(|c| {
+            c.borrow()
+                .as_ref()
+                .map(|(s, _)| Arc::clone(s))
+                .expect("loom::thread::spawn outside loom::model")
+        });
+        let id = {
+            let mut st = sched
+                .st
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let id = st.finished.len();
+            st.finished.push(false);
+            st.runnable.push(id);
+            id
+        };
+        let tsched = Arc::clone(&sched);
+        let inner = std::thread::spawn(move || {
+            CTX.with(|c| *c.borrow_mut() = Some((Arc::clone(&tsched), Some(id))));
+            tsched.wait_for_start(id);
+            let out = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+            tsched.finish(id);
+            match out {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        });
+        JoinHandle { sched, id, inner }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API: sync
+// ---------------------------------------------------------------------------
+
+/// Modeled synchronization primitives.
+pub mod sync {
+    pub use std::sync::Arc;
+
+    /// Modeled atomics: every operation is a scheduling point.
+    pub mod atomic {
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $val:ty) => {
+                /// Atomic whose every operation is a model yield point.
+                /// `Ordering` arguments are accepted but executed `SeqCst`
+                /// (the model explores sequentially consistent schedules).
+                #[derive(Debug, Default)]
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// Creates the atomic.
+                    pub const fn new(v: $val) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Modeled load.
+                    pub fn load(&self, _order: Ordering) -> $val {
+                        super::super::maybe_yield();
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Modeled store.
+                    pub fn store(&self, v: $val, _order: Ordering) {
+                        super::super::maybe_yield();
+                        self.inner.store(v, Ordering::SeqCst);
+                    }
+
+                    /// Modeled swap.
+                    pub fn swap(&self, v: $val, _order: Ordering) -> $val {
+                        super::super::maybe_yield();
+                        self.inner.swap(v, Ordering::SeqCst)
+                    }
+
+                    /// Modeled compare-exchange.
+                    pub fn compare_exchange(
+                        &self,
+                        current: $val,
+                        new: $val,
+                        _success: Ordering,
+                        _failure: Ordering,
+                    ) -> Result<$val, $val> {
+                        super::super::maybe_yield();
+                        self.inner.compare_exchange(
+                            current,
+                            new,
+                            Ordering::SeqCst,
+                            Ordering::SeqCst,
+                        )
+                    }
+                }
+            };
+        }
+
+        macro_rules! modeled_fetch_add {
+            ($name:ident, $val:ty) => {
+                impl $name {
+                    /// Modeled fetch-add.
+                    pub fn fetch_add(&self, v: $val, _order: Ordering) -> $val {
+                        super::super::maybe_yield();
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+        modeled_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
+        modeled_fetch_add!(AtomicUsize, usize);
+        modeled_fetch_add!(AtomicU32, u32);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::Arc;
+
+    /// Unmodeled use (outside `model`) must behave like plain atomics.
+    #[test]
+    fn atomics_work_outside_model() {
+        let a = AtomicUsize::new(1);
+        assert_eq!(a.fetch_add(2, Ordering::SeqCst), 1);
+        assert_eq!(a.load(Ordering::SeqCst), 3);
+    }
+
+    /// Two increments interleave but atomicity holds in every schedule.
+    #[test]
+    fn explores_without_false_alarms() {
+        super::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    super::thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2);
+        });
+    }
+
+    /// The canonical lost-update race: a non-atomic read-modify-write is
+    /// caught by some schedule. This is the shim's own soundness check —
+    /// if exploration were not exhaustive this test would go green.
+    #[test]
+    #[should_panic(expected = "lost update")]
+    fn detects_lost_update() {
+        super::model(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    super::thread::spawn(move || {
+                        let v = a.load(Ordering::SeqCst);
+                        a.store(v + 1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+            assert_eq!(a.load(Ordering::SeqCst), 2, "lost update");
+        });
+    }
+
+    /// The schedule space of two 2-op threads is explored more than once.
+    #[test]
+    fn runs_many_schedules() {
+        let n = super::schedule_count(|| {
+            let a = Arc::new(AtomicUsize::new(0));
+            let hs: Vec<_> = (0..2)
+                .map(|_| {
+                    let a = Arc::clone(&a);
+                    super::thread::spawn(move || {
+                        a.fetch_add(1, Ordering::SeqCst);
+                        a.fetch_add(1, Ordering::SeqCst);
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join().unwrap();
+            }
+        });
+        assert!(n >= 6, "expected several schedules, got {n}");
+    }
+}
