@@ -1,0 +1,199 @@
+//! Scale proof for the million-node simulation engine, written to
+//! `BENCH_sim.json`: samples a ρ = 140 disk field (default P = 85, i.e.
+//! N = ρ·P² = 1,011,500 nodes), builds the CSR unit-disk topology with the
+//! sharded two-pass builder, and runs one full flooding broadcast
+//! replication through the intra-replication sharded phase engine.
+//!
+//! Reported figures of merit: topology-build nodes/sec, peak adjacency
+//! bytes, simulation phases/sec and node-phases/sec, plus the obs counter
+//! and histogram snapshots (per-phase `sim.phase.seconds` timings when
+//! built with `--features obs`).
+//!
+//! Usage:
+//!   cargo run --release -p nss-bench --features obs --bin bench_sim \
+//!     [out.json] [--p-factor 85] [--rho 140] [--threads 0] [--seed 2005]
+//!
+//! CI runs the same binary with `--p-factor 6` (N = 5,040) as a smoke test;
+//! the JSON schema is identical at every scale.
+
+use nss_model::deployment::Deployment;
+use nss_model::topology::Topology;
+use nss_sim::sharded::run_gossip_sharded;
+use nss_sim::slotted::GossipConfig;
+use std::time::Instant;
+
+struct Args {
+    out: String,
+    p_factor: u32,
+    rho: f64,
+    threads: usize,
+    seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_sim.json".to_string(),
+        p_factor: 85,
+        rho: 140.0,
+        threads: 0,
+        seed: 2005,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("bench_sim: {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--p-factor" => {
+                args.p_factor = value("--p-factor").parse().expect("integer P factor");
+            }
+            "--rho" => args.rho = value("--rho").parse().expect("numeric rho"),
+            "--threads" => {
+                args.threads = value("--threads").parse().expect("integer thread count");
+            }
+            "--seed" => args.seed = value("--seed").parse().expect("integer seed"),
+            other if !other.starts_with("--") => args.out = other.to_string(),
+            other => panic!("bench_sim: unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let time = |f: &dyn Fn()| -> f64 {
+        let t0 = Instant::now();
+        f();
+        t0.elapsed().as_secs_f64()
+    };
+
+    // 1. Deployment: the paper's disk field at (P, r = 1, ρ).
+    eprintln!(
+        "sampling disk field: P = {}, rho = {} (expected N = {})",
+        args.p_factor,
+        args.rho,
+        args.rho * f64::from(args.p_factor).powi(2)
+    );
+    let deployment = Deployment::disk(args.p_factor, 1.0, args.rho);
+    let t0 = Instant::now();
+    let net = deployment.sample(args.seed);
+    let sample_s = t0.elapsed().as_secs_f64();
+    let n = net.positions().len();
+    eprintln!("sampled {n} nodes in {sample_s:.3}s");
+
+    // 2. Topology: sharded two-pass counting CSR build.
+    let t0 = Instant::now();
+    let topo = Topology::try_build_with_threads(&net, args.threads)
+        .expect("field within u32 node-id capacity");
+    let build_s = t0.elapsed().as_secs_f64();
+    let adjacency_bytes = topo.adjacency_bytes();
+    let (min_deg, mean_deg, max_deg) = topo.degree_stats();
+    let build_nodes_per_sec = n as f64 / build_s.max(1e-9);
+    eprintln!(
+        "CSR build: {build_s:.3}s ({build_nodes_per_sec:.0} nodes/s), \
+         {adjacency_bytes} adjacency bytes, degree {min_deg}/{mean_deg:.1}/{max_deg}"
+    );
+
+    // 3. One full flooding broadcast replication on the sharded engine.
+    let cfg = GossipConfig::flooding_cam();
+    let t0 = Instant::now();
+    let trace = run_gossip_sharded(&topo, &cfg, args.seed, args.threads);
+    let sim_s = t0.elapsed().as_secs_f64();
+    let phases = trace.phases();
+    let phases_per_sec = phases as f64 / sim_s.max(1e-9);
+    let node_phases_per_sec = (n * phases) as f64 / sim_s.max(1e-9);
+    eprintln!(
+        "flooding replication: {phases} phases in {sim_s:.3}s \
+         ({phases_per_sec:.1} phases/s, {node_phases_per_sec:.0} node-phases/s), \
+         reachability {:.4}",
+        trace.final_reachability()
+    );
+
+    // Warm-path timing repeat: a second replication on the already-built
+    // topology, so the sim figure excludes first-touch page faults.
+    let warm_s = time(&|| {
+        std::hint::black_box(run_gossip_sharded(
+            &topo,
+            &cfg,
+            args.seed.wrapping_add(1),
+            args.threads,
+        ));
+    });
+
+    // Obs snapshots (all zeros unless built with --features obs).
+    let reg = nss_obs::registry::Registry::global();
+    let counters_json = reg
+        .counters_snapshot()
+        .iter()
+        .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let histograms_json = reg
+        .histograms_snapshot()
+        .iter()
+        .map(|(name, h)| {
+            format!(
+                "    \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \
+                 \"min\": {}, \"max\": {}}}",
+                nss_obs::export::json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                h.min.map_or("null".to_string(), |v| format!("{v:.6}")),
+                h.max.map_or("null".to_string(), |v| format!("{v:.6}")),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json = format!(
+        "{{\n  \"bench\": \"million-node scale engine (disk field, flooding CAM)\",\n  \
+           \"p_factor\": {p_factor},\n  \
+           \"rho\": {rho},\n  \
+           \"seed\": {seed},\n  \
+           \"threads\": {threads},\n  \
+           \"nodes\": {n},\n  \
+           \"sample_s\": {sample_s:.4},\n  \
+           \"topology_build_s\": {build_s:.4},\n  \
+           \"build_nodes_per_sec\": {build_nodes_per_sec:.0},\n  \
+           \"adjacency_bytes\": {adjacency_bytes},\n  \
+           \"degree_min\": {min_deg},\n  \
+           \"degree_mean\": {mean_deg:.2},\n  \
+           \"degree_max\": {max_deg},\n  \
+           \"sim_s\": {sim_s:.4},\n  \
+           \"sim_warm_s\": {warm_s:.4},\n  \
+           \"phases\": {phases},\n  \
+           \"phases_per_sec\": {phases_per_sec:.2},\n  \
+           \"node_phases_per_sec\": {node_phases_per_sec:.0},\n  \
+           \"reachability\": {reach:.6},\n  \
+           \"broadcasts\": {broadcasts},\n  \
+           \"deliveries\": {deliveries},\n  \
+           \"collisions\": {collisions},\n  \
+           \"obs_enabled\": {obs},\n  \
+           \"counters\": {{\n{counters_json}\n  }},\n  \
+           \"histograms\": {{\n{histograms_json}\n  }}\n}}\n",
+        p_factor = args.p_factor,
+        rho = args.rho,
+        seed = args.seed,
+        threads = args.threads,
+        reach = trace.final_reachability(),
+        broadcasts = trace.total_broadcasts(),
+        deliveries = trace.total_deliveries(),
+        collisions = trace.total_collisions(),
+        obs = nss_obs::enabled(),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_sim.json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out);
+
+    // Sanity floors independent of machine speed: the field is connected at
+    // these densities, so a full flooding pass must inform nearly everyone.
+    assert!(
+        trace.final_reachability() > 0.95,
+        "flooding reachability {:.4} below sanity floor on a rho={} field",
+        trace.final_reachability(),
+        args.rho
+    );
+    assert!(phases >= 2, "flooding must take multiple phases at P >= 2");
+}

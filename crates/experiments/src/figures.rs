@@ -11,7 +11,8 @@
 
 use crate::common::Ctx;
 use crate::{
-    ext_faults, extensions, fig04, fig05, fig06, fig07, fig08, fig09, fig10, fig11, fig12, report,
+    ext_connectivity, ext_faults, extensions, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
+    fig11, fig12, report,
 };
 
 /// One reproducible artifact of the harness.
@@ -298,6 +299,13 @@ pub static REGISTRY: &[FigureDef] = &[
         "deterministic fault injection: loss + dead-node sweeps, analysis vs sim",
         "repro.ext-faults",
         ext_faults::run
+    ),
+    fig!(
+        "ext-connectivity",
+        "ext",
+        "Monte-Carlo connectivity probability at f * r_crit(n)",
+        "repro.ext-connectivity",
+        ext_connectivity::run
     ),
     fig!(
         "report",

@@ -16,6 +16,7 @@
 #![allow(clippy::needless_range_loop)] // tabular row/column code reads better indexed
 
 mod common;
+mod ext_connectivity;
 mod ext_faults;
 mod extensions;
 mod fig04;

@@ -6,6 +6,7 @@
 //! grid layout (used by ref. 32 of the paper for the percolation-style
 //! extension experiment) and a Poisson-count variant are also provided.
 
+use crate::error::ConfigError;
 use crate::geometry::Point2;
 use crate::ids::NodeId;
 use rand::rngs::SmallRng;
@@ -341,14 +342,39 @@ impl DeployedNetwork {
     /// deployments rather than synthetic ones. The recorded spec is a
     /// degenerate disk deployment, retained only so `spec()` stays total.
     pub fn from_positions(positions: Vec<Point2>, comm_radius: f64) -> Self {
-        assert!(!positions.is_empty(), "a network needs at least the source");
-        assert!(comm_radius > 0.0, "communication radius must be positive");
-        DeployedNetwork {
+        Self::try_from_positions(positions, comm_radius)
+            // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; try_from_positions() is the fallible path
+            .unwrap_or_else(|e| panic!("invalid explicit deployment: {e}"))
+    }
+
+    /// Fallible variant of [`from_positions`](Self::from_positions): an
+    /// empty position list, a non-positive/non-finite radius, or a node
+    /// count overflowing the `u32` id space is a [`ConfigError`] rather
+    /// than a panic or a silent id truncation.
+    pub fn try_from_positions(
+        positions: Vec<Point2>,
+        comm_radius: f64,
+    ) -> Result<Self, ConfigError> {
+        if positions.is_empty() {
+            return Err(ConfigError::TooSmall {
+                field: "positions",
+                min: 1,
+                value: 0,
+            });
+        }
+        crate::topology::check_node_count(positions.len())?;
+        if !(comm_radius > 0.0 && comm_radius.is_finite()) {
+            return Err(ConfigError::NotPositive {
+                field: "comm_radius",
+                value: comm_radius,
+            });
+        }
+        Ok(DeployedNetwork {
             positions,
             comm_radius,
             spec: Deployment::Disk(DiskDeployment::new(1, comm_radius, f64::MIN_POSITIVE)),
             seed: 0,
-        }
+        })
     }
 
     /// Number of nodes, including the source.
@@ -390,6 +416,28 @@ impl DeployedNetwork {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn try_from_positions_validates() {
+        let err = DeployedNetwork::try_from_positions(Vec::new(), 1.0).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ConfigError::TooSmall {
+                field: "positions",
+                ..
+            }
+        ));
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = DeployedNetwork::try_from_positions(vec![Point2::ORIGIN], bad).unwrap_err();
+            assert!(
+                matches!(err, crate::error::ConfigError::NotPositive { .. }),
+                "radius {bad} gave {err:?}"
+            );
+        }
+        let net = DeployedNetwork::try_from_positions(vec![Point2::ORIGIN], 2.0).unwrap();
+        assert_eq!(net.len(), 1);
+        assert_eq!(net.comm_radius(), 2.0);
+    }
 
     #[test]
     fn disk_count_matches_formula() {

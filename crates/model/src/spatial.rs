@@ -5,6 +5,7 @@
 //! construction is O(N·ρ) — essential at the paper's densest setting
 //! (ρ = 140, N = 3500) and more so for the scaled-up extension sweeps.
 
+use crate::error::ConfigError;
 use crate::geometry::Point2;
 use crate::ids::NodeId;
 
@@ -23,11 +24,18 @@ pub struct GridIndex {
 
 impl GridIndex {
     /// Builds an index with the given cell size (normally the communication
-    /// radius). Points may be empty; queries then return nothing.
-    pub fn build(points: &[Point2], cell: f64) -> Self {
-        assert!(cell > 0.0, "cell size must be positive");
+    /// radius). Points may be empty; queries then return nothing. A cell
+    /// size that is not strictly positive and finite is a configuration
+    /// error, not a panic.
+    pub fn build(points: &[Point2], cell: f64) -> Result<Self, ConfigError> {
+        if !(cell > 0.0 && cell.is_finite()) {
+            return Err(ConfigError::NotPositive {
+                field: "grid cell size",
+                value: cell,
+            });
+        }
         if points.is_empty() {
-            return GridIndex {
+            return Ok(GridIndex {
                 cell,
                 min_x: 0.0,
                 min_y: 0.0,
@@ -35,7 +43,7 @@ impl GridIndex {
                 ny: 1,
                 starts: vec![0, 0],
                 entries: Vec::new(),
-            };
+            });
         }
         let mut min_x = f64::INFINITY;
         let mut min_y = f64::INFINITY;
@@ -72,7 +80,7 @@ impl GridIndex {
             entries[cursor[c] as usize] = i as u32;
             cursor[c] += 1;
         }
-        GridIndex {
+        Ok(GridIndex {
             cell,
             min_x,
             min_y,
@@ -80,7 +88,7 @@ impl GridIndex {
             ny,
             starts,
             entries,
-        }
+        })
     }
 
     /// Calls `f(id)` for every indexed point within distance `radius` of
@@ -159,14 +167,14 @@ mod tests {
 
     #[test]
     fn empty_index() {
-        let idx = GridIndex::build(&[], 1.0);
+        let idx = GridIndex::build(&[], 1.0).unwrap();
         assert!(idx.within(&[], &Point2::ORIGIN, 1.0).is_empty());
     }
 
     #[test]
     fn single_point() {
         let pts = vec![Point2::new(0.5, 0.5)];
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         assert_eq!(idx.within(&pts, &Point2::ORIGIN, 1.0), vec![NodeId(0)]);
         assert!(idx.within(&pts, &Point2::new(3.0, 3.0), 1.0).is_empty());
     }
@@ -177,7 +185,7 @@ mod tests {
         let pts: Vec<Point2> = (0..500)
             .map(|_| Point2::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)))
             .collect();
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         for _ in 0..50 {
             let c = Point2::new(rng.random_range(-6.0..6.0), rng.random_range(-6.0..6.0));
             let mut got = idx.within(&pts, &c, 1.0);
@@ -189,7 +197,7 @@ mod tests {
     #[test]
     fn boundary_point_included() {
         let pts = vec![Point2::new(1.0, 0.0)];
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         assert_eq!(idx.within(&pts, &Point2::ORIGIN, 1.0).len(), 1);
     }
 
@@ -199,7 +207,7 @@ mod tests {
         let pts: Vec<Point2> = (0..200)
             .map(|_| Point2::new(rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0)))
             .collect();
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         for _ in 0..20 {
             let c = Point2::new(rng.random_range(-3.0..3.0), rng.random_range(-3.0..3.0));
             let mut got = idx.within(&pts, &c, 0.5);
@@ -214,7 +222,7 @@ mod tests {
         let pts: Vec<Point2> = (0..400)
             .map(|_| Point2::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0)))
             .collect();
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         for radius in [2.0, 3.5] {
             for _ in 0..20 {
                 let c = Point2::new(rng.random_range(-5.0..5.0), rng.random_range(-5.0..5.0));
@@ -226,10 +234,27 @@ mod tests {
     }
 
     #[test]
+    fn nonpositive_cell_is_config_error() {
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let err = GridIndex::build(&[], bad).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    ConfigError::NotPositive {
+                        field: "grid cell size",
+                        ..
+                    }
+                ),
+                "cell {bad} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
     fn collinear_degenerate_extent() {
         // All points on a horizontal line: grid is 1 cell tall.
         let pts: Vec<Point2> = (0..10).map(|i| Point2::new(i as f64, 0.0)).collect();
-        let idx = GridIndex::build(&pts, 1.0);
+        let idx = GridIndex::build(&pts, 1.0).unwrap();
         let got = idx.within(&pts, &Point2::new(5.0, 0.0), 1.0);
         assert_eq!(got.len(), 3); // nodes 4,5,6
     }

@@ -5,10 +5,46 @@
 //! iteration — neighbor scans dominate the simulator's inner loop.
 
 use crate::deployment::DeployedNetwork;
+use crate::error::ConfigError;
 use crate::geometry::Point2;
 use crate::ids::NodeId;
 use crate::spatial::GridIndex;
 use std::collections::VecDeque;
+
+/// Below this node count the builder stays sequential: thread spawn/join
+/// overhead exceeds the grid-query work itself.
+const PAR_BUILD_THRESHOLD: usize = 8_192;
+
+/// Node ids are `u32` and [`NodeId`]-space reserves `u32::MAX` as a
+/// sentinel (`NEVER`, BFS "unvisited"), so a deployment may hold at most
+/// `u32::MAX - 1` nodes.
+const MAX_NODES: usize = u32::MAX as usize - 1;
+
+/// Rejects node counts that would overflow `u32` node ids.
+pub(crate) fn check_node_count(n: usize) -> Result<(), ConfigError> {
+    if n > MAX_NODES {
+        return Err(ConfigError::Exceeds {
+            field: "node count",
+            bound: "u32 id space",
+            value: n as f64,
+            limit: MAX_NODES as f64,
+        });
+    }
+    Ok(())
+}
+
+/// Rejects adjacency lengths that would overflow the `u32` CSR offsets.
+fn check_adjacency_len(total: u64) -> Result<(), ConfigError> {
+    if total > u64::from(u32::MAX) {
+        return Err(ConfigError::Exceeds {
+            field: "adjacency entries",
+            bound: "u32 CSR offset space",
+            value: total as f64,
+            limit: f64::from(u32::MAX),
+        });
+    }
+    Ok(())
+}
 
 /// Immutable unit-disk topology built from a [`DeployedNetwork`].
 #[derive(Debug, Clone)]
@@ -23,34 +59,132 @@ pub struct Topology {
 
 impl Topology {
     /// Builds the unit-disk graph. O(N·ρ) expected time via the grid index.
+    ///
+    /// Panics on invalid deployments (non-positive radius, id-space
+    /// overflow); [`Topology::try_build`] is the fallible path.
     pub fn build(net: &DeployedNetwork) -> Self {
+        Self::try_build(net)
+            // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; try_build() is the fallible path
+            .unwrap_or_else(|e| panic!("invalid deployment for Topology::build: {e}"))
+    }
+
+    /// Fallible build with automatic thread-count selection (sequential
+    /// below [`PAR_BUILD_THRESHOLD`] nodes, all cores above).
+    pub fn try_build(net: &DeployedNetwork) -> Result<Self, ConfigError> {
+        Self::try_build_with_threads(net, 0)
+    }
+
+    /// Builds the unit-disk graph with a two-pass counting CSR layout,
+    /// sharding the grid-query passes over `threads` workers (0 = pick
+    /// automatically). Each node's neighbor row is computed independently
+    /// and sorted ascending, so the result is bit-identical at any thread
+    /// count.
+    pub fn try_build_with_threads(
+        net: &DeployedNetwork,
+        threads: usize,
+    ) -> Result<Self, ConfigError> {
         let positions = net.positions().to_vec();
         let r = net.comm_radius();
-        let index = GridIndex::build(&positions, r);
         let n = positions.len();
-        let mut neighbor_lists: Vec<Vec<u32>> = vec![Vec::new(); n];
-        for (i, p) in positions.iter().enumerate() {
-            index.for_each_within(&positions, p, r, |id| {
-                if id.index() != i {
-                    neighbor_lists[i].push(id.0);
+        check_node_count(n)?;
+        let index = GridIndex::build(&positions, r)?;
+
+        let nworkers = match threads {
+            0 if n < PAR_BUILD_THRESHOLD => 1,
+            0 => std::thread::available_parallelism().map_or(1, |t| t.get()),
+            t => t,
+        }
+        .min(n.max(1));
+
+        // Pass 1: count each node's degree (disjoint chunks of `degrees`).
+        let chunk = n.div_ceil(nworkers).max(1);
+        let mut degrees = vec![0u32; n];
+        let count_range = |base: usize, out: &mut [u32]| {
+            for (j, d) in out.iter_mut().enumerate() {
+                let i = base + j;
+                let mut deg = 0u32;
+                index.for_each_within(&positions, &positions[i], r, |id| {
+                    if id.index() != i {
+                        deg += 1;
+                    }
+                });
+                *d = deg;
+            }
+        };
+        if nworkers <= 1 {
+            count_range(0, &mut degrees);
+        } else {
+            std::thread::scope(|scope| {
+                for (ci, out) in degrees.chunks_mut(chunk).enumerate() {
+                    let count_range = &count_range;
+                    scope.spawn(move || count_range(ci * chunk, out));
                 }
             });
         }
+
+        // Prefix-sum the degrees into CSR row offsets, guarding overflow.
         let mut starts = Vec::with_capacity(n + 1);
         starts.push(0u32);
-        let mut adj = Vec::new();
-        for mut list in neighbor_lists {
-            list.sort_unstable();
-            adj.extend_from_slice(&list);
-            starts.push(adj.len() as u32);
+        let mut total = 0u64;
+        for &d in &degrees {
+            total += u64::from(d);
+            check_adjacency_len(total)?;
+            starts.push(total as u32);
         }
-        Topology {
+
+        // Pass 2: fill each row in place. Rows are disjoint, so the
+        // adjacency buffer is handed out as per-chunk sub-slices.
+        let mut adj = vec![0u32; total as usize];
+        let fill_range = |lo: usize, hi: usize, out: &mut [u32]| {
+            let base = starts[lo] as usize;
+            for i in lo..hi {
+                let row_lo = starts[i] as usize - base;
+                let mut cur = row_lo;
+                index.for_each_within(&positions, &positions[i], r, |id| {
+                    if id.index() != i {
+                        out[cur] = id.0;
+                        cur += 1;
+                    }
+                });
+                debug_assert_eq!(cur, starts[i + 1] as usize - base);
+                // Sorted rows keep `neighbors()` output identical to the
+                // previous per-node staging build, bit for bit.
+                out[row_lo..cur].sort_unstable();
+            }
+        };
+        if nworkers <= 1 {
+            fill_range(0, n, &mut adj);
+        } else {
+            std::thread::scope(|scope| {
+                let mut rest: &mut [u32] = &mut adj;
+                let mut consumed = 0usize;
+                let mut lo = 0usize;
+                while lo < n {
+                    let hi = (lo + chunk).min(n);
+                    let end = starts[hi] as usize;
+                    let (slice, tail) = rest.split_at_mut(end - consumed);
+                    let fill_range = &fill_range;
+                    scope.spawn(move || fill_range(lo, hi, slice));
+                    rest = tail;
+                    consumed = end;
+                    lo = hi;
+                }
+            });
+        }
+
+        Ok(Topology {
             positions,
             comm_radius: r,
             starts,
             adj,
             index,
-        }
+        })
+    }
+
+    /// Bytes held by the CSR adjacency (offsets + neighbor ids) — the
+    /// dominant allocation at scale, reported by the scale benchmark.
+    pub fn adjacency_bytes(&self) -> usize {
+        (self.starts.len() + self.adj.len()) * std::mem::size_of::<u32>()
     }
 
     /// Number of nodes.
@@ -313,5 +447,49 @@ mod tests {
         assert_eq!(t.degree(NodeId::SOURCE), 0);
         assert_eq!(t.component_sizes(), vec![1]);
         assert_eq!(t.edge_count(), 0);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let net = Deployment::disk(6, 1.0, 40.0).sample(17);
+        let seq = Topology::try_build_with_threads(&net, 1).unwrap();
+        for threads in [2, 3, 4, 7] {
+            let par = Topology::try_build_with_threads(&net, threads).unwrap();
+            assert_eq!(seq.starts, par.starts, "threads={threads}");
+            assert_eq!(seq.adj, par.adj, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn node_count_overflow_is_config_error() {
+        assert_eq!(check_node_count(MAX_NODES), Ok(()));
+        let err = check_node_count(MAX_NODES + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::Exceeds {
+                field: "node count",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn adjacency_overflow_is_config_error() {
+        assert_eq!(check_adjacency_len(u64::from(u32::MAX)), Ok(()));
+        let err = check_adjacency_len(u64::from(u32::MAX) + 1).unwrap_err();
+        assert!(matches!(
+            err,
+            ConfigError::Exceeds {
+                field: "adjacency entries",
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn adjacency_bytes_counts_csr_storage() {
+        let t = line_topology(5, 1.0, 1.0);
+        // 6 offsets + 8 directed edges, 4 bytes each.
+        assert_eq!(t.adjacency_bytes(), (6 + 8) * 4);
     }
 }

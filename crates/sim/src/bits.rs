@@ -1,0 +1,327 @@
+//! Packed `u64` bitsets for per-node protocol state.
+//!
+//! Executors track per-node flags (informed / alive / has-transmitted) for
+//! up to 10⁶ nodes; a packed bitset keeps a whole field's mask in
+//! `n / 8` bytes — 64 nodes per cache line instead of 8 — so the phase
+//! loop's working set scales with the *active* frontier rather than with
+//! `n` booleans. [`AtomicBitSet`] adds the lock-free claim used by the
+//! sharded phase engine: `fetch_or` on one bit decides exactly one winner
+//! per receiver regardless of thread interleaving.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+const WORD_BITS: usize = 64;
+
+#[inline]
+fn word_count(len: usize) -> usize {
+    len.div_ceil(WORD_BITS)
+}
+
+/// A fixed-length packed bitset (one bit per node).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// All-false bitset of `len` bits.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; word_count(len)],
+            len,
+        }
+    }
+
+    /// All-true bitset of `len` bits.
+    pub fn filled(len: usize) -> Self {
+        let mut s = BitSet {
+            words: vec![u64::MAX; word_count(len)],
+            len,
+        };
+        s.trim_tail();
+        s
+    }
+
+    /// Builds from a boolean slice.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut s = BitSet::new(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                s.set(i);
+            }
+        }
+        s
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] |= 1u64 << (i % WORD_BITS);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear_bit(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS] &= !(1u64 << (i % WORD_BITS));
+    }
+
+    /// Writes bit `i`.
+    #[inline]
+    pub fn assign(&mut self, i: usize, value: bool) {
+        if value {
+            self.set(i);
+        } else {
+            self.clear_bit(i);
+        }
+    }
+
+    /// Clears every bit (reusable scratch).
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Sets every bit.
+    pub fn fill_all(&mut self) {
+        self.words.fill(u64::MAX);
+        self.trim_tail();
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Raw packed words (low bit of word 0 = node 0).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Calls `f(i)` for every set bit, ascending.
+    pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
+        for (wi, &word) in self.words.iter().enumerate() {
+            let mut w = word;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * WORD_BITS + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Calls `f(i)` for every bit set here but not in `other`, ascending
+    /// (word-parallel `self & !other` — the TDMA "informed but not yet
+    /// transmitted" scan).
+    pub fn for_each_set_and_not(&self, other: &BitSet, mut f: impl FnMut(usize)) {
+        debug_assert_eq!(self.len, other.len);
+        for (wi, (&a, &b)) in self.words.iter().zip(&other.words).enumerate() {
+            let mut w = a & !b;
+            while w != 0 {
+                let bit = w.trailing_zeros() as usize;
+                f(wi * WORD_BITS + bit);
+                w &= w - 1;
+            }
+        }
+    }
+
+    /// Zeroes the bits past `len` in the last word so `count_ones` and
+    /// word-level scans never see phantom nodes.
+    fn trim_tail(&mut self) {
+        let tail = self.len % WORD_BITS;
+        if tail != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail) - 1;
+            }
+        }
+    }
+}
+
+/// A fixed-length bitset with lock-free bit claims, for sharded phase
+/// execution.
+///
+/// The claim discipline mirrors the sweep collector's cursor protocol
+/// (loom-checked in `crates/sim/tests/loom_claim.rs`): `fetch_or` on a
+/// bit is the linearization point, and exactly one thread observes the
+/// 0→1 transition.
+#[derive(Debug)]
+pub struct AtomicBitSet {
+    words: Vec<AtomicU64>,
+    len: usize,
+}
+
+impl AtomicBitSet {
+    /// All-false atomic bitset of `len` bits.
+    pub fn new(len: usize) -> Self {
+        AtomicBitSet {
+            words: (0..word_count(len)).map(|_| AtomicU64::new(0)).collect(),
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Atomically sets bit `i`; returns `true` iff this call flipped it
+    /// (the caller won the claim).
+    #[inline]
+    pub fn claim(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        let mask = 1u64 << (i % WORD_BITS);
+        self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed) & mask == 0
+    }
+
+    /// Reads bit `i` (relaxed; only meaningful after the writing threads
+    /// have joined).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.words[i / WORD_BITS].load(Ordering::Relaxed) & (1u64 << (i % WORD_BITS)) != 0
+    }
+
+    /// Clears every bit. Requires `&mut self`, i.e. all claiming threads
+    /// have joined.
+    pub fn clear_all(&mut self) {
+        for w in &mut self.words {
+            *w.get_mut() = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear_roundtrip() {
+        let mut b = BitSet::new(130);
+        assert_eq!(b.len(), 130);
+        assert_eq!(b.count_ones(), 0);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!b.get(i));
+            b.set(i);
+            assert!(b.get(i));
+        }
+        assert_eq!(b.count_ones(), 8);
+        b.clear_bit(64);
+        assert!(!b.get(64));
+        b.assign(64, true);
+        assert!(b.get(64));
+        b.assign(64, false);
+        assert_eq!(b.count_ones(), 7);
+        b.clear_all();
+        assert_eq!(b.count_ones(), 0);
+    }
+
+    #[test]
+    fn filled_and_fill_all_respect_length() {
+        let b = BitSet::filled(70);
+        assert_eq!(b.count_ones(), 70);
+        assert!(b.get(69));
+        let mut c = BitSet::new(70);
+        c.fill_all();
+        assert_eq!(b, c);
+        // Exact word multiple: no tail to trim.
+        assert_eq!(BitSet::filled(128).count_ones(), 128);
+        assert_eq!(BitSet::filled(0).count_ones(), 0);
+    }
+
+    #[test]
+    fn from_bools_matches() {
+        let bools: Vec<bool> = (0..100).map(|i| i % 3 == 0).collect();
+        let b = BitSet::from_bools(&bools);
+        for (i, &expect) in bools.iter().enumerate() {
+            assert_eq!(b.get(i), expect, "bit {i}");
+        }
+    }
+
+    #[test]
+    fn iteration_is_ascending_and_complete() {
+        let mut b = BitSet::new(200);
+        let set = [0usize, 5, 63, 64, 100, 199];
+        for &i in &set {
+            b.set(i);
+        }
+        let mut seen = Vec::new();
+        b.for_each_set(|i| seen.push(i));
+        assert_eq!(seen, set);
+    }
+
+    #[test]
+    fn and_not_scan() {
+        let mut a = BitSet::new(130);
+        let mut bset = BitSet::new(130);
+        for i in 0..130 {
+            if i % 2 == 0 {
+                a.set(i);
+            }
+            if i % 4 == 0 {
+                bset.set(i);
+            }
+        }
+        let mut seen = Vec::new();
+        a.for_each_set_and_not(&bset, |i| seen.push(i));
+        let expect: Vec<usize> = (0..130).filter(|i| i % 2 == 0 && i % 4 != 0).collect();
+        assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn atomic_claim_is_exactly_once() {
+        let b = AtomicBitSet::new(80);
+        assert!(b.claim(70));
+        assert!(!b.claim(70), "second claim must lose");
+        assert!(b.get(70));
+        assert!(!b.get(71));
+        assert!(b.claim(71));
+    }
+
+    #[test]
+    fn atomic_clear_resets() {
+        let mut b = AtomicBitSet::new(65);
+        assert_eq!(b.len(), 65);
+        b.claim(64);
+        b.clear_all();
+        assert!(!b.get(64));
+        assert!(b.claim(64));
+    }
+
+    #[test]
+    fn concurrent_claims_have_one_winner_per_bit() {
+        let b = std::sync::Arc::new(AtomicBitSet::new(1024));
+        let winners: Vec<usize> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let b = std::sync::Arc::clone(&b);
+                    scope.spawn(move || (0..1024).filter(|&i| b.claim(i)).count())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert_eq!(winners.iter().sum::<usize>(), 1024);
+    }
+}

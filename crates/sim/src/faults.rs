@@ -12,6 +12,7 @@
 //! 2. **Zero cost when absent.** Executors map an empty plan to `None` and
 //!    take the exact pre-fault code path; nothing here runs.
 
+use crate::bits::BitSet;
 use crate::medium::SlotStats;
 use nss_model::faults::{hash_unit, FaultPlan};
 use nss_model::rng::splitmix64;
@@ -22,7 +23,7 @@ use nss_model::rng::splitmix64;
 #[derive(Debug)]
 pub struct SlotFaults<'a> {
     /// Effective liveness this phase; dead receivers hear nothing.
-    pub alive: &'a [bool],
+    pub alive: &'a BitSet,
     /// Per-delivery independent loss probability.
     pub link_loss: f64,
     /// Whitened `(seed, phase, slot)` mix keying the per-link coins.
@@ -33,7 +34,7 @@ impl<'a> SlotFaults<'a> {
     /// Builds the context for one slot. `phase` and `slot` index the coin
     /// space so repeated transmissions over the same link see independent
     /// losses.
-    pub fn new(alive: &'a [bool], link_loss: f64, faults_seed: u64, phase: u32, slot: u32) -> Self {
+    pub fn new(alive: &'a BitSet, link_loss: f64, faults_seed: u64, phase: u32, slot: u32) -> Self {
         let mut s = faults_seed
             ^ u64::from(phase).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
             ^ u64::from(slot).wrapping_mul(0x1656_67B1_9E37_79F9);
@@ -70,52 +71,58 @@ pub struct FaultState<'a> {
     plan: &'a FaultPlan,
     seed: u64,
     /// Survives the run-level `dead_frac` thinning (fixed at construction).
-    survives: Vec<bool>,
+    survives: BitSet,
     /// Broadcast counts toward `energy_budget`.
     broadcasts: Vec<u32>,
-    exhausted: Vec<bool>,
-    alive: Vec<bool>,
+    exhausted: BitSet,
+    alive: BitSet,
 }
 
 impl<'a> FaultState<'a> {
     /// Prepares fault tracking for an `n`-node execution under `seed`
     /// (derived from [`Stream::Faults`](nss_model::rng::Stream::Faults)).
     pub fn new(plan: &'a FaultPlan, seed: u64, n: usize) -> Self {
-        let survives: Vec<bool> = (0..n)
-            .map(|u| plan.survives_thinning(u as u32, seed))
-            .collect();
+        let mut survives = BitSet::new(n);
+        for u in 0..n {
+            if plan.survives_thinning(u as u32, seed) {
+                survives.set(u);
+            }
+        }
         FaultState {
             plan,
             seed,
             survives,
             broadcasts: vec![0; n],
-            exhausted: vec![false; n],
-            alive: vec![true; n],
+            exhausted: BitSet::new(n),
+            alive: BitSet::filled(n),
         }
     }
 
     /// Recomputes the effective liveness mask for `phase` (1-based).
     pub fn begin_phase(&mut self, phase: u32) {
         for u in 0..self.alive.len() {
-            self.alive[u] = self.survives[u]
-                && !self.exhausted[u]
-                && self.plan.scheduled_awake(u as u32, phase);
+            self.alive.assign(
+                u,
+                self.survives.get(u)
+                    && !self.exhausted.get(u)
+                    && self.plan.scheduled_awake(u as u32, phase),
+            );
         }
     }
 
     /// Effective liveness mask for the current phase.
-    pub fn alive(&self) -> &[bool] {
+    pub fn alive(&self) -> &BitSet {
         &self.alive
     }
 
     /// Whether node `u` is alive in the current phase.
     pub fn is_alive(&self, u: usize) -> bool {
-        self.alive[u]
+        self.alive.get(u)
     }
 
     /// Number of alive nodes in the current phase.
     pub fn alive_count(&self) -> u32 {
-        self.alive.iter().filter(|&&a| a).count() as u32
+        self.alive.count_ones() as u32
     }
 
     /// Records one broadcast by `u` toward its energy budget. The source
@@ -130,7 +137,7 @@ impl<'a> FaultState<'a> {
         let c = &mut self.broadcasts[u as usize];
         *c += 1;
         if *c >= budget {
-            self.exhausted[u as usize] = true;
+            self.exhausted.set(u as usize);
         }
     }
 
@@ -154,7 +161,7 @@ mod tests {
 
     #[test]
     fn link_coins_are_deterministic_and_slot_independent() {
-        let alive = vec![true; 4];
+        let alive = BitSet::filled(4);
         let a = SlotFaults::new(&alive, 0.5, 99, 3, 1);
         let b = SlotFaults::new(&alive, 0.5, 99, 3, 1);
         for tx in 0..4u32 {
@@ -181,7 +188,7 @@ mod tests {
 
     #[test]
     fn link_loss_extremes() {
-        let alive = vec![true; 2];
+        let alive = BitSet::filled(2);
         let never = SlotFaults::new(&alive, 0.0, 1, 1, 0);
         assert!(never.link_delivers(0, 1));
         let always = SlotFaults::new(&alive, 1.0, 1, 1, 0);
@@ -190,7 +197,7 @@ mod tests {
 
     #[test]
     fn link_loss_rate_matches_probability() {
-        let alive = vec![true; 2];
+        let alive = BitSet::filled(2);
         let f = SlotFaults::new(&alive, 0.3, 7, 2, 0);
         let lost = (0..10_000u32)
             .filter(|&i| !f.link_delivers(i, i.wrapping_add(1)))
@@ -249,11 +256,11 @@ mod tests {
         let plan = FaultPlan::thinned(0.5);
         let mut fs = FaultState::new(&plan, 31, 200);
         fs.begin_phase(1);
-        let first: Vec<bool> = fs.alive().to_vec();
+        let first = fs.alive().clone();
         fs.begin_phase(7);
-        assert_eq!(fs.alive(), &first[..], "thinning is run-level");
+        assert_eq!(fs.alive(), &first, "thinning is run-level");
         assert!(fs.is_alive(0), "source survives");
-        let dead = first.iter().filter(|&&a| !a).count();
+        let dead = 200 - first.count_ones();
         assert!(dead > 50, "roughly half should die, got {dead}/200");
     }
 }

@@ -26,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bits;
 pub mod engine;
 pub mod exact;
 pub mod faults;
@@ -33,6 +34,7 @@ pub mod medium;
 pub mod probe;
 pub mod protocols;
 pub mod runner;
+pub mod sharded;
 pub mod slotted;
 pub mod stats;
 pub mod tdma;
@@ -40,11 +42,13 @@ pub mod trace;
 
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
+    pub use crate::bits::{AtomicBitSet, BitSet};
     pub use crate::exact::{exact_expected_informed, exact_expected_reachability};
     pub use crate::faults::{FaultState, SlotFaults};
     pub use crate::medium::{Medium, MediumScratch};
     pub use crate::probe::probe_per_node_success;
     pub use crate::runner::{ReplicatedTraces, Replication};
+    pub use crate::sharded::{run_gossip_sharded, run_gossip_sharded_faulty};
     pub use crate::slotted::{run_gossip, run_gossip_faulty, run_gossip_per_node, GossipConfig};
     pub use crate::stats::Summary;
     pub use crate::tdma::{run_tdma_flooding, run_tdma_flooding_faulty, TdmaOutcome, TdmaSchedule};

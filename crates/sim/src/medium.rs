@@ -123,7 +123,7 @@ impl Medium {
         // Gate one arbitration-clean delivery through the fault plan.
         let mut deliver = |stats: &mut SlotStats, rx: u32, tx: u32| {
             if let Some(f) = faults {
-                if !f.alive[rx as usize] {
+                if !f.alive.get(rx as usize) {
                     stats.dead_drops += 1;
                     return;
                 }
@@ -406,12 +406,13 @@ mod tests {
 
     #[test]
     fn faults_gate_clean_deliveries() {
+        use crate::bits::BitSet;
         use crate::faults::SlotFaults;
         let topo = line(4); // 0-1-2-3
         let cam = Medium::new(CommunicationModel::CAM);
         let mut scratch = MediumScratch::new(topo.len());
         // Node 2 is dead: 1's transmission reaches 0 but drops at 2.
-        let alive = vec![true, true, false, true];
+        let alive = BitSet::from_bools(&[true, true, false, true]);
         let f = SlotFaults::new(&alive, 0.0, 0, 1, 0);
         let mut out = Vec::new();
         let s = cam.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |rx, t| {
@@ -422,7 +423,7 @@ mod tests {
         assert_eq!(s.dead_drops, 1);
         assert_eq!(s.losses, 0);
         // Total link loss: every clean reception is destroyed.
-        let alive = vec![true; 4];
+        let alive = BitSet::filled(4);
         let f = SlotFaults::new(&alive, 1.0, 0, 1, 0);
         let s = cam.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |_, _| {
             panic!("nothing should be delivered")
@@ -443,6 +444,7 @@ mod tests {
 
     #[test]
     fn lost_packets_still_collide() {
+        use crate::bits::BitSet;
         use crate::faults::SlotFaults;
         // 1 and 3 both cover 2. Even with link_loss = 1 the collision at 2
         // is still a collision (arbitration precedes the loss coin), and 0's
@@ -450,7 +452,7 @@ mod tests {
         let topo = line(4);
         let cam = Medium::new(CommunicationModel::CAM);
         let mut scratch = MediumScratch::new(topo.len());
-        let alive = vec![true; 4];
+        let alive = BitSet::filled(4);
         let f = SlotFaults::new(&alive, 1.0, 0, 1, 0);
         let s = cam.resolve_slot(&topo, &[1, 3], &mut scratch, Some(&f), |_, _| {});
         assert_eq!(s.collisions, 1);

@@ -12,6 +12,7 @@
 //! received the packet cleanly. Nodes that never transmitted during the
 //! probe (unreached, or zero-degree) fall back to the global mean.
 
+use crate::bits::BitSet;
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
@@ -40,8 +41,8 @@ pub fn probe_per_node_success(topo: &Topology, s: u32, rounds: u32, master_seed:
             Stream::Probe.label(),
             u64::from(round),
         ));
-        let mut informed = vec![false; n];
-        informed[NodeId::SOURCE.index()] = true;
+        let mut informed = BitSet::new(n);
+        informed.set(NodeId::SOURCE.index());
         let mut pending: Vec<u32> = vec![NodeId::SOURCE.0];
         let mut slots: Vec<Vec<u32>> = vec![Vec::new(); s as usize];
         let mut first = true;
@@ -62,8 +63,8 @@ pub fn probe_per_node_success(topo: &Topology, s: u32, rounds: u32, master_seed:
             for sl in &slots {
                 medium.resolve_slot(topo, sl, &mut scratch, None, |rx, tx| {
                     delivered[tx.index()] += 1;
-                    if !informed[rx.index()] {
-                        informed[rx.index()] = true;
+                    if !informed.get(rx.index()) {
+                        informed.set(rx.index());
                         newly.push(rx.0);
                     }
                 });

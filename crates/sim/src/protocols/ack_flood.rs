@@ -19,6 +19,7 @@
 //! * ACKs are re-sent on duplicate data receptions, as real protocols do —
 //!   a lost ACK otherwise deadlocks the sender.
 
+use crate::bits::BitSet;
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
 use nss_model::ids::NodeId;
@@ -92,17 +93,17 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
     let medium = Medium::new(CommunicationModel::CAM);
     let mut scratch = MediumScratch::new(n);
 
-    let mut informed = vec![false; n];
-    // Sender state: Some(acked-bitmap index range) while actively flooding.
-    let mut acked: Vec<Vec<bool>> = vec![Vec::new(); n]; // per neighbor-list position
+    let mut informed = BitSet::new(n);
+    // Sender state: per-neighbor-position ACK bitmaps while actively flooding.
+    let mut acked: Vec<BitSet> = (0..n).map(|_| BitSet::new(0)).collect();
     let mut retries = vec![0u32; n];
-    let mut active = vec![false; n]; // still retransmitting data
+    let mut active = BitSet::new(n); // still retransmitting data
     let mut ack_queue: Vec<Vec<u32>> = vec![Vec::new(); n]; // pending ACK targets
 
     let src = NodeId::SOURCE.index();
-    informed[src] = true;
-    active[src] = true;
-    acked[src] = vec![false; topo.degree(NodeId::SOURCE)];
+    informed.set(src);
+    active.set(src);
+    acked[src] = BitSet::new(topo.degree(NodeId::SOURCE));
 
     let mut data_tx = 0u64;
     let mut ack_tx = 0u64;
@@ -126,13 +127,13 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
                 slots[rng.random_range(0..cfg.s) as usize].push(u);
                 ack_tx += 1;
                 any = true;
-            } else if active[ui] {
-                if acked[ui].iter().all(|&a| a) {
-                    active[ui] = false; // done: all neighbors acknowledged
+            } else if active.get(ui) {
+                if acked[ui].count_ones() == acked[ui].len() {
+                    active.clear_bit(ui); // done: all neighbors acknowledged
                     continue;
                 }
                 if retries[ui] >= cfg.max_retries {
-                    active[ui] = false;
+                    active.clear_bit(ui);
                     gave_up += 1;
                     continue;
                 }
@@ -157,8 +158,8 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
                         // Every clean data reception triggers an ACK to the
                         // sender (duplicates included).
                         ack_queue[rxi].push(tx.0);
-                        if !informed[rxi] {
-                            informed[rxi] = true;
+                        if !informed.get(rxi) {
+                            informed.set(rxi);
                             newly.push(rx.0);
                         }
                     }
@@ -166,8 +167,8 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
                         if to == rx.0 {
                             // Mark the ACKing neighbor in rx's bitmap.
                             if let Ok(pos) = topo.neighbors(rx).binary_search(&tx.0) {
-                                if let Some(flag) = acked[rxi].get_mut(pos) {
-                                    *flag = true;
+                                if pos < acked[rxi].len() {
+                                    acked[rxi].set(pos);
                                 }
                             }
                         }
@@ -177,14 +178,14 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
         }
         for v in newly {
             let vi = v as usize;
-            active[vi] = true;
-            acked[vi] = vec![false; topo.degree(NodeId(v))];
+            active.set(vi);
+            acked[vi] = BitSet::new(topo.degree(NodeId(v)));
         }
     }
 
     AckFloodOutcome {
         n_total: n,
-        informed: informed.iter().filter(|&&b| b).count(),
+        informed: informed.count_ones(),
         data_tx,
         ack_tx,
         phases,

@@ -13,6 +13,7 @@
 //! receiver) and the Appendix-A carrier-sense rule (additionally, any
 //! transmitter in the annulus `(r, factor·r]`).
 
+use crate::bits::BitSet;
 use crate::engine::{EventQueue, Time};
 use crate::faults::FaultState;
 use crate::trace::SimTrace;
@@ -123,8 +124,8 @@ fn run_async_with(
         return trace;
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut informed = vec![false; n];
-    informed[NodeId::SOURCE.index()] = true;
+    let mut informed = BitSet::new(n);
+    informed.set(NodeId::SOURCE.index());
 
     // Per-receiver set of currently audible transmissions; the flag is
     // "still clean" (no overlap so far). Ordered map so every traversal is
@@ -242,8 +243,8 @@ fn run_async_with(
                         }
                     }
                     deliveries.push(end);
-                    if !informed[v as usize] {
-                        informed[v as usize] = true;
+                    if !informed.get(v as usize) {
+                        informed.set(v as usize);
                         first_rx_time[v as usize] = end;
                         if cfg.prob >= 1.0 || rng.random::<f64>() < cfg.prob {
                             let delay: f64 = rng.random_range(0.0..cfg.window);

@@ -16,6 +16,7 @@
 //! redundant transmissions in dense regions adaptively — the same goal the
 //! optimal PB_CAM probability pursues, but density-aware for free.
 
+use crate::bits::BitSet;
 use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
@@ -64,8 +65,8 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
     let medium = Medium::new(cfg.model);
     let mut scratch = MediumScratch::new(n);
 
-    let mut informed = vec![false; n];
-    informed[NodeId::SOURCE.index()] = true;
+    let mut informed = BitSet::new(n);
+    informed.set(NodeId::SOURCE.index());
     let mut dup_count = vec![0u32; n];
 
     // (node, slot) pairs scheduled for the upcoming phase.
@@ -105,10 +106,10 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
                 |rx, _tx| {
                     deliveries += 1;
                     let rxi = rx.index();
-                    if informed[rxi] {
+                    if informed.get(rxi) {
                         dup_count[rxi] += 1;
                     } else {
-                        informed[rxi] = true;
+                        informed.set(rxi);
                         trace.first_rx_phase[rxi] = phase;
                         newly.push(rx.0);
                     }

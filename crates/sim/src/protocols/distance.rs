@@ -13,6 +13,7 @@
 //! (the standard assumption in the cited work); the simulator reads it
 //! from ground-truth positions.
 
+use crate::bits::BitSet;
 use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
 use nss_model::comm::CommunicationModel;
@@ -65,8 +66,8 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
     let mut scratch = MediumScratch::new(n);
     let suppress_r = cfg.threshold * topo.comm_radius();
 
-    let mut informed = vec![false; n];
-    informed[NodeId::SOURCE.index()] = true;
+    let mut informed = BitSet::new(n);
+    informed.set(NodeId::SOURCE.index());
     // Closest distance at which each node has heard the packet so far.
     let mut closest = vec![f64::INFINITY; n];
 
@@ -106,8 +107,8 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
                     if d < closest[rxi] {
                         closest[rxi] = d;
                     }
-                    if !informed[rxi] {
-                        informed[rxi] = true;
+                    if !informed.get(rxi) {
+                        informed.set(rxi);
                         trace.first_rx_phase[rxi] = phase;
                         newly.push(rx.0);
                     }

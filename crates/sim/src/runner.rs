@@ -5,6 +5,7 @@
 //! stream derived from one master seed ([`nss_model::rng::SeedFactory`]),
 //! so results are bit-reproducible regardless of thread scheduling.
 
+use crate::sharded::{run_gossip_sharded, run_gossip_sharded_faulty};
 use crate::slotted::{run_gossip, run_gossip_faulty, GossipConfig};
 use crate::stats::Summary;
 use crate::trace::SimTrace;
@@ -38,6 +39,15 @@ pub struct Replication {
     /// Fault scenario; [`FaultPlan::none`] (the default) takes the exact
     /// fault-free code path.
     pub faults: FaultPlan,
+    /// Threads *inside* each replication (0 = off, the default). Non-zero
+    /// routes runs through the sharded engine
+    /// ([`crate::sharded::run_gossip_sharded`]), whose stateless-coin RNG
+    /// discipline differs from the sequential engine's — traces are
+    /// reproducible per seed and thread count but not comparable across
+    /// the two engines. Meant for few huge fields, where replication-level
+    /// parallelism has nothing left to amortize.
+    #[serde(default)]
+    pub intra_threads: usize,
 }
 
 impl Replication {
@@ -50,6 +60,7 @@ impl Replication {
             master_seed,
             threads: 0,
             faults: FaultPlan::none(),
+            intra_threads: 0,
         }
     }
 
@@ -68,6 +79,14 @@ impl Replication {
     /// Sets the fault scenario applied to every run.
     pub fn with_faults(mut self, faults: FaultPlan) -> Self {
         self.faults = faults;
+        self
+    }
+
+    /// Enables intra-replication sharding with the given thread count per
+    /// run (see the [`intra_threads`](Replication::intra_threads) field);
+    /// `0` restores the sequential engine.
+    pub fn with_intra_threads(mut self, intra_threads: usize) -> Self {
+        self.intra_threads = intra_threads;
         self
     }
 
@@ -142,20 +161,38 @@ impl Replication {
             .deployment
             .sample(factory.seed(Stream::Deployment, rep));
         let topo = Topology::build(&net);
-        let trace = if self.faults.is_empty() {
-            run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep))
-        } else {
-            run_gossip_faulty(
+        let trace = match (self.intra_threads, self.faults.is_empty()) {
+            (0, true) => run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep)),
+            (0, false) => run_gossip_faulty(
                 &topo,
                 &self.gossip,
                 &self.faults,
                 factory.seed(Stream::Protocol, rep),
                 factory.seed(Stream::Faults, rep),
-            )
+            ),
+            (t, true) => {
+                run_gossip_sharded(&topo, &self.gossip, factory.seed(Stream::Protocol, rep), t)
+            }
+            (t, false) => run_gossip_sharded_faulty(
+                &topo,
+                &self.gossip,
+                &self.faults,
+                factory.seed(Stream::Protocol, rep),
+                factory.seed(Stream::Faults, rep),
+                t,
+            ),
         };
         if let Some(start) = start {
-            nss_obs::observe!("sim.replication_seconds", start.elapsed().as_secs_f64());
+            let secs = start.elapsed().as_secs_f64();
+            nss_obs::observe!("sim.replication_seconds", secs);
             nss_obs::counter!("sim.replications").inc();
+            // Throughput in node-phases per second: the scale-engine figure
+            // of merit (BENCH_sim.json reports it from these observations).
+            let node_phases = (topo.len() as u64) * trace.phases() as u64;
+            nss_obs::counter!("sim.node_phases").add(node_phases);
+            if secs > 0.0 {
+                nss_obs::observe!("sim.nodes_per_sec", node_phases as f64 / secs);
+            }
         }
         trace
     }
@@ -334,6 +371,27 @@ mod tests {
         assert!(bc.mean >= 1.0);
         let budget = r.reachability_under_budget(10.0);
         assert!(budget.mean <= reach.mean + 1.0);
+    }
+
+    #[test]
+    fn intra_sharding_reproducible_across_intra_thread_counts() {
+        let one = small_replication(1).with_intra_threads(1).run();
+        let four = small_replication(1).with_intra_threads(4).run();
+        for (a, b) in one.traces.iter().zip(&four.traces) {
+            assert_eq!(a, b, "sharded traces must be thread-count invariant");
+        }
+        let plan = FaultPlan::lossy(0.2);
+        let fone = small_replication(1)
+            .with_intra_threads(1)
+            .with_faults(plan.clone())
+            .run();
+        let ffour = small_replication(1)
+            .with_intra_threads(4)
+            .with_faults(plan)
+            .run();
+        for (a, b) in fone.traces.iter().zip(&ffour.traces) {
+            assert_eq!(a, b, "faulty sharded traces must be invariant too");
+        }
     }
 
     #[test]

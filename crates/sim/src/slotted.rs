@@ -10,6 +10,7 @@
 //! collision-free execution the paper uses as a motivating contrast, and a
 //! CAM medium gives PB_CAM proper (with either collision rule).
 
+use crate::bits::BitSet;
 use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
@@ -172,9 +173,11 @@ fn run_gossip_with(
     let medium = Medium::new(cfg.model);
     let mut scratch = MediumScratch::new(n);
 
-    let mut informed = vec![false; n];
-    informed[NodeId::SOURCE.index()] = true;
-    let mut alive = vec![true; n];
+    // Packed per-node flags: 64 nodes per word keeps the phase loop's
+    // working set proportional to the active frontier.
+    let mut informed = BitSet::new(n);
+    informed.set(NodeId::SOURCE.index());
+    let mut alive = BitSet::filled(n);
     // Fault interpretation is only instantiated for non-empty plans; the
     // `None` path below is byte-for-byte the pre-fault executor.
     let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
@@ -197,9 +200,9 @@ fn run_gossip_with(
         // Failure injection: each alive non-source node dies independently
         // at the start of the phase.
         if cfg.node_failure_per_phase > 0.0 {
-            for a in alive.iter_mut().skip(1) {
-                if *a && rng.random::<f64>() < cfg.node_failure_per_phase {
-                    *a = false;
+            for u in 1..n {
+                if alive.get(u) && rng.random::<f64>() < cfg.node_failure_per_phase {
+                    alive.clear_bit(u);
                 }
             }
         }
@@ -210,7 +213,7 @@ fn run_gossip_with(
             tx_count = 1;
         } else {
             for &u in &pending {
-                if !alive[u as usize] {
+                if !alive.get(u as usize) {
                     continue;
                 }
                 // A node the fault plan has down this phase forfeits its
@@ -245,13 +248,13 @@ fn run_gossip_with(
                 &mut scratch,
                 sf.as_ref(),
                 |rx, tx| {
-                    if !alive[rx.index()] {
+                    if !alive.get(rx.index()) {
                         return; // dead radios hear nothing
                     }
                     deliveries += 1;
                     delivered[tx.index()] += 1;
-                    if !informed[rx.index()] {
-                        informed[rx.index()] = true;
+                    if !informed.get(rx.index()) {
+                        informed.set(rx.index());
                         trace.first_rx_phase[rx.index()] = phase;
                         newly.push(rx.0);
                     }
@@ -266,7 +269,7 @@ fn run_gossip_with(
             trace.dead_drops_by_phase.push(phase_stats.dead_drops);
             // Effective liveness combines the plan with the legacy per-phase
             // failure injection.
-            let effective = (0..n).filter(|&u| alive[u] && fs.is_alive(u)).count() as u32;
+            let effective = (0..n).filter(|&u| alive.get(u) && fs.is_alive(u)).count() as u32;
             trace.alive_by_phase.push(effective);
         }
 

@@ -19,6 +19,7 @@
 //!   reliability — the trade-off the paper invokes to justify studying
 //!   CSMA-style CAM algorithms instead.
 
+use crate::bits::BitSet;
 use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch};
 use nss_model::comm::CommunicationModel;
@@ -179,9 +180,9 @@ fn run_tdma_with(
     let mut scratch = MediumScratch::new(n);
     let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
 
-    let mut informed = vec![false; n];
-    informed[NodeId::SOURCE.index()] = true;
-    let mut has_tx = vec![false; n];
+    let mut informed = BitSet::new(n);
+    informed.set(NodeId::SOURCE.index());
+    let mut has_tx = BitSet::new(n);
     let mut pending = 1usize; // informed nodes that have not yet transmitted
 
     let mut transmissions = 0u64;
@@ -205,17 +206,18 @@ fn run_tdma_with(
             }
         }
         transmitters.clear();
-        for u in 0..n as u32 {
-            let ui = u as usize;
-            if informed[ui] && !has_tx[ui] && schedule.slot_of[ui] == slot {
+        // Word-parallel scan over `informed & !has_tx`: only the pending
+        // frontier is visited, not all n nodes.
+        informed.for_each_set_and_not(&has_tx, |ui| {
+            if schedule.slot_of[ui] == slot {
                 if let Some(fs) = fault_state.as_ref() {
                     if !fs.is_alive(ui) {
-                        continue; // sleeps through its slot; retries next frame
+                        return; // sleeps through its slot; retries next frame
                     }
                 }
-                transmitters.push(u);
+                transmitters.push(ui as u32);
             }
-        }
+        });
         if !transmitters.is_empty() {
             // Expected deliveries if collision-free: sum of degrees.
             let expected: u64 = transmitters
@@ -225,8 +227,8 @@ fn run_tdma_with(
             let sf = fault_state.as_ref().map(|fs| fs.slot(phase, slot));
             let stats =
                 medium.resolve_slot(topo, &transmitters, &mut scratch, sf.as_ref(), |rx, _tx| {
-                    if !informed[rx.index()] {
-                        informed[rx.index()] = true;
+                    if !informed.get(rx.index()) {
+                        informed.set(rx.index());
                         pending += 1;
                     }
                 });
@@ -236,7 +238,7 @@ fn run_tdma_with(
             dead_drops += stats.dead_drops;
             transmissions += transmitters.len() as u64;
             for &t in &transmitters {
-                has_tx[t as usize] = true;
+                has_tx.set(t as usize);
                 pending -= 1;
             }
             if let Some(fs) = fault_state.as_mut() {
@@ -250,7 +252,7 @@ fn run_tdma_with(
 
     TdmaOutcome {
         n_total: n,
-        informed: informed.iter().filter(|&&b| b).count(),
+        informed: informed.count_ones(),
         transmissions,
         deliveries,
         collisions,

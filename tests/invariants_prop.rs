@@ -190,7 +190,7 @@ proptest! {
         radius in 0.1f64..4.0,
     ) {
         let points: Vec<Point2> = pts.iter().map(|&(x, y)| Point2::new(x, y)).collect();
-        let idx = GridIndex::build(&points, 1.5);
+        let idx = GridIndex::build(&points, 1.5).unwrap();
         let q = Point2::new(qx, qy);
         let mut got = idx.within(&points, &q, radius);
         got.sort_unstable();

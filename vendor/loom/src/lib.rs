@@ -401,11 +401,27 @@ pub mod sync {
             };
         }
 
+        macro_rules! modeled_fetch_or {
+            ($name:ident, $val:ty) => {
+                impl $name {
+                    /// Modeled fetch-or (the bit-claim primitive of
+                    /// `nss-sim`'s `AtomicBitSet`).
+                    pub fn fetch_or(&self, v: $val, _order: Ordering) -> $val {
+                        super::super::maybe_yield();
+                        self.inner.fetch_or(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
         modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
         modeled_atomic!(AtomicU32, std::sync::atomic::AtomicU32, u32);
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
         modeled_atomic!(AtomicBool, std::sync::atomic::AtomicBool, bool);
         modeled_fetch_add!(AtomicUsize, usize);
         modeled_fetch_add!(AtomicU32, u32);
+        modeled_fetch_add!(AtomicU64, u64);
+        modeled_fetch_or!(AtomicU64, u64);
     }
 }
 

@@ -35,8 +35,10 @@ fn item_name(input: TokenStream) -> String {
     panic!("serde_derive (vendored): no struct/enum/union found in derive input");
 }
 
-/// Emits `impl serde::Serialize for <Type> {}`.
-#[proc_macro_derive(Serialize)]
+/// Emits `impl serde::Serialize for <Type> {}`. The `serde(...)` helper
+/// attribute (e.g. `#[serde(default)]`) is registered so field annotations
+/// parse; it carries no behavior because the traits are markers.
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = item_name(input);
     format!("impl ::serde::Serialize for {name} {{}}")
@@ -44,8 +46,9 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
         .expect("vendored Serialize derive produced invalid tokens")
 }
 
-/// Emits `impl<'de> serde::Deserialize<'de> for <Type> {}`.
-#[proc_macro_derive(Deserialize)]
+/// Emits `impl<'de> serde::Deserialize<'de> for <Type> {}`; registers the
+/// `serde(...)` helper attribute like the Serialize derive.
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let name = item_name(input);
     format!("impl<'de> ::serde::Deserialize<'de> for {name} {{}}")
