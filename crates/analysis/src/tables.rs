@@ -512,6 +512,12 @@ impl KernelCache {
         nss_obs::counter!("analysis.kernel_cache.miss").inc();
         nss_obs::counter!("analysis.kernel_cache.interned_bytes").add(kernel.bytes() as u64);
         map.insert(key, Arc::clone(&kernel));
+        if nss_obs::enabled() {
+            // Live footprint (counterpart of the cumulative interned_bytes
+            // counter): summed under the write lock we already hold.
+            nss_obs::gauge!("analysis.kernel_cache.bytes")
+                .set(map.values().map(|k| k.bytes()).sum::<usize>() as f64);
+        }
         kernel
     }
 
@@ -544,6 +550,7 @@ impl KernelCache {
     /// Hit/miss statistics are preserved.
     pub fn clear(&self) {
         self.map.write().clear();
+        nss_obs::gauge!("analysis.kernel_cache.bytes").set(0.0);
     }
 }
 

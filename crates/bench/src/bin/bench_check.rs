@@ -1,0 +1,92 @@
+//! Perf-regression gate over the committed bench artifacts.
+//!
+//! Always runs the internal-consistency checks ([`nss_bench::check::sanity`])
+//! on the given artifact; with `--baseline` it additionally diffs against a
+//! recorded artifact ([`nss_bench::check::diff`]): deterministic protocol
+//! fields must match exactly, wall-clock fields are bounded by
+//! `baseline * time-factor + abs-slack`.
+//!
+//! Usage:
+//!   bench_check <current.json> [--baseline <recorded.json>]
+//!               [--time-factor 3.0] [--abs-slack 0.5]
+//!
+//! Exits 0 when every check passes, 1 with one violation per line on
+//! stderr otherwise (2 for usage/IO errors).
+
+use nss_bench::check::{diff, sanity, Tolerance};
+use nss_obs::jsonval::Json;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Json::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: {path}: {e}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut current: Option<String> = None;
+    let mut baseline: Option<String> = None;
+    let mut tol = Tolerance::default();
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().unwrap_or_else(|| {
+                eprintln!("bench_check: {name} requires a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")),
+            "--time-factor" => {
+                tol.time_factor = value("--time-factor").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_check: --time-factor expects a number");
+                    std::process::exit(2);
+                });
+            }
+            "--abs-slack" => {
+                tol.abs_slack_s = value("--abs-slack").parse().unwrap_or_else(|_| {
+                    eprintln!("bench_check: --abs-slack expects seconds");
+                    std::process::exit(2);
+                });
+            }
+            other if !other.starts_with("--") && current.is_none() => {
+                current = Some(other.to_string());
+            }
+            other => {
+                eprintln!("bench_check: unexpected argument {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(current_path) = current else {
+        eprintln!(
+            "usage: bench_check <current.json> [--baseline <recorded.json>] \
+             [--time-factor F] [--abs-slack S]"
+        );
+        std::process::exit(2);
+    };
+
+    let current = load(&current_path);
+    let mut violations = sanity(&current);
+    for v in &violations {
+        eprintln!("bench_check: {current_path}: sanity: {v}");
+    }
+    if let Some(baseline_path) = baseline {
+        let base = load(&baseline_path);
+        let drifts = diff(&current, &base, &tol);
+        for v in &drifts {
+            eprintln!("bench_check: {current_path} vs {baseline_path}: {v}");
+        }
+        violations.extend(drifts);
+    }
+    if violations.is_empty() {
+        eprintln!("bench_check: {current_path}: OK");
+    } else {
+        eprintln!("bench_check: {} violation(s)", violations.len());
+        std::process::exit(1);
+    }
+}

@@ -11,10 +11,19 @@
 //!
 //! Usage:
 //!   cargo run --release -p nss-bench --features obs --bin bench_sim \
-//!     [out.json] [--p-factor 85] [--rho 140] [--threads 0] [--seed 2005]
+//!     [out.json] [--p-factor 85] [--rho 140] [--threads 0] [--seed 2005] \
+//!     [--metrics-addr 127.0.0.1:9187] [--trace-out trace.json]
 //!
 //! CI runs the same binary with `--p-factor 6` (N = 5,040) as a smoke test;
-//! the JSON schema is identical at every scale.
+//! the JSON schema is identical at every scale. `--metrics-addr` serves
+//! live `/metrics` scrapes for the duration of the run; `--trace-out`
+//! dumps the flight recorder as Chrome `trace_event` JSON on exit (both
+//! need `--features obs` to show non-empty data).
+//!
+//! The `counters`/`gauges`/`histograms` sections report the **measured
+//! replication only**: the registry is snapshotted around it, so neither
+//! the CSR build nor the warm-path repeat inflates the simulation metrics
+//! (they used to be double-counted before the snapshot/delta API).
 
 use nss_model::deployment::Deployment;
 use nss_model::topology::Topology;
@@ -28,6 +37,8 @@ struct Args {
     rho: f64,
     threads: usize,
     seed: u64,
+    metrics_addr: Option<String>,
+    trace_out: Option<String>,
 }
 
 fn parse_args() -> Args {
@@ -37,6 +48,8 @@ fn parse_args() -> Args {
         rho: 140.0,
         threads: 0,
         seed: 2005,
+        metrics_addr: None,
+        trace_out: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -53,6 +66,8 @@ fn parse_args() -> Args {
                 args.threads = value("--threads").parse().expect("integer thread count");
             }
             "--seed" => args.seed = value("--seed").parse().expect("integer seed"),
+            "--metrics-addr" => args.metrics_addr = Some(value("--metrics-addr")),
+            "--trace-out" => args.trace_out = Some(value("--trace-out")),
             other if !other.starts_with("--") => args.out = other.to_string(),
             other => panic!("bench_sim: unknown flag {other}"),
         }
@@ -67,6 +82,17 @@ fn main() {
         f();
         t0.elapsed().as_secs_f64()
     };
+
+    // Optional live scrape endpoint for the duration of the run.
+    let _metrics_server = args.metrics_addr.as_deref().map(|addr| {
+        let server = nss_obs::serve::MetricsServer::start(addr)
+            .unwrap_or_else(|e| panic!("bench_sim: cannot bind --metrics-addr {addr}: {e}"));
+        if !nss_obs::enabled() {
+            eprintln!("note: built without --features obs; /metrics will be empty");
+        }
+        eprintln!("serving /metrics on http://{}/metrics", server.addr());
+        server
+    });
 
     // 1. Deployment: the paper's disk field at (P, r = 1, ρ).
     eprintln!(
@@ -96,10 +122,15 @@ fn main() {
     );
 
     // 3. One full flooding broadcast replication on the sharded engine.
+    // Snapshot the registry around it: the reported metrics describe this
+    // window only, not the build above or the warm repeat below.
+    let reg = nss_obs::registry::Registry::global();
+    let before_measured = reg.snapshot();
     let cfg = GossipConfig::flooding_cam();
     let t0 = Instant::now();
     let trace = run_gossip_sharded(&topo, &cfg, args.seed, args.threads);
     let sim_s = t0.elapsed().as_secs_f64();
+    let measured = reg.snapshot().delta_since(&before_measured);
     let phases = trace.phases();
     let phases_per_sec = phases as f64 / sim_s.max(1e-9);
     let node_phases_per_sec = (n * phases) as f64 / sim_s.max(1e-9);
@@ -121,27 +152,40 @@ fn main() {
         ));
     });
 
-    // Obs snapshots (all zeros unless built with --features obs).
-    let reg = nss_obs::registry::Registry::global();
-    let counters_json = reg
-        .counters_snapshot()
+    // Obs sections (all empty unless built with --features obs): the
+    // measured-replication delta computed above.
+    let counters_json = measured
+        .counters
+        .iter()
+        .filter(|(_, value)| *value > 0)
+        .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let gauges_json = measured
+        .gauges
         .iter()
         .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
         .collect::<Vec<_>>()
         .join(",\n");
-    let histograms_json = reg
-        .histograms_snapshot()
+    let fmt_q = |q: Option<f64>| q.map_or("null".to_string(), |v| format!("{v:.6}"));
+    let histograms_json = measured
+        .histograms
         .iter()
+        .filter(|(_, h)| h.count > 0)
         .map(|(name, h)| {
+            let (p50, p90, p99) = h.percentiles();
             format!(
                 "    \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \
-                 \"min\": {}, \"max\": {}}}",
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
                 nss_obs::export::json_escape(name),
                 h.count,
                 h.sum,
                 h.mean(),
-                h.min.map_or("null".to_string(), |v| format!("{v:.6}")),
-                h.max.map_or("null".to_string(), |v| format!("{v:.6}")),
+                fmt_q(h.min),
+                fmt_q(h.max),
+                fmt_q(p50),
+                fmt_q(p90),
+                fmt_q(p99),
             )
         })
         .collect::<Vec<_>>()
@@ -172,6 +216,7 @@ fn main() {
            \"collisions\": {collisions},\n  \
            \"obs_enabled\": {obs},\n  \
            \"counters\": {{\n{counters_json}\n  }},\n  \
+           \"gauges\": {{\n{gauges_json}\n  }},\n  \
            \"histograms\": {{\n{histograms_json}\n  }}\n}}\n",
         p_factor = args.p_factor,
         rho = args.rho,
@@ -186,6 +231,12 @@ fn main() {
     std::fs::write(&args.out, &json).expect("write BENCH_sim.json");
     print!("{json}");
     eprintln!("wrote {}", args.out);
+
+    if let Some(path) = &args.trace_out {
+        nss_obs::trace::write_chrome_trace(std::path::Path::new(path))
+            .unwrap_or_else(|e| panic!("bench_sim: cannot write --trace-out {path}: {e}"));
+        eprintln!("wrote {path} (chrome://tracing / Perfetto format)");
+    }
 
     // Sanity floors independent of machine speed: the field is connected at
     // these densities, so a full flooding pass must inform nearly everyone.

@@ -224,11 +224,36 @@ fn main() {
         cache.bytes()
     );
 
-    // Counter snapshot (all zeros unless built with --features obs).
-    let counters = nss_obs::registry::Registry::global().counters_snapshot();
-    let counters_json = counters
+    // Counter and histogram snapshots (empty unless built with
+    // --features obs). Histograms carry p50/p90/p99 interpolated from the
+    // power-of-two buckets.
+    let reg = nss_obs::registry::Registry::global();
+    let counters_json = reg
+        .counters_snapshot()
         .iter()
         .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let fmt_q = |q: Option<f64>| q.map_or("null".to_string(), |v| format!("{v:.6}"));
+    let histograms_json = reg
+        .histograms_snapshot()
+        .iter()
+        .map(|(name, h)| {
+            let (p50, p90, p99) = h.percentiles();
+            format!(
+                "    \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                nss_obs::export::json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                fmt_q(h.min),
+                fmt_q(h.max),
+                fmt_q(p50),
+                fmt_q(p90),
+                fmt_q(p99),
+            )
+        })
         .collect::<Vec<_>>()
         .join(",\n");
 
@@ -247,7 +272,8 @@ fn main() {
              \"bytes\": {bytes},\n    \
              \"hits\": {cache_hits},\n    \
              \"misses\": {cache_misses}\n  }},\n  \
-           \"counters\": {{\n{counters_json}\n  }}\n}}\n",
+           \"counters\": {{\n{counters_json}\n  }},\n  \
+           \"histograms\": {{\n{histograms_json}\n  }}\n}}\n",
         obs = nss_obs::enabled(),
         len = cache.len(),
         bytes = cache.bytes(),

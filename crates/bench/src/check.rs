@@ -1,0 +1,416 @@
+//! Bench-artifact regression checking: the library behind `bench_check`.
+//!
+//! Two layers, both pure functions over parsed [`Json`] so they unit-test
+//! without touching the filesystem:
+//!
+//! * [`sanity`] — internal-consistency invariants of a single
+//!   `BENCH_sim.json` / `BENCH_sweep.json`: reachability floors, quantile
+//!   ordering, and the counters-vs-trace identities (e.g.
+//!   `counters["sim.broadcasts"] == broadcasts`, the regression gate for
+//!   the warm-run double-count bug the snapshot/delta API fixed).
+//! * [`diff`] — compares a freshly generated artifact against a committed
+//!   baseline. Deterministic protocol fields (node counts, phases,
+//!   broadcast totals — the sharded engine is bit-identical at any thread
+//!   count, so these are machine-independent) must match **exactly**;
+//!   wall-clock fields pass when
+//!   `current <= baseline * time_factor + abs_slack_s`.
+//!
+//! Both return a list of human-readable violations; empty means pass.
+
+use nss_obs::jsonval::Json;
+
+/// Tolerances for machine-dependent (timing) fields.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Multiplicative headroom on every wall-clock field.
+    pub time_factor: f64,
+    /// Additive headroom in seconds (absorbs fixed costs on tiny smoke
+    /// runs where a multiple of ~0 is meaningless).
+    pub abs_slack_s: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Self {
+        // CI runners vary widely; the gate is for order-of-magnitude
+        // regressions (an accidentally quadratic pass, a lost parallel
+        // path), not single-digit-percent noise.
+        Tolerance {
+            time_factor: 3.0,
+            abs_slack_s: 0.5,
+        }
+    }
+}
+
+/// How [`diff`] compares one field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Policy {
+    /// Deterministic output: must be equal in both artifacts.
+    Exact,
+    /// Wall-clock measurement: bounded by the [`Tolerance`].
+    Timing,
+}
+
+/// The artifact schema, detected from its discriminator key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// `BENCH_sim.json` (million-node engine; `"bench"` key).
+    Sim,
+    /// `BENCH_sweep.json` (fig4 kernel sweep; `"sweep"` key).
+    Sweep,
+}
+
+impl Kind {
+    /// Detects the artifact kind.
+    pub fn of(doc: &Json) -> Option<Kind> {
+        if doc.get("bench").is_some() {
+            Some(Kind::Sim)
+        } else if doc.get("sweep").is_some() {
+            Some(Kind::Sweep)
+        } else {
+            None
+        }
+    }
+
+    /// The checked fields for this schema, as `(path, policy)`; nested
+    /// paths use `/` (field names themselves contain dots).
+    fn fields(self) -> &'static [(&'static str, Policy)] {
+        match self {
+            Kind::Sim => &[
+                ("p_factor", Policy::Exact),
+                ("rho", Policy::Exact),
+                ("seed", Policy::Exact),
+                ("nodes", Policy::Exact),
+                ("adjacency_bytes", Policy::Exact),
+                ("degree_min", Policy::Exact),
+                ("degree_mean", Policy::Exact),
+                ("degree_max", Policy::Exact),
+                ("phases", Policy::Exact),
+                ("reachability", Policy::Exact),
+                ("broadcasts", Policy::Exact),
+                ("deliveries", Policy::Exact),
+                ("collisions", Policy::Exact),
+                ("sample_s", Policy::Timing),
+                ("topology_build_s", Policy::Timing),
+                ("sim_s", Policy::Timing),
+                ("sim_warm_s", Policy::Timing),
+            ],
+            Kind::Sweep => &[
+                ("cells", Policy::Exact),
+                ("kernel_cache/kernels", Policy::Exact),
+                ("kernel_cache/bytes", Policy::Exact),
+                ("kernel_cache/hits", Policy::Exact),
+                ("kernel_cache/misses", Policy::Exact),
+                ("baseline_closure_seq_s", Policy::Timing),
+                ("cached_tables_seq_s", Policy::Timing),
+                ("cached_tables_parallel_s", Policy::Timing),
+            ],
+        }
+    }
+}
+
+/// Looks up a `/`-separated path of object keys.
+fn lookup<'a>(doc: &'a Json, path: &str) -> Option<&'a Json> {
+    path.split('/').try_fold(doc, |v, key| v.get(key))
+}
+
+fn num(doc: &Json, path: &str) -> Option<f64> {
+    lookup(doc, path).and_then(Json::as_f64)
+}
+
+fn obs_enabled(doc: &Json) -> bool {
+    doc.get("obs_enabled").and_then(Json::as_bool) == Some(true)
+}
+
+/// Fetches a required numeric field, reporting a violation when absent.
+fn need(doc: &Json, path: &str, v: &mut Vec<String>) -> f64 {
+    match num(doc, path) {
+        Some(x) => x,
+        None => {
+            v.push(format!("missing numeric field `{path}`"));
+            f64::NAN
+        }
+    }
+}
+
+/// Internal-consistency checks for one artifact; returns violations.
+pub fn sanity(doc: &Json) -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(kind) = Kind::of(doc) else {
+        return vec!["unrecognized artifact: neither \"bench\" nor \"sweep\" key".into()];
+    };
+    match kind {
+        Kind::Sim => {
+            // NaN (a `need` miss) must fail the floor checks, hence the
+            // explicit is_nan arms rather than a negated comparison.
+            let reach = need(doc, "reachability", &mut v);
+            if reach.is_nan() || reach <= 0.95 {
+                v.push(format!("reachability {reach} below the 0.95 sanity floor"));
+            }
+            let phases = need(doc, "phases", &mut v);
+            if phases.is_nan() || phases < 2.0 {
+                v.push(format!("phases {phases} < 2: flooding cannot be one phase"));
+            }
+            if obs_enabled(doc) {
+                // The measured-window counters must agree exactly with the
+                // trace totals of the measured replication — the warm-run
+                // double-count regression gate.
+                for (counter, total) in [
+                    ("sim.broadcasts", "broadcasts"),
+                    ("sim.deliveries", "deliveries"),
+                    ("sim.collisions", "collisions"),
+                ] {
+                    let c = doc
+                        .get("counters")
+                        .and_then(|cs| cs.get(counter))
+                        .and_then(Json::as_f64);
+                    let t = need(doc, total, &mut v);
+                    match c {
+                        Some(c) if c == t => {}
+                        Some(c) => v.push(format!(
+                            "counters[\"{counter}\"] = {c} != {total} = {t} \
+                             (metrics window leaked another run?)"
+                        )),
+                        None if t > 0.0 => {
+                            v.push(format!("counters[\"{counter}\"] missing with obs enabled"));
+                        }
+                        None => {}
+                    }
+                }
+            }
+        }
+        Kind::Sweep => {
+            if doc.get("bitwise_identical").and_then(Json::as_bool) != Some(true) {
+                v.push("bitwise_identical is not true".into());
+            }
+            let speedup = need(doc, "speedup_seq", &mut v);
+            if speedup.is_nan() || speedup < 3.0 {
+                v.push(format!("speedup_seq {speedup} below the 3x floor"));
+            }
+            if obs_enabled(doc) {
+                let cells = need(doc, "cells", &mut v);
+                let counted = doc
+                    .get("counters")
+                    .and_then(|cs| cs.get("analysis.sweep.cells"))
+                    .and_then(Json::as_f64);
+                if counted.is_some_and(|c| c != cells) {
+                    v.push(format!(
+                        "counters[\"analysis.sweep.cells\"] = {counted:?} != cells = {cells}"
+                    ));
+                }
+            }
+        }
+    }
+    // Histogram quantiles, wherever present: estimates must be ordered and
+    // clamped to the observed range.
+    if let Some(hists) = doc.get("histograms").and_then(Json::as_obj) {
+        for (name, h) in hists {
+            let q = |k: &str| h.get(k).and_then(Json::as_f64);
+            let seq = [q("min"), q("p50"), q("p90"), q("p99"), q("max")];
+            let present: Vec<f64> = seq.iter().flatten().copied().collect();
+            if present.windows(2).any(|w| w[0] > w[1] + 1e-9) {
+                v.push(format!(
+                    "histogram `{name}`: min/p50/p90/p99/max not ordered: {present:?}"
+                ));
+            }
+        }
+    }
+    v
+}
+
+/// Diffs `current` against `baseline`; returns violations.
+pub fn diff(current: &Json, baseline: &Json, tol: &Tolerance) -> Vec<String> {
+    let mut v = Vec::new();
+    let kind = match (Kind::of(current), Kind::of(baseline)) {
+        (Some(a), Some(b)) if a == b => a,
+        (a, b) => {
+            return vec![format!(
+                "artifact kind mismatch: current = {a:?}, baseline = {b:?}"
+            )];
+        }
+    };
+    for &(path, policy) in kind.fields() {
+        let (Some(cur), Some(base)) = (num(current, path), num(baseline, path)) else {
+            v.push(format!(
+                "field `{path}` missing or non-numeric in current or baseline"
+            ));
+            continue;
+        };
+        match policy {
+            Policy::Exact => {
+                if cur != base {
+                    v.push(format!("`{path}`: {cur} != baseline {base}"));
+                }
+            }
+            Policy::Timing => {
+                let bound = base * tol.time_factor + tol.abs_slack_s;
+                if cur > bound {
+                    v.push(format!(
+                        "`{path}`: {cur}s exceeds {bound:.4}s \
+                         (baseline {base}s x {} + {}s slack)",
+                        tol.time_factor, tol.abs_slack_s
+                    ));
+                }
+            }
+        }
+    }
+    // Counters are deterministic outputs of the (bit-identical) engines:
+    // every baseline counter must reappear unchanged. Extra counters in
+    // `current` are fine — new instrumentation is not a regression.
+    if obs_enabled(current) && obs_enabled(baseline) {
+        if let Some(base_counters) = baseline.get("counters").and_then(Json::as_obj) {
+            for (name, base_val) in base_counters {
+                let cur_val = current
+                    .get("counters")
+                    .and_then(|cs| cs.get(name))
+                    .and_then(Json::as_f64);
+                let base_val = base_val.as_f64();
+                if cur_val != base_val {
+                    v.push(format!(
+                        "counter `{name}`: {cur_val:?} != baseline {base_val:?}"
+                    ));
+                }
+            }
+        }
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sim_doc(sim_s: f64, broadcasts: u64, counter_broadcasts: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "bench": "x", "p_factor": 6, "rho": 140.0, "seed": 2005,
+                "nodes": 5040, "adjacency_bytes": 100, "degree_min": 1,
+                "degree_mean": 2.5, "degree_max": 9, "phases": 10,
+                "reachability": 0.999, "broadcasts": {broadcasts},
+                "deliveries": 7, "collisions": 3,
+                "sample_s": 0.01, "topology_build_s": 0.02,
+                "sim_s": {sim_s}, "sim_warm_s": {sim_s},
+                "obs_enabled": true,
+                "counters": {{"sim.broadcasts": {counter_broadcasts},
+                              "sim.deliveries": 7, "sim.collisions": 3}},
+                "histograms": {{"sim.phase.seconds":
+                  {{"count": 10, "min": 0.001, "p50": 0.002, "p90": 0.003,
+                    "p99": 0.004, "max": 0.005}}}}
+            }}"#
+        ))
+        .expect("valid test doc")
+    }
+
+    #[test]
+    fn sanity_accepts_consistent_sim_artifact() {
+        assert_eq!(sanity(&sim_doc(0.5, 42, 42)), Vec::<String>::new());
+    }
+
+    #[test]
+    fn sanity_catches_double_counted_counters() {
+        let violations = sanity(&sim_doc(0.5, 42, 84));
+        assert!(
+            violations.iter().any(|v| v.contains("sim.broadcasts")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn sanity_catches_unordered_quantiles() {
+        let mut doc = sim_doc(0.5, 42, 42);
+        if let Json::Obj(fields) = &mut doc {
+            let hists = fields
+                .iter_mut()
+                .find(|(k, _)| k == "histograms")
+                .map(|(_, v)| v)
+                .expect("histograms");
+            *hists = Json::parse(
+                r#"{"h": {"count": 2, "min": 0.5, "p50": 0.4, "p90": 0.6,
+                          "p99": 0.7, "max": 1.0}}"#,
+            )
+            .expect("valid");
+        }
+        let violations = sanity(&doc);
+        assert!(
+            violations.iter().any(|v| v.contains("not ordered")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn diff_passes_identical_artifacts() {
+        let doc = sim_doc(0.5, 42, 42);
+        assert_eq!(
+            diff(&doc, &doc, &Tolerance::default()),
+            Vec::<String>::new()
+        );
+    }
+
+    #[test]
+    fn diff_flags_deterministic_drift_exactly() {
+        let current = sim_doc(0.5, 43, 43);
+        let baseline = sim_doc(0.5, 42, 42);
+        let violations = diff(&current, &baseline, &Tolerance::default());
+        assert!(
+            violations.iter().any(|v| v.contains("`broadcasts`")),
+            "{violations:?}"
+        );
+        // The drifted counter is reported too.
+        assert!(
+            violations.iter().any(|v| v.contains("sim.broadcasts")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn diff_timing_respects_factor_and_slack() {
+        let tol = Tolerance {
+            time_factor: 2.0,
+            abs_slack_s: 0.1,
+        };
+        let baseline = sim_doc(1.0, 42, 42);
+        // 1.0 * 2.0 + 0.1 = 2.1: within.
+        assert_eq!(
+            diff(&sim_doc(2.1, 42, 42), &baseline, &tol),
+            Vec::<String>::new()
+        );
+        // Above the bound: flagged, and only on timing fields.
+        let violations = diff(&sim_doc(2.2, 42, 42), &baseline, &tol);
+        assert!(
+            violations.iter().any(|v| v.contains("`sim_s`")),
+            "{violations:?}"
+        );
+        assert!(violations.iter().all(|v| !v.contains("broadcasts")));
+    }
+
+    #[test]
+    fn diff_rejects_kind_mismatch_and_missing_fields() {
+        let sweep = Json::parse(r#"{"sweep": "x", "cells": 700}"#).expect("valid");
+        let sim = sim_doc(0.5, 42, 42);
+        assert!(!diff(&sim, &sweep, &Tolerance::default()).is_empty());
+        // Same kind but truncated baseline: every missing field reported.
+        let violations = diff(&sweep, &sweep, &Tolerance::default());
+        assert!(
+            violations
+                .iter()
+                .any(|v| v.contains("kernel_cache/kernels")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn sweep_sanity_checks_identity_and_speedup() {
+        let good = Json::parse(
+            r#"{"sweep": "x", "cells": 700, "bitwise_identical": true,
+                "speedup_seq": 5.0, "obs_enabled": false}"#,
+        )
+        .expect("valid");
+        assert_eq!(sanity(&good), Vec::<String>::new());
+        let bad = Json::parse(
+            r#"{"sweep": "x", "cells": 700, "bitwise_identical": false,
+                "speedup_seq": 1.2, "obs_enabled": false}"#,
+        )
+        .expect("valid");
+        let violations = sanity(&bad);
+        assert_eq!(violations.len(), 2, "{violations:?}");
+    }
+}

@@ -1,4 +1,7 @@
-//! Shared fixtures for the nss benchmark suite.
+//! Shared fixtures for the nss benchmark suite, plus the [`check`]
+//! regression-gate logic behind the `bench_check` binary.
+
+pub mod check;
 
 use nss_analysis::ring_model::RingModelConfig;
 use nss_model::deployment::Deployment;

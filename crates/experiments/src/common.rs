@@ -59,6 +59,10 @@ pub struct Ctx {
     /// Fault scenario applied to every simulated sweep (`--faults SPEC`);
     /// the empty plan reproduces the fault-free figures bit-for-bit.
     pub faults: FaultPlan,
+    /// Live `/metrics` scrape endpoint for the run (`--metrics-addr`).
+    pub metrics_addr: Option<String>,
+    /// Flight-recorder dump path (`--trace-out`, Chrome `trace_event` JSON).
+    pub trace_out: Option<PathBuf>,
     /// Every artifact written this run (shared across clones so the final
     /// manifest sees all of them).
     artifacts: Arc<Mutex<Vec<PathBuf>>>,
@@ -76,6 +80,8 @@ impl Ctx {
             threads: 0,
             seed: 2005,
             faults: FaultPlan::none(),
+            metrics_addr: None,
+            trace_out: None,
             artifacts: Arc::new(Mutex::new(Vec::new())),
             state: Arc::new(Mutex::new(SharedState {
                 analysis: None,

@@ -11,7 +11,10 @@
 //! Commands are [`figures::Figure`] registry entries (`repro list` prints
 //! them) plus the groups `analysis`, `sim`, `ext`, `misc`, and `all`.
 //! Options: `--fast` (smoke-scale), `--out DIR`, `--runs N`, `--threads N`,
-//! `--seed S`, `--faults SPEC` (e.g. `"loss=0.2,dead=0.1"`).
+//! `--seed S`, `--faults SPEC` (e.g. `"loss=0.2,dead=0.1"`),
+//! `--metrics-addr HOST:PORT` (live `/metrics` scrapes for the run's
+//! duration), `--trace-out FILE` (flight-recorder dump, Chrome
+//! `trace_event` JSON). The last two carry data only with `--features obs`.
 
 #![allow(clippy::needless_range_loop)] // tabular row/column code reads better indexed
 
@@ -64,6 +67,25 @@ fn main() {
         }
     };
 
+    // Live telemetry endpoint for the duration of the run; a bind failure
+    // is a usage error (bad HOST:PORT or port taken), not a panic.
+    let metrics_server = match &ctx.metrics_addr {
+        Some(addr) => match nss_obs::serve::MetricsServer::start(addr.as_str()) {
+            Ok(server) => {
+                if !nss_obs::enabled() {
+                    eprintln!("note: built without --features obs; /metrics will be empty");
+                }
+                eprintln!("serving /metrics on http://{}/metrics", server.addr());
+                Some(server)
+            }
+            Err(e) => {
+                eprintln!("error: --metrics-addr {addr}: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => None,
+    };
+
     let started = Instant::now();
     nss_obs::status!(
         "repro: {} (fast={}, runs={}, seed={}{})",
@@ -87,6 +109,19 @@ fn main() {
     }
 
     write_run_records(&ctx, &selected, started.elapsed().as_secs_f64());
+
+    if let Some(path) = &ctx.trace_out {
+        match nss_obs::trace::write_chrome_trace(path) {
+            Ok(()) => nss_obs::status!("  wrote {} (chrome://tracing format)", path.display()),
+            Err(e) => {
+                eprintln!("error: --trace-out {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if let Some(mut server) = metrics_server {
+        server.shutdown();
+    }
     nss_obs::status!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
 }
 
@@ -125,6 +160,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Ctx, Vec<String>), 
                 let v = args.next().ok_or("--faults needs a spec string")?;
                 ctx.faults =
                     FaultPlan::parse_spec(&v).map_err(|e| format!("--faults spec '{v}': {e}"))?;
+            }
+            "--metrics-addr" => {
+                ctx.metrics_addr = Some(args.next().ok_or("--metrics-addr needs HOST:PORT")?);
+            }
+            "--trace-out" => {
+                ctx.trace_out = Some(args.next().ok_or("--trace-out needs a file path")?.into());
             }
             "--help" | "-h" => {
                 print_usage();
@@ -208,7 +249,7 @@ fn print_list() {
 fn print_usage() {
     println!(
         "usage: repro [--fast] [--quiet] [--out DIR] [--runs N] [--threads N] [--seed S]\n             \
-         [--faults SPEC] COMMAND...\n\
+         [--faults SPEC] [--metrics-addr HOST:PORT] [--trace-out FILE] COMMAND...\n\
          commands:\n  \
          list                     print every registered figure\n  \
          fig4 fig5 fig6 fig7      analytical figures (ring model)\n  \

@@ -8,3 +8,10 @@ pub fn record(n: u64) {
 pub fn record_timing(seconds: f64) {
     nss_obs::observe!("sim.step_seconds", seconds);
 }
+
+pub fn hot_loop_uses_flight_recorder(phases: u64, mem_bytes: f64) {
+    nss_obs::gauge!("sim.mem.bytes").set(mem_bytes);
+    for _phase in 0..phases {
+        let _t = nss_obs::trace_span!("sim.phase");
+    }
+}

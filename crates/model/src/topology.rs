@@ -46,6 +46,63 @@ fn check_adjacency_len(total: u64) -> Result<(), ConfigError> {
     Ok(())
 }
 
+/// Telemetry hook for one sharded CSR-build pass. With live
+/// instrumentation (`obs` feature), [`BuildStage::finish`] publishes a
+/// flight-recorder event spanning the pass, each chunk's wall time into
+/// the `<stage>.shard.seconds` histogram, and the max/mean chunk-time
+/// ratio into the `<stage>.imbalance` gauge; without it, every method
+/// const-folds to nothing and the build is byte-for-byte the
+/// uninstrumented one.
+struct BuildStage {
+    stage: &'static str,
+    start_ns: u64,
+}
+
+impl BuildStage {
+    fn start(stage: &'static str) -> Self {
+        BuildStage {
+            stage,
+            start_ns: Self::clock(),
+        }
+    }
+
+    /// Nanoseconds on the recorder clock (0 when instrumentation is off).
+    #[inline]
+    fn clock() -> u64 {
+        if nss_obs::enabled() {
+            nss_obs::trace::now_ns()
+        } else {
+            0
+        }
+    }
+
+    fn finish(self, chunk_ns: &[u64]) {
+        if !nss_obs::enabled() || chunk_ns.is_empty() {
+            return;
+        }
+        let end_ns = nss_obs::trace::now_ns();
+        nss_obs::trace::record(
+            nss_obs::trace::intern(self.stage),
+            self.start_ns,
+            end_ns.saturating_sub(self.start_ns),
+        );
+        let reg = nss_obs::registry::Registry::global();
+        let hist = reg.histogram(&format!("{}.shard.seconds", self.stage));
+        let mut max_ns = 0u64;
+        let mut sum_ns = 0u64;
+        for &d in chunk_ns {
+            hist.record(d as f64 * 1e-9);
+            max_ns = max_ns.max(d);
+            sum_ns += d;
+        }
+        let mean_ns = sum_ns as f64 / chunk_ns.len() as f64;
+        if mean_ns > 0.0 {
+            reg.gauge(&format!("{}.imbalance", self.stage))
+                .set(max_ns as f64 / mean_ns);
+        }
+    }
+}
+
 /// Immutable unit-disk topology built from a [`DeployedNetwork`].
 #[derive(Debug, Clone)]
 pub struct Topology {
@@ -111,16 +168,33 @@ impl Topology {
                 *d = deg;
             }
         };
-        if nworkers <= 1 {
+        let pass1 = BuildStage::start("topo.count");
+        let durs: Vec<u64> = if nworkers <= 1 {
+            let t0 = BuildStage::clock();
             count_range(0, &mut degrees);
+            vec![BuildStage::clock().saturating_sub(t0)]
         } else {
             std::thread::scope(|scope| {
-                for (ci, out) in degrees.chunks_mut(chunk).enumerate() {
-                    let count_range = &count_range;
-                    scope.spawn(move || count_range(ci * chunk, out));
-                }
-            });
-        }
+                let handles: Vec<_> = degrees
+                    .chunks_mut(chunk)
+                    .enumerate()
+                    .map(|(ci, out)| {
+                        let count_range = &count_range;
+                        scope.spawn(move || {
+                            let t0 = BuildStage::clock();
+                            count_range(ci * chunk, out);
+                            BuildStage::clock().saturating_sub(t0)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    // nss-lint: allow(panic-hygiene) — a panicking builder worker leaves the CSR half-filled; propagating is the only sound option
+                    .map(|h| h.join().expect("CSR count worker panicked"))
+                    .collect()
+            })
+        };
+        pass1.finish(&durs);
 
         // Prefix-sum the degrees into CSR row offsets, guarding overflow.
         let mut starts = Vec::with_capacity(n + 1);
@@ -152,10 +226,14 @@ impl Topology {
                 out[row_lo..cur].sort_unstable();
             }
         };
-        if nworkers <= 1 {
+        let pass2 = BuildStage::start("topo.fill");
+        let durs: Vec<u64> = if nworkers <= 1 {
+            let t0 = BuildStage::clock();
             fill_range(0, n, &mut adj);
+            vec![BuildStage::clock().saturating_sub(t0)]
         } else {
             std::thread::scope(|scope| {
+                let mut handles = Vec::new();
                 let mut rest: &mut [u32] = &mut adj;
                 let mut consumed = 0usize;
                 let mut lo = 0usize;
@@ -164,21 +242,35 @@ impl Topology {
                     let end = starts[hi] as usize;
                     let (slice, tail) = rest.split_at_mut(end - consumed);
                     let fill_range = &fill_range;
-                    scope.spawn(move || fill_range(lo, hi, slice));
+                    handles.push(scope.spawn(move || {
+                        let t0 = BuildStage::clock();
+                        fill_range(lo, hi, slice);
+                        BuildStage::clock().saturating_sub(t0)
+                    }));
                     rest = tail;
                     consumed = end;
                     lo = hi;
                 }
-            });
-        }
+                handles
+                    .into_iter()
+                    // nss-lint: allow(panic-hygiene) — a panicking builder worker leaves the CSR half-filled; propagating is the only sound option
+                    .map(|h| h.join().expect("CSR fill worker panicked"))
+                    .collect()
+            })
+        };
+        pass2.finish(&durs);
 
-        Ok(Topology {
+        let topo = Topology {
             positions,
             comm_radius: r,
             starts,
             adj,
             index,
-        })
+        };
+        // Footprint gauge: the CSR arrays dominate resident memory at
+        // scale; a live scrape during a million-node build shows the jump.
+        nss_obs::gauge!("topo.adjacency.bytes").set(topo.adjacency_bytes() as f64);
+        Ok(topo)
     }
 
     /// Bytes held by the CSR adjacency (offsets + neighbor ids) — the

@@ -50,9 +50,12 @@
 
 pub mod console;
 pub mod export;
+pub mod jsonval;
 pub mod manifest;
 pub mod registry;
+pub mod serve;
 pub mod span;
+pub mod trace;
 
 /// True iff this build carries live instrumentation (`enabled` feature).
 ///
@@ -110,6 +113,65 @@ macro_rules! observe {
     }};
 }
 
+/// Interns (once) and returns the `&'static` [`registry::Gauge`] with the
+/// given name. Disabled builds get a no-op handle with the same API.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        static __NSS_OBS_GAUGE: ::std::sync::OnceLock<&'static $crate::registry::Gauge> =
+            ::std::sync::OnceLock::new();
+        *__NSS_OBS_GAUGE.get_or_init(|| $crate::registry::Registry::global().gauge($name))
+    }};
+}
+
+/// Disabled: a shared no-op gauge; the name expression is not evaluated.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! gauge {
+    ($name:expr) => {{
+        let _ = || $name;
+        &$crate::registry::NOOP_GAUGE
+    }};
+}
+
+/// Starts an RAII [`trace::TraceSpan`]: on drop it records wall time into
+/// the histogram `<name>.seconds` **and** pushes a structured event into
+/// the bounded lock-free flight recorder ([`trace`]), from which
+/// `--trace-out` dumps a Chrome `trace_event` JSON timeline.
+///
+/// This is the hot-loop-safe span: recording is a handful of relaxed
+/// stores into a per-thread ring, no locking, no allocation, bounded
+/// memory. Use it (not [`span!`]) inside per-phase/per-shard loops —
+/// `nss-lint`'s feature-hygiene rule enforces exactly that in the hot-path
+/// crates.
+#[cfg(feature = "enabled")]
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {{
+        static __NSS_OBS_TRACE: ::std::sync::OnceLock<(&'static $crate::registry::Histogram, u32)> =
+            ::std::sync::OnceLock::new();
+        let (hist, id) = *__NSS_OBS_TRACE.get_or_init(|| {
+            (
+                $crate::registry::Registry::global()
+                    .histogram(&::std::format!("{}.seconds", $name)),
+                $crate::trace::intern($name),
+            )
+        });
+        $crate::trace::TraceSpan::start(hist, id)
+    }};
+}
+
+/// Disabled: a zero-sized guard; the name expression is not evaluated.
+#[cfg(not(feature = "enabled"))]
+#[macro_export]
+macro_rules! trace_span {
+    ($name:expr) => {{
+        let _ = || $name;
+        $crate::span::NoopSpan
+    }};
+}
+
 /// Starts an RAII [`span::SpanTimer`]; on drop it records wall time into
 /// the histogram `<name>.seconds` and appends to the span event sink.
 /// Bind it (`let _span = span!("x");`) — an unbound temporary drops
@@ -164,7 +226,9 @@ mod tests {
         crate::counter!("lib.test.counter").add(2);
         crate::observe!("lib.test.hist", 1.5);
         crate::set_label!("lib.test.label", 42);
+        crate::gauge!("lib.test.gauge").set(3.5);
         let _span = crate::span!("lib.test.span");
+        let _tspan = crate::trace_span!("lib.test.trace_span");
         #[cfg(feature = "enabled")]
         {
             let reg = crate::registry::Registry::global();

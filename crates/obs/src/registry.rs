@@ -50,9 +50,70 @@ impl Counter {
     }
 }
 
+/// A last-value-wins gauge holding an `f64` (stored as bits in an atomic).
+///
+/// Gauges report *levels* — memory footprints, load-imbalance ratios —
+/// where only the most recent value is meaningful, unlike the
+/// monotonically accumulating [`Counter`].
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Gauge {
+    /// Creates a gauge reading 0.
+    pub const fn new() -> Self {
+        Gauge {
+            bits: AtomicU64::new(0),
+        }
+    }
+
+    /// Sets the current value (relaxed; gauges are statistical).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 until first set — note `0f64.to_bits() == 0`).
+    #[inline]
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
 /// The shared no-op counter handle returned by [`crate::counter!`] in
 /// disabled builds. Same API as [`Counter`], zero behavior.
 pub static NOOP_COUNTER: NoopCounter = NoopCounter;
+
+/// The shared no-op gauge handle returned by [`crate::gauge!`] in disabled
+/// builds. Same API as [`Gauge`], zero behavior.
+pub static NOOP_GAUGE: NoopGauge = NoopGauge;
+
+/// Zero-sized stand-in for [`Gauge`] when instrumentation is off.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopGauge;
+
+impl NoopGauge {
+    /// Does nothing.
+    #[inline(always)]
+    pub fn set(&self, _v: f64) {}
+
+    /// Always zero.
+    #[inline(always)]
+    pub fn get(&self) -> f64 {
+        0.0
+    }
+}
 
 /// Zero-sized stand-in for [`Counter`] when instrumentation is off.
 #[derive(Debug, Clone, Copy, Default)]
@@ -222,12 +283,147 @@ impl HistogramSnapshot {
             self.sum / self.count as f64
         }
     }
+
+    /// Estimated `q`-quantile (`0 < q ≤ 1`) by linear interpolation within
+    /// the fixed power-of-two buckets, Prometheus `histogram_quantile`
+    /// style. `None` when the histogram is empty or `q` is out of range.
+    ///
+    /// The estimate is clamped to the observed `[min, max]` when those are
+    /// known, so coarse buckets can never report a quantile outside the
+    /// data. Observations landing in the +∞ overflow bucket interpolate to
+    /// the largest finite bound (or `max` when recorded).
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(q > 0.0 && q <= 1.0) {
+            return None;
+        }
+        let rank = q * self.count as f64;
+        let mut cum = 0u64;
+        let mut estimate = None;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if (next as f64) >= rank {
+                let hi = if i < HISTOGRAM_BUCKETS {
+                    bucket_bound(i)
+                } else {
+                    // Overflow bucket: no finite upper edge to interpolate
+                    // toward; report its lower edge (clamped to max below).
+                    bucket_bound(HISTOGRAM_BUCKETS - 1)
+                };
+                let lo = if i == 0 { 0.0 } else { bucket_bound(i - 1) };
+                let frac = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                estimate = Some(lo + frac * (hi - lo));
+                break;
+            }
+            cum = next;
+        }
+        let mut v = estimate?;
+        if let Some(min) = self.min {
+            v = v.max(min);
+        }
+        if let Some(max) = self.max {
+            v = v.min(max);
+        }
+        Some(v)
+    }
+
+    /// The (p50, p90, p99) triple most reports want.
+    pub fn percentiles(&self) -> (Option<f64>, Option<f64>, Option<f64>) {
+        (self.quantile(0.5), self.quantile(0.9), self.quantile(0.99))
+    }
+
+    /// Subtracts an earlier snapshot of the *same* histogram, yielding the
+    /// observations recorded in between. `min`/`max` cannot be windowed
+    /// retroactively, so the delta carries the later snapshot's values when
+    /// anything was recorded in the window and `None` otherwise.
+    pub fn delta_since(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        let count = self.count.saturating_sub(earlier.count);
+        HistogramSnapshot {
+            count,
+            sum: if count == 0 {
+                0.0
+            } else {
+                self.sum - earlier.sum
+            },
+            min: if count == 0 { None } else { self.min },
+            max: if count == 0 { None } else { self.max },
+            buckets: self
+                .buckets
+                .iter()
+                .zip(earlier.buckets.iter().chain(std::iter::repeat(&0)))
+                .map(|(&a, &b)| a.saturating_sub(b))
+                .collect(),
+        }
+    }
+}
+
+/// A point-in-time copy of an entire [`Registry`] — every counter, gauge,
+/// histogram, and label — taken with [`Registry::snapshot`].
+///
+/// Snapshots subtract: [`RegistrySnapshot::delta_since`] yields only what
+/// was recorded between two snapshots, which is how reports isolate a
+/// measured run from warm-up traffic sharing the same process registry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegistrySnapshot {
+    /// Sorted `(name, value)` counters.
+    pub counters: Vec<(String, u64)>,
+    /// Sorted `(name, value)` gauges (point-in-time levels).
+    pub gauges: Vec<(String, f64)>,
+    /// Sorted `(name, snapshot)` histograms.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+    /// Sorted `(key, value)` labels.
+    pub labels: Vec<(String, String)>,
+}
+
+impl RegistrySnapshot {
+    /// The metrics recorded since `earlier` (counters and histogram
+    /// aggregates subtract; gauges and labels are levels, so the later
+    /// value is kept). Metrics that did not exist at `earlier` delta
+    /// against zero.
+    pub fn delta_since(&self, earlier: &RegistrySnapshot) -> RegistrySnapshot {
+        let base_counter = |name: &str| -> u64 {
+            earlier
+                .counters
+                .binary_search_by(|(k, _)| k.as_str().cmp(name))
+                .map_or(0, |i| earlier.counters[i].1)
+        };
+        let empty = HistogramSnapshot {
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+            buckets: Vec::new(),
+        };
+        RegistrySnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.saturating_sub(base_counter(k))))
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| {
+                    let base = earlier
+                        .histograms
+                        .binary_search_by(|(n, _)| n.as_str().cmp(k))
+                        .map_or(&empty, |i| &earlier.histograms[i].1);
+                    (k.clone(), h.delta_since(base))
+                })
+                .collect(),
+            labels: self.labels.clone(),
+        }
+    }
 }
 
 /// The process-global metric registry.
 #[derive(Debug, Default)]
 pub struct Registry {
     counters: Mutex<BTreeMap<String, &'static Counter>>,
+    gauges: Mutex<BTreeMap<String, &'static Gauge>>,
     histograms: Mutex<BTreeMap<String, &'static Histogram>>,
     labels: Mutex<BTreeMap<String, String>>,
 }
@@ -256,6 +452,20 @@ impl Registry {
         let c: &'static Counter = Box::leak(Box::new(Counter::new()));
         map.insert(name.to_string(), c);
         c
+    }
+
+    /// Interns (on first use) and returns the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> &'static Gauge {
+        let mut map = self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(g) = map.get(name) {
+            return g;
+        }
+        let g: &'static Gauge = Box::leak(Box::new(Gauge::new()));
+        map.insert(name.to_string(), g);
+        g
     }
 
     /// Interns (on first use) and returns the histogram named `name`.
@@ -290,6 +500,27 @@ impl Registry {
             .collect()
     }
 
+    /// Sorted `(name, value)` snapshot of every registered gauge.
+    pub fn gauges_snapshot(&self) -> Vec<(String, f64)> {
+        self.gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .iter()
+            .map(|(k, g)| (k.clone(), g.get()))
+            .collect()
+    }
+
+    /// A full point-in-time [`RegistrySnapshot`] — the unit the delta API
+    /// ([`RegistrySnapshot::delta_since`]) works over.
+    pub fn snapshot(&self) -> RegistrySnapshot {
+        RegistrySnapshot {
+            counters: self.counters_snapshot(),
+            gauges: self.gauges_snapshot(),
+            histograms: self.histograms_snapshot(),
+            labels: self.labels_snapshot(),
+        }
+    }
+
     /// Sorted `(name, snapshot)` of every registered histogram.
     pub fn histograms_snapshot(&self) -> Vec<(String, HistogramSnapshot)> {
         self.histograms
@@ -321,6 +552,14 @@ impl Registry {
             .values()
         {
             c.reset();
+        }
+        for g in self
+            .gauges
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .values()
+        {
+            g.reset();
         }
         for h in self
             .histograms
@@ -418,6 +657,93 @@ mod tests {
         assert_eq!(reg.counters_snapshot(), vec![("a".into(), 0)]);
         assert_eq!(reg.histograms_snapshot()[0].1.count, 0);
         assert!(reg.labels_snapshot().is_empty());
+    }
+
+    #[test]
+    fn gauge_is_last_value_wins() {
+        let reg = Registry::default();
+        let g = reg.gauge("mem.bytes");
+        assert_eq!(g.get(), 0.0);
+        g.set(1024.0);
+        g.set(2048.0);
+        assert_eq!(reg.gauge("mem.bytes").get(), 2048.0);
+        assert_eq!(reg.gauges_snapshot(), vec![("mem.bytes".into(), 2048.0)]);
+        reg.reset();
+        assert_eq!(reg.gauge("mem.bytes").get(), 0.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let h = Histogram::new();
+        // 100 observations spread uniformly inside the (0.5, 1.0] bucket.
+        for i in 0..100 {
+            h.record(0.5 + 0.005 * (i as f64 + 0.5));
+        }
+        let s = h.snapshot();
+        let p50 = s.quantile(0.5).expect("non-empty");
+        let p90 = s.quantile(0.9).expect("non-empty");
+        let p99 = s.quantile(0.99).expect("non-empty");
+        // Linear interpolation inside one bucket tracks the uniform data.
+        assert!((p50 - 0.75).abs() < 0.01, "p50 = {p50}");
+        assert!((p90 - 0.95).abs() < 0.01, "p90 = {p90}");
+        assert!(p99 > p90 && p90 > p50);
+        // Quantiles never leave the observed range.
+        assert!(p99 <= s.max.expect("max recorded"));
+        assert!(s.quantile(0.001).expect("ok") >= s.min.expect("min"));
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::new();
+        assert_eq!(h.snapshot().quantile(0.5), None);
+        h.record(3.0);
+        let s = h.snapshot();
+        // One observation: every quantile collapses to it (via clamping).
+        assert_eq!(s.quantile(0.5), Some(3.0));
+        assert_eq!(s.quantile(0.99), Some(3.0));
+        assert_eq!(s.quantile(0.0), None);
+        assert_eq!(s.quantile(1.5), None);
+        // Overflow-bucket observations clamp to the recorded max.
+        let h = Histogram::new();
+        h.record(1e12);
+        assert_eq!(h.snapshot().quantile(0.9), Some(1e12));
+    }
+
+    #[test]
+    fn registry_snapshot_delta_isolates_a_window() {
+        let reg = Registry::default();
+        reg.counter("c").add(10);
+        reg.histogram("h").record(1.0);
+        reg.gauge("g").set(7.0);
+        let before = reg.snapshot();
+        reg.counter("c").add(5);
+        reg.counter("new").add(2);
+        reg.histogram("h").record(2.0);
+        reg.gauge("g").set(9.0);
+        let delta = reg.snapshot().delta_since(&before);
+        let counters: std::collections::BTreeMap<_, _> = delta.counters.into_iter().collect();
+        assert_eq!(counters["c"], 5);
+        assert_eq!(counters["new"], 2);
+        let (_, h) = &delta.histograms[0];
+        assert_eq!(h.count, 1);
+        assert!((h.sum - 2.0).abs() < 1e-12);
+        assert_eq!(h.max, Some(2.0)); // later snapshot's max, documented caveat
+        assert_eq!(h.buckets.iter().sum::<u64>(), 1);
+        // Gauges are levels: the delta carries the later reading.
+        assert_eq!(delta.gauges, vec![("g".into(), 9.0)]);
+    }
+
+    #[test]
+    fn histogram_delta_of_identical_snapshots_is_empty() {
+        let h = Histogram::new();
+        h.record(0.5);
+        let s = h.snapshot();
+        let d = s.delta_since(&s);
+        assert_eq!(d.count, 0);
+        assert_eq!(d.sum, 0.0);
+        assert_eq!(d.min, None);
+        assert_eq!(d.max, None);
+        assert!(d.buckets.iter().all(|&b| b == 0));
     }
 
     #[test]

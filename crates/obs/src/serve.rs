@@ -1,0 +1,284 @@
+//! `nss-obs::serve` — a dependency-free Prometheus scrape endpoint.
+//!
+//! A [`MetricsServer`] binds a [`std::net::TcpListener`] on a background
+//! thread and answers three routes from the **global** metric registry:
+//!
+//! | route           | content                                          |
+//! |-----------------|--------------------------------------------------|
+//! | `/metrics`      | Prometheus text exposition ([`crate::export::prometheus`]) |
+//! | `/metrics.json` | the JSON dump ([`crate::export::json`])          |
+//! | `/healthz`      | `ok` (liveness)                                  |
+//!
+//! Start it with `repro --metrics-addr 127.0.0.1:9187` (or from
+//! `bench_sim`) and point a Prometheus scraper — or `curl` — at it while
+//! a sweep runs. Scrapes are snapshots of live atomics: they never pause
+//! or perturb the instrumented hot paths.
+//!
+//! The server is intentionally minimal: HTTP/1.0-style one-shot
+//! connections, GET/HEAD only, one request per connection, connections
+//! served sequentially on the accept thread (scrape traffic is one
+//! request every few seconds — a thread pool would be pure ceremony).
+//! Shutdown is graceful: [`MetricsServer::shutdown`] (also invoked on
+//! drop) flags the accept loop and unblocks it with a loopback
+//! connection, then joins the thread.
+//!
+//! This module is the architectural seed for the ROADMAP's `nss-serve`
+//! query service: same no-deps listener discipline, same exporters.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Per-connection read/write timeout — a stuck scraper must not wedge the
+/// accept loop.
+const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// A running scrape server; shuts down gracefully on [`shutdown`]
+/// (explicit) or drop.
+///
+/// [`shutdown`]: MetricsServer::shutdown
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `"127.0.0.1:9187"`; port 0 picks a free port —
+    /// read it back with [`MetricsServer::addr`]) and starts serving.
+    pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let thread_stop = Arc::clone(&stop);
+        let handle = std::thread::Builder::new()
+            .name("nss-obs-serve".into())
+            .spawn(move || accept_loop(&listener, &thread_stop))?;
+        Ok(MetricsServer {
+            addr: local,
+            stop,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops accepting, unblocks the accept loop, and joins the serving
+    /// thread. Idempotent; also called on drop.
+    pub fn shutdown(&mut self) {
+        if self.handle.is_none() {
+            return;
+        }
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
+    for stream in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = stream else { continue };
+        // Serve inline: scrapes are rare and the handler only formats a
+        // registry snapshot. Errors (hangups, timeouts) drop the
+        // connection and keep the loop alive.
+        let _ = handle_connection(stream);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+
+    // Read until the end of the request head (or a sanity cap).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            break;
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+
+    let (status, content_type, body) = match (method, path) {
+        ("GET" | "HEAD", "/metrics") => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            crate::export::prometheus(crate::registry::Registry::global()),
+        ),
+        ("GET" | "HEAD", "/metrics.json") => (
+            "200 OK",
+            "application/json",
+            crate::export::json(crate::registry::Registry::global()),
+        ),
+        ("GET" | "HEAD", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
+        ("GET" | "HEAD", _) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            "not found; try /metrics, /metrics.json, /healthz\n".into(),
+        ),
+        _ => (
+            "405 Method Not Allowed",
+            "text/plain; charset=utf-8",
+            "GET only\n".into(),
+        ),
+    };
+
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
+         Content-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    if method != "HEAD" {
+        response.push_str(&body);
+    }
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Minimal test/smoke client: GETs `path` from `addr` and returns
+/// `(status_code, body)`.
+pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect_timeout(&addr, IO_TIMEOUT)?;
+    stream.set_read_timeout(Some(IO_TIMEOUT))?;
+    stream.set_write_timeout(Some(IO_TIMEOUT))?;
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\n\r\n"
+    )?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn start_local() -> MetricsServer {
+        MetricsServer::start("127.0.0.1:0").expect("bind loopback")
+    }
+
+    #[test]
+    fn healthz_and_unknown_routes() {
+        let server = start_local();
+        let (status, body) = http_get(server.addr(), "/healthz").expect("scrape");
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = http_get(server.addr(), "/nope").expect("scrape");
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_routes_serve_both_formats() {
+        // The global registry is process-wide: register through the direct
+        // API so this works in both feature configurations.
+        let reg = crate::registry::Registry::global();
+        reg.counter("serve.test.hits").add(7);
+        reg.histogram("serve.test.seconds").record(0.125);
+        let server = start_local();
+
+        let (status, text) = http_get(server.addr(), "/metrics").expect("scrape");
+        assert_eq!(status, 200);
+        assert!(text.contains("nss_serve_test_hits"), "{text}");
+        assert!(text.contains("# TYPE nss_serve_test_hits counter"));
+
+        let (status, json) = http_get(server.addr(), "/metrics.json").expect("scrape");
+        assert_eq!(status, 200);
+        let v = crate::jsonval::Json::parse(&json).expect("valid JSON body");
+        assert!(
+            v.get("counters")
+                .and_then(|c| c.get("serve.test.hits"))
+                .and_then(crate::jsonval::Json::as_f64)
+                .is_some_and(|n| n >= 7.0),
+            "{json}"
+        );
+    }
+
+    #[test]
+    fn scrapes_are_live_while_recording() {
+        let reg = crate::registry::Registry::global();
+        let counter = reg.counter("serve.test.live");
+        let server = start_local();
+        let addr = server.addr();
+        let stop = std::sync::Arc::new(AtomicBool::new(false));
+        let writer_stop = std::sync::Arc::clone(&stop);
+        let writer = std::thread::spawn(move || {
+            while !writer_stop.load(Ordering::Relaxed) {
+                counter.inc();
+            }
+        });
+        let mut last = 0u64;
+        for _ in 0..5 {
+            let (status, text) = http_get(addr, "/metrics").expect("scrape mid-run");
+            assert_eq!(status, 200);
+            let v: u64 = text
+                .lines()
+                .find(|l| l.starts_with("nss_serve_test_live "))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|n| n.parse().ok())
+                .expect("counter line present");
+            assert!(v >= last, "scrapes are monotone: {v} < {last}");
+            last = v;
+        }
+        stop.store(true, Ordering::Relaxed);
+        writer.join().expect("writer thread");
+        assert!(last > 0, "writer made progress during scrapes");
+    }
+
+    #[test]
+    fn shutdown_is_graceful_and_idempotent() {
+        let mut server = start_local();
+        let addr = server.addr();
+        assert_eq!(http_get(addr, "/healthz").expect("alive").0, 200);
+        server.shutdown();
+        server.shutdown(); // idempotent
+                           // The port no longer answers (connect may succeed briefly on some
+                           // platforms' backlog, but a full request must fail).
+        let dead = http_get(addr, "/healthz");
+        assert!(
+            !matches!(dead, Ok((status, _)) if status != 0),
+            "server still answering after shutdown: {dead:?}"
+        );
+    }
+
+    #[test]
+    fn post_is_rejected() {
+        let server = start_local();
+        let mut stream = TcpStream::connect_timeout(&server.addr(), IO_TIMEOUT).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+    }
+}

@@ -116,6 +116,11 @@ impl BitSet {
         &self.words
     }
 
+    /// Heap bytes held by the packed words (memory-footprint telemetry).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<u64>()
+    }
+
     /// Calls `f(i)` for every set bit, ascending.
     pub fn for_each_set(&self, mut f: impl FnMut(usize)) {
         for (wi, &word) in self.words.iter().enumerate() {
@@ -185,6 +190,11 @@ impl AtomicBitSet {
     /// True when the bitset has zero bits.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Heap bytes held by the packed words (memory-footprint telemetry).
+    pub fn bytes(&self) -> usize {
+        self.words.len() * std::mem::size_of::<AtomicU64>()
     }
 
     /// Atomically sets bit `i`; returns `true` iff this call flipped it
@@ -288,6 +298,15 @@ mod tests {
         a.for_each_set_and_not(&bset, |i| seen.push(i));
         let expect: Vec<usize> = (0..130).filter(|i| i % 2 == 0 && i % 4 != 0).collect();
         assert_eq!(seen, expect);
+    }
+
+    #[test]
+    fn bytes_report_packed_footprint() {
+        assert_eq!(BitSet::new(0).bytes(), 0);
+        assert_eq!(BitSet::new(1).bytes(), 8);
+        assert_eq!(BitSet::new(64).bytes(), 8);
+        assert_eq!(BitSet::new(65).bytes(), 16);
+        assert_eq!(AtomicBitSet::new(128).bytes(), 16);
     }
 
     #[test]

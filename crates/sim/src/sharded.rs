@@ -88,7 +88,12 @@ fn resolve_workers(threads: usize, work: usize) -> usize {
 /// Runs `f` over contiguous chunks of `items` on up to `workers` threads
 /// and returns the per-chunk results **in chunk order**, so downstream
 /// merges see the same partial sequence under any actual parallelism.
-fn map_chunks<T, F>(items: &[u32], workers: usize, f: F) -> Vec<T>
+///
+/// `stage` labels this fan-out in the telemetry plane (no-op unless the
+/// `obs` feature is live): one flight-recorder event spanning the call,
+/// each chunk's wall time into the `<stage>.shard.seconds` histogram, and
+/// the max/mean chunk-time ratio into the `<stage>.imbalance` gauge.
+fn map_chunks<T, F>(stage: &'static str, items: &[u32], workers: usize, f: F) -> Vec<T>
 where
     T: Send,
     F: Fn(&[u32]) -> T + Sync,
@@ -97,18 +102,77 @@ where
         return Vec::new();
     }
     let nw = workers.min(items.len());
-    if nw <= 1 {
-        return vec![f(items)];
+    let start_ns = if nss_obs::enabled() {
+        nss_obs::trace::now_ns()
+    } else {
+        0
+    };
+    let timed: Vec<(T, u64)> = if nw <= 1 {
+        vec![timed_chunk(items, &f)]
+    } else {
+        let chunk = items.len().div_ceil(nw);
+        std::thread::scope(|sc| {
+            let handles: Vec<_> = items
+                .chunks(chunk)
+                .map(|c| sc.spawn(|| timed_chunk(c, &f)))
+                .collect();
+            handles
+                .into_iter()
+                // nss-lint: allow(panic-hygiene) — a panicking worker already poisoned the replication; propagating the panic is the only sound option
+                .map(|h| h.join().expect("sharded worker panicked"))
+                .collect()
+        })
+    };
+    if nss_obs::enabled() {
+        record_stage(stage, start_ns, &timed);
     }
-    let chunk = items.len().div_ceil(nw);
-    std::thread::scope(|sc| {
-        let handles: Vec<_> = items.chunks(chunk).map(|c| sc.spawn(|| f(c))).collect();
-        handles
-            .into_iter()
-            // nss-lint: allow(panic-hygiene) — a panicking worker already poisoned the replication; propagating the panic is the only sound option
-            .map(|h| h.join().expect("sharded worker panicked"))
-            .collect()
-    })
+    timed.into_iter().map(|(out, _)| out).collect()
+}
+
+/// Runs `f` on one chunk; with live instrumentation also measures the
+/// chunk's wall time in nanoseconds (0 otherwise — the timing calls
+/// const-fold away in disabled builds).
+#[inline]
+fn timed_chunk<T>(chunk: &[u32], f: &(impl Fn(&[u32]) -> T + Sync)) -> (T, u64) {
+    if !nss_obs::enabled() {
+        return (f(chunk), 0);
+    }
+    let start = nss_obs::trace::now_ns();
+    let out = f(chunk);
+    (out, nss_obs::trace::now_ns().saturating_sub(start))
+}
+
+/// Publishes one sharded stage to the telemetry plane. Runs on the
+/// coordinating replication thread *after* the workers have joined, so the
+/// flight recorder sees one ring per replication — never one per
+/// short-lived scoped worker — and the workers themselves stay
+/// instrumentation-free.
+fn record_stage<T>(stage: &'static str, start_ns: u64, timed: &[(T, u64)]) {
+    if timed.is_empty() {
+        return;
+    }
+    let end_ns = nss_obs::trace::now_ns();
+    nss_obs::trace::record(
+        nss_obs::trace::intern(stage),
+        start_ns,
+        end_ns.saturating_sub(start_ns),
+    );
+    let reg = nss_obs::registry::Registry::global();
+    let shard_hist = reg.histogram(&format!("{stage}.shard.seconds"));
+    let mut max_ns = 0u64;
+    let mut sum_ns = 0u64;
+    for &(_, dur_ns) in timed {
+        shard_hist.record(dur_ns as f64 * 1e-9);
+        max_ns = max_ns.max(dur_ns);
+        sum_ns += dur_ns;
+    }
+    let mean_ns = sum_ns as f64 / timed.len() as f64;
+    if mean_ns > 0.0 {
+        // 1.0 = perfectly balanced shards; the slowest-shard multiple of
+        // the mean is the wall-clock cost of the imbalance.
+        reg.gauge(&format!("{stage}.imbalance"))
+            .set(max_ns as f64 / mean_ns);
+    }
 }
 
 /// Sharded gossip execution; `threads = 0` uses all available cores,
@@ -198,10 +262,21 @@ fn run_sharded_with(
     };
     let mut touched_claim = AtomicBitSet::new(if is_cfm { 0 } else { n });
 
+    // Memory-footprint gauges: protocol bitsets vs. CAM arbitration
+    // scratch, so a scrape of a live million-node run shows where the
+    // resident bytes are.
+    nss_obs::gauge!("sim.bitset.bytes").set((informed.bytes() + touched_claim.bytes()) as f64);
+    nss_obs::gauge!("sim.scratch.bytes").set(
+        ((rx_count.len() + cs_count.len() + last_tx.len()) * std::mem::size_of::<AtomicU32>())
+            as f64,
+    );
+
     for phase in 1..=cfg.max_phases as u32 {
         // Per-phase wall-clock histogram (`sim.phase.seconds`), surfaced in
-        // OBS_METRICS.json and the bench_sim report.
-        let _phase_span = nss_obs::span!("sim.phase");
+        // OBS_METRICS.json and the bench_sim report, plus a flight-recorder
+        // event per phase (this loop runs ~10² times per replication — a
+        // mutex-sinked `span!` here would thrash; see the obs-hygiene lint).
+        let _phase_span = nss_obs::trace_span!("sim.phase");
         if let Some(fs) = fault_state.as_mut() {
             fs.begin_phase(phase);
         }
@@ -215,7 +290,7 @@ fn run_sharded_with(
             let coin_mix = phase_mix(seed, phase, COIN_SALT);
             let slot_mix = phase_mix(seed, phase, SLOT_SALT);
             let fs = fault_state.as_ref();
-            let partials = map_chunks(&pending, workers, |chunk| {
+            let partials = map_chunks("sim.txsel", &pending, workers, |chunk| {
                 let mut local: Vec<Vec<u32>> = vec![Vec::new(); s];
                 for &u in chunk {
                     if let Some(fs) = fs {
@@ -318,7 +393,7 @@ fn resolve_slot_cfm(
     sf: Option<&SlotFaults<'_>>,
     workers: usize,
 ) -> (SlotStats, Vec<u32>) {
-    let partials = map_chunks(txs, workers, |chunk| {
+    let partials = map_chunks("sim.slot.cfm", txs, workers, |chunk| {
         let mut st = SlotStats::default();
         let mut newly: Vec<u32> = Vec::new();
         for &t in chunk {
@@ -367,13 +442,19 @@ fn resolve_slot_cam(
     touched_claim: &AtomicBitSet,
     workers: usize,
 ) -> (SlotStats, Vec<u32>) {
-    // Pass A: accumulate exposure.
-    let touched_parts = map_chunks(txs, workers, |chunk| {
+    // Pass A: accumulate exposure. The per-chunk `lost` tally counts claim
+    // elections this worker lost (bit already set) — the contention the
+    // atomic-claim protocol absorbs; the `enabled()` guards const-fold the
+    // bookkeeping away in uninstrumented builds.
+    let touched_parts = map_chunks("sim.slot.expose", txs, workers, |chunk| {
         let mut touched: Vec<u32> = Vec::new();
+        let mut lost: u64 = 0;
         for &t in chunk {
             for &v in topo.neighbors(NodeId(t)) {
                 if touched_claim.claim(v as usize) {
                     touched.push(v);
+                } else if nss_obs::enabled() {
+                    lost += 1;
                 }
                 rx_count[v as usize].fetch_add(1, Relaxed);
                 last_tx[v as usize].store(t, Relaxed);
@@ -389,18 +470,27 @@ fn resolve_slot_cam(
                     if topo.position(v).dist_sq(&pos) > r2 {
                         if touched_claim.claim(v.index()) {
                             touched.push(v.0);
+                        } else if nss_obs::enabled() {
+                            lost += 1;
                         }
                         cs_count[v.index()].fetch_add(1, Relaxed);
                     }
                 });
             }
         }
-        touched
+        (touched, lost)
     });
-    let touched: Vec<u32> = touched_parts.concat();
+    let mut touched: Vec<u32> = Vec::new();
+    let mut lost_total: u64 = 0;
+    for (mut part, lost) in touched_parts {
+        touched.append(&mut part);
+        lost_total += lost;
+    }
+    nss_obs::counter!("sim.claim.won").add(touched.len() as u64);
+    nss_obs::counter!("sim.claim.contended").add(lost_total);
 
     // Pass B: classify and reset, each receiver owned by one worker.
-    let partials = map_chunks(&touched, workers, |chunk| {
+    let partials = map_chunks("sim.slot.classify", &touched, workers, |chunk| {
         let mut st = SlotStats::default();
         let mut newly: Vec<u32> = Vec::new();
         for &v in chunk {
@@ -635,6 +725,60 @@ mod tests {
         let mut cfg = GossipConfig::pb_cam(0.5);
         cfg.track_success_rate = true;
         let _ = run_gossip_sharded(&topo, &cfg, 0, 2);
+    }
+
+    /// With live instrumentation, a sharded run must leave a coherent
+    /// telemetry footprint: claim elections won/contended, per-stage shard
+    /// timings, imbalance and memory gauges, and flight-recorder events.
+    #[cfg(feature = "obs")]
+    #[test]
+    fn telemetry_footprint_is_coherent() {
+        let reg = nss_obs::registry::Registry::global();
+        let before = reg.snapshot();
+        let topo = Topology::build(&Deployment::disk(5, 1.0, 60.0).sample(21));
+        let t = run_gossip_sharded(&topo, &GossipConfig::flooding_cam(), 17, 4);
+        let delta = reg.snapshot().delta_since(&before);
+        let counter = |name: &str| {
+            delta
+                .counters
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |&(_, v)| v)
+        };
+        let won = counter("sim.claim.won");
+        let contended = counter("sim.claim.contended");
+        // Every delivery/collision/deferral receiver was claimed exactly
+        // once; flooding a dense disk must also lose some elections.
+        assert!(
+            won >= t.total_deliveries() + t.total_collisions(),
+            "won={won}"
+        );
+        assert!(contended > 0, "dense flooding must contend claims");
+        let hist = |name: &str| {
+            delta
+                .histograms
+                .iter()
+                .find(|(k, _)| k == name)
+                .map_or(0, |(_, h)| h.count)
+        };
+        assert!(hist("sim.phase.seconds") > 0, "phase spans missing");
+        assert!(
+            hist("sim.slot.expose.shard.seconds") > 0,
+            "shard timings missing"
+        );
+        for g in ["sim.bitset.bytes", "sim.slot.expose.imbalance"] {
+            assert!(
+                delta.gauges.iter().any(|(k, v)| k == g && *v > 0.0),
+                "gauge {g} missing or zero"
+            );
+        }
+        let (events, _) = nss_obs::trace::events();
+        assert!(
+            events
+                .iter()
+                .any(|e| nss_obs::trace::name_of(e.name_id) == "sim.phase"),
+            "flight recorder saw no sim.phase events"
+        );
     }
 
     #[test]
