@@ -33,7 +33,7 @@
 //! assert!(reach > 0.3 && reach <= 1.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cfm_cost;
 pub mod combinatorics;
@@ -44,6 +44,7 @@ pub mod optimize;
 pub mod quadrature;
 pub mod ring_geometry;
 pub mod ring_model;
+pub mod sharded;
 pub mod survival;
 pub mod sweep;
 pub mod tables;
@@ -57,6 +58,7 @@ pub mod prelude {
     pub use crate::optimize::{refine_golden, Objective, Optimum, ProbabilitySweep};
     pub use crate::ring_geometry::RingGeometry;
     pub use crate::ring_model::{RingModel, RingModelConfig, RingProfile};
+    pub use crate::sharded::{CacheWeight, Fingerprint, ShardedCache, ShardedKernelCache};
     pub use crate::survival::{poisson_extinction, survival_estimate, SurvivalEstimate};
     pub use crate::sweep::DensitySweep;
     pub use crate::tables::{GeometryTables, KernelCache, KernelKey, SharedKernel};

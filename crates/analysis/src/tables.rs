@@ -473,6 +473,21 @@ impl KernelKey {
 /// order, so cache reports are deterministic across runs. Use
 /// [`KernelCache::global`] for the process-wide instance the sweep and
 /// experiment pipelines share.
+///
+/// ```
+/// use nss_analysis::prelude::*;
+/// use nss_analysis::tables::KernelCache;
+///
+/// let cache = KernelCache::new();
+/// let config = RingModelConfig::paper(80.0, 0.3);
+/// let first = cache.get(&config);
+/// // Same (p, s, r, quadrature, μ-mode) ⇒ the same interned tables; ρ and
+/// // the broadcast probability are *not* part of the key.
+/// let again = cache.get(&RingModelConfig::paper(140.0, 0.3));
+/// assert!(std::sync::Arc::ptr_eq(&first, &again));
+/// let (hits, misses) = cache.stats();
+/// assert_eq!((hits, misses), (1, 1));
+/// ```
 #[derive(Debug, Default)]
 pub struct KernelCache {
     map: RwLock<BTreeMap<KernelKey, Arc<SharedKernel>>>,

@@ -1,0 +1,433 @@
+//! Closed-loop load generator for the `nss-serve` query service, written
+//! to `BENCH_serve.json`: starts a [`nss_serve::QueryServer`] in-process,
+//! warms every density in the workload, then drives a deterministic
+//! Zipf-over-ρ query stream from persistent keep-alive connections and
+//! reports throughput, latency quantiles, and cache behavior.
+//!
+//! Figures of merit: warm-cache queries/sec, client-observed p50/p99
+//! latency, and the hit rate over the measured window (which must be all
+//! hits — the warmup pass builds every sweep first, and the artifact
+//! records `measured_builds` so `bench_check` can pin it to zero).
+//!
+//! Usage:
+//!   cargo run --release -p nss-bench --features obs --bin bench_serve \
+//!     [out.json] [--queries 1000000] [--concurrency 8] [--rhos 64] \
+//!     [--zipf-s 1.1] [--seed 2005] [--shards 16] [--cache-bytes 268435456] \
+//!     [--quad-points 64] [--mode full|smoke] [--min-qps 0] [--max-p99-ms 0]
+//!
+//! The query schedule is a pure function of `(seed, concurrency, queries,
+//! rhos, zipf-s)`: thread `t`'s `i`-th query hashes `(seed, t, i)` through
+//! splitmix64 into the Zipf CDF over the ρ grid and cycles through the
+//! four §4.1 metrics. Deterministic fields (`queries`, `errors`,
+//! `warm_builds`, `measured_builds`) therefore diff exactly against the
+//! committed baseline; wall-clock fields use the timing tolerance.
+//!
+//! CI runs the same binary at smoke scale (`--mode smoke` with a small
+//! query count and 32-point quadrature); the JSON schema is identical.
+//! `bench_check` additionally enforces the serving SLO — ≥ 50k qps warm
+//! at p99 < 5 ms — on `--mode full` artifacts.
+
+use nss_obs::jsonval::Json;
+use nss_serve::{QueryServer, ServeConfig};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+struct Args {
+    out: String,
+    queries: u64,
+    concurrency: usize,
+    rhos: usize,
+    zipf_s: f64,
+    seed: u64,
+    shards: usize,
+    cache_bytes: usize,
+    quad_points: usize,
+    mode: String,
+    min_qps: f64,
+    max_p99_ms: f64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: "BENCH_serve.json".to_string(),
+        queries: 1_000_000,
+        concurrency: 8,
+        rhos: 64,
+        zipf_s: 1.1,
+        seed: 2005,
+        shards: 16,
+        cache_bytes: 256 << 20,
+        quad_points: 64,
+        mode: "full".to_string(),
+        min_qps: 0.0,
+        max_p99_ms: 0.0,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("bench_serve: {name} requires a value"))
+        };
+        match arg.as_str() {
+            "--queries" => args.queries = value("--queries").parse().expect("integer count"),
+            "--concurrency" => {
+                args.concurrency = value("--concurrency").parse().expect("integer count");
+            }
+            "--rhos" => args.rhos = value("--rhos").parse().expect("integer count"),
+            "--zipf-s" => args.zipf_s = value("--zipf-s").parse().expect("numeric exponent"),
+            "--seed" => args.seed = value("--seed").parse().expect("integer seed"),
+            "--shards" => args.shards = value("--shards").parse().expect("integer count"),
+            "--cache-bytes" => {
+                args.cache_bytes = value("--cache-bytes").parse().expect("integer bytes");
+            }
+            "--quad-points" => {
+                args.quad_points = value("--quad-points").parse().expect("integer count");
+            }
+            "--mode" => args.mode = value("--mode"),
+            "--min-qps" => args.min_qps = value("--min-qps").parse().expect("numeric floor"),
+            "--max-p99-ms" => {
+                args.max_p99_ms = value("--max-p99-ms").parse().expect("numeric ceiling");
+            }
+            other if !other.starts_with("--") => args.out = other.to_string(),
+            other => panic!("bench_serve: unknown flag {other}"),
+        }
+    }
+    assert!(args.concurrency >= 1 && args.rhos >= 1 && args.queries >= 1);
+    assert!(
+        matches!(args.mode.as_str(), "full" | "smoke"),
+        "--mode must be full or smoke"
+    );
+    args
+}
+
+/// SplitMix64: a tiny stateless PRNG so the query schedule is a pure
+/// function of (seed, thread, index).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The ρ workload grid: `rhos` densities spanning the paper's [20, 146]
+/// evaluation range.
+fn rho_grid(rhos: usize) -> Vec<f64> {
+    (0..rhos).map(|k| 20.0 + 2.0 * k as f64).collect()
+}
+
+/// Zipf(s) cumulative weights over ranks 1..=n, normalized to [0, 1].
+fn zipf_cdf(n: usize, s: f64) -> Vec<f64> {
+    let mut cdf: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+    let mut acc = 0.0;
+    for w in &mut cdf {
+        acc += *w;
+        *w = acc;
+    }
+    for w in &mut cdf {
+        *w /= acc;
+    }
+    cdf
+}
+
+/// One keep-alive client connection.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))
+            .expect("connect to in-process server");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .expect("read timeout");
+        stream.set_nodelay(true).expect("nodelay");
+        Client {
+            stream,
+            buf: Vec::with_capacity(4096),
+        }
+    }
+
+    /// Issues one GET on the keep-alive connection; returns the status
+    /// code. Reads exactly one response using `Content-Length`.
+    fn get(&mut self, path: &str) -> u16 {
+        self.stream
+            .write_all(format!("GET {path} HTTP/1.1\r\nHost: bench\r\n\r\n").as_bytes())
+            .expect("request write");
+        // Read the head.
+        self.buf.clear();
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("response read");
+            assert!(n > 0, "server closed keep-alive connection mid-bench");
+            self.buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .expect("status line");
+        let content_length: usize = head
+            .lines()
+            .find_map(|l| {
+                let (name, value) = l.split_once(':')?;
+                name.eq_ignore_ascii_case("content-length")
+                    .then(|| value.trim().parse().ok())?
+            })
+            .expect("Content-Length header");
+        // Drain the body.
+        let mut have = self.buf.len() - (head_end + 4);
+        while have < content_length {
+            let n = self.stream.read(&mut chunk).expect("body read");
+            assert!(n > 0, "server closed mid-body");
+            have += n;
+        }
+        status
+    }
+}
+
+/// The deterministic query path for (thread, index): Zipf-sampled ρ and a
+/// cycling §4.1 metric.
+fn query_path(seed: u64, thread: usize, index: u64, rhos: &[f64], cdf: &[f64]) -> String {
+    let h = splitmix64(seed ^ ((thread as u64) << 40) ^ index);
+    let u = (h >> 11) as f64 / (1u64 << 53) as f64;
+    let rank = cdf.partition_point(|&c| c < u).min(rhos.len() - 1);
+    let rho = rhos[rank];
+    match h % 4 {
+        0 => format!("/v1/optimal-p?rho={rho}&metric=reach-at-latency&constraint=5"),
+        1 => format!("/v1/optimal-p?rho={rho}&metric=latency-for-reach&constraint=0.6"),
+        2 => format!("/v1/optimal-p?rho={rho}&metric=broadcasts-for-reach&constraint=0.6"),
+        _ => format!("/v1/optimal-p?rho={rho}&metric=reach-under-budget&constraint=35"),
+    }
+}
+
+fn quantile(sorted: &[u32], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    f64::from(sorted[idx])
+}
+
+fn main() {
+    let args = parse_args();
+    eprintln!(
+        "bench_serve: {} queries, {} clients, {} rhos (zipf s={}), \
+         {} shards, {} cache bytes, quad {}",
+        args.queries,
+        args.concurrency,
+        args.rhos,
+        args.zipf_s,
+        args.shards,
+        args.cache_bytes,
+        args.quad_points
+    );
+
+    let server = QueryServer::start(&ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        // Keep-alive ties one worker to each client connection, plus one
+        // spare for ad-hoc scrapes during the run.
+        workers: args.concurrency + 1,
+        shards: args.shards,
+        cache_bytes: args.cache_bytes,
+        quad_points: args.quad_points,
+    })
+    .expect("start in-process query server");
+    let addr = server.addr();
+    eprintln!("serving on http://{addr} (in-process)");
+
+    let rhos = rho_grid(args.rhos);
+    let cdf = zipf_cdf(args.rhos, args.zipf_s);
+
+    // Warmup: build every sweep once, sequentially, so the measured window
+    // is pure warm-cache traffic.
+    let t0 = Instant::now();
+    let mut warm_client = Client::connect(addr);
+    for rho in &rhos {
+        let status = warm_client.get(&format!(
+            "/v1/optimal-p?rho={rho}&metric=reach-at-latency&constraint=5"
+        ));
+        assert_eq!(status, 200, "warmup query for rho={rho} failed");
+    }
+    drop(warm_client);
+    let warmup_s = t0.elapsed().as_secs_f64();
+    let warm_stats = server.service().cache_stats();
+    let warm_builds = warm_stats.misses;
+    eprintln!(
+        "warmup: {} sweeps built in {warmup_s:.3}s ({} resident bytes)",
+        warm_builds, warm_stats.resident_bytes
+    );
+
+    // Measured window: closed-loop clients over keep-alive connections.
+    // Snapshot the registry and the cache tallies around it so the
+    // reported metrics exclude warmup.
+    let reg = nss_obs::registry::Registry::global();
+    let before = reg.snapshot();
+    let before_cache = server.service().cache_stats();
+    let per_thread = args.queries / args.concurrency as u64;
+    let remainder = args.queries % args.concurrency as u64;
+    let t0 = Instant::now();
+    let handles: Vec<_> = (0..args.concurrency)
+        .map(|t| {
+            let rhos = rhos.clone();
+            let cdf = cdf.clone();
+            let seed = args.seed;
+            let count = per_thread + u64::from((t as u64) < remainder);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr);
+                let mut latencies_ns: Vec<u32> = Vec::with_capacity(count as usize);
+                let mut errors = 0u64;
+                for i in 0..count {
+                    let path = query_path(seed, t, i, &rhos, &cdf);
+                    let q0 = Instant::now();
+                    let status = client.get(&path);
+                    let ns = q0.elapsed().as_nanos().min(u128::from(u32::MAX)) as u32;
+                    latencies_ns.push(ns);
+                    if status != 200 {
+                        errors += 1;
+                    }
+                }
+                (latencies_ns, errors)
+            })
+        })
+        .collect();
+    let mut latencies_ns: Vec<u32> = Vec::with_capacity(args.queries as usize);
+    let mut errors = 0u64;
+    for h in handles {
+        let (l, e) = h.join().expect("client thread");
+        latencies_ns.extend_from_slice(&l);
+        errors += e;
+    }
+    let wall_s = t0.elapsed().as_secs_f64();
+    let measured = reg.snapshot().delta_since(&before);
+    let after_cache = server.service().cache_stats();
+
+    latencies_ns.sort_unstable();
+    let queries_done = latencies_ns.len() as u64;
+    let qps = queries_done as f64 / wall_s.max(1e-9);
+    let p50_ms = quantile(&latencies_ns, 0.50) / 1e6;
+    let p90_ms = quantile(&latencies_ns, 0.90) / 1e6;
+    let p99_ms = quantile(&latencies_ns, 0.99) / 1e6;
+    let max_ms = quantile(&latencies_ns, 1.0) / 1e6;
+    let hits = after_cache.hits - before_cache.hits;
+    let misses = after_cache.misses - before_cache.misses;
+    let coalesced = after_cache.coalesced - before_cache.coalesced;
+    let evictions = after_cache.evictions - before_cache.evictions;
+    let lookups = hits + misses + coalesced;
+    let hit_rate = hits as f64 / lookups.max(1) as f64;
+    eprintln!(
+        "measured: {queries_done} queries in {wall_s:.3}s = {qps:.0} qps, \
+         p50 {p50_ms:.3}ms p99 {p99_ms:.3}ms, hit rate {hit_rate:.4}"
+    );
+
+    // Obs sections (empty unless built with --features obs): the measured
+    // window's registry delta, same shape as BENCH_sim.json.
+    let counters_json = measured
+        .counters
+        .iter()
+        .filter(|(_, value)| *value > 0)
+        .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let gauges_json = measured
+        .gauges
+        .iter()
+        .map(|(name, value)| format!("    \"{}\": {value}", nss_obs::export::json_escape(name)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let fmt_q = |q: Option<f64>| q.map_or("null".to_string(), |v| format!("{v:.6}"));
+    let histograms_json = measured
+        .histograms
+        .iter()
+        .filter(|(_, h)| h.count > 0)
+        .map(|(name, h)| {
+            let (p50, p90, p99) = h.percentiles();
+            format!(
+                "    \"{}\": {{\"count\": {}, \"sum\": {:.6}, \"mean\": {:.6}, \
+                 \"min\": {}, \"max\": {}, \"p50\": {}, \"p90\": {}, \"p99\": {}}}",
+                nss_obs::export::json_escape(name),
+                h.count,
+                h.sum,
+                h.mean(),
+                fmt_q(h.min),
+                fmt_q(h.max),
+                fmt_q(p50),
+                fmt_q(p90),
+                fmt_q(p99),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let json = format!(
+        "{{\n  \"serve\": \"closed-loop optimal-p load (zipf over rho, keep-alive)\",\n  \
+           \"mode\": \"{mode}\",\n  \
+           \"queries\": {queries_done},\n  \
+           \"concurrency\": {concurrency},\n  \
+           \"rhos\": {rhos_n},\n  \
+           \"zipf_s\": {zipf_s},\n  \
+           \"seed\": {seed},\n  \
+           \"shards\": {shards},\n  \
+           \"cache_bytes\": {cache_bytes},\n  \
+           \"quad_points\": {quad_points},\n  \
+           \"errors\": {errors},\n  \
+           \"warm_builds\": {warm_builds},\n  \
+           \"measured_builds\": {misses},\n  \
+           \"coalesced\": {coalesced},\n  \
+           \"evictions\": {evictions},\n  \
+           \"hit_rate\": {hit_rate:.6},\n  \
+           \"resident_bytes\": {resident_bytes},\n  \
+           \"warmup_s\": {warmup_s:.4},\n  \
+           \"wall_s\": {wall_s:.4},\n  \
+           \"qps\": {qps:.0},\n  \
+           \"latency_p50_ms\": {p50_ms:.4},\n  \
+           \"latency_p90_ms\": {p90_ms:.4},\n  \
+           \"latency_p99_ms\": {p99_ms:.4},\n  \
+           \"latency_max_ms\": {max_ms:.4},\n  \
+           \"obs_enabled\": {obs},\n  \
+           \"counters\": {{\n{counters_json}\n  }},\n  \
+           \"gauges\": {{\n{gauges_json}\n  }},\n  \
+           \"histograms\": {{\n{histograms_json}\n  }}\n}}\n",
+        mode = args.mode,
+        concurrency = args.concurrency,
+        rhos_n = args.rhos,
+        zipf_s = args.zipf_s,
+        seed = args.seed,
+        shards = args.shards,
+        cache_bytes = args.cache_bytes,
+        quad_points = args.quad_points,
+        resident_bytes = after_cache.resident_bytes,
+        obs = nss_obs::enabled(),
+    );
+    std::fs::write(&args.out, &json).expect("write BENCH_serve.json");
+    print!("{json}");
+    eprintln!("wrote {}", args.out);
+    // The artifact must round-trip through the strict parser bench_check
+    // uses.
+    Json::parse(&json).expect("artifact is valid JSON");
+
+    // Sanity floors independent of machine speed.
+    assert_eq!(errors, 0, "bench traffic must be error-free");
+    assert_eq!(queries_done, args.queries, "every scheduled query must run");
+    assert_eq!(
+        misses, 0,
+        "measured window must be pure warm-cache traffic (got {misses} builds)"
+    );
+    assert_eq!(warm_builds as usize, args.rhos, "one build per density");
+    if args.min_qps > 0.0 {
+        assert!(qps >= args.min_qps, "qps {qps:.0} below --min-qps floor");
+    }
+    if args.max_p99_ms > 0.0 {
+        assert!(
+            p99_ms <= args.max_p99_ms,
+            "p99 {p99_ms:.3}ms above --max-p99-ms ceiling"
+        );
+    }
+}

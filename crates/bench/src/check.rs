@@ -57,6 +57,8 @@ pub enum Kind {
     Sim,
     /// `BENCH_sweep.json` (fig4 kernel sweep; `"sweep"` key).
     Sweep,
+    /// `BENCH_serve.json` (query-service load test; `"serve"` key).
+    Serve,
 }
 
 impl Kind {
@@ -66,6 +68,8 @@ impl Kind {
             Some(Kind::Sim)
         } else if doc.get("sweep").is_some() {
             Some(Kind::Sweep)
+        } else if doc.get("serve").is_some() {
+            Some(Kind::Serve)
         } else {
             None
         }
@@ -104,6 +108,23 @@ impl Kind {
                 ("cached_tables_seq_s", Policy::Timing),
                 ("cached_tables_parallel_s", Policy::Timing),
             ],
+            // The query schedule is a pure function of (seed, concurrency,
+            // queries, rhos, zipf_s), so traffic totals and cache-build
+            // counts diff exactly; throughput and latency are wall-clock.
+            Kind::Serve => &[
+                ("queries", Policy::Exact),
+                ("concurrency", Policy::Exact),
+                ("rhos", Policy::Exact),
+                ("zipf_s", Policy::Exact),
+                ("seed", Policy::Exact),
+                ("quad_points", Policy::Exact),
+                ("errors", Policy::Exact),
+                ("warm_builds", Policy::Exact),
+                ("measured_builds", Policy::Exact),
+                ("evictions", Policy::Exact),
+                ("warmup_s", Policy::Timing),
+                ("wall_s", Policy::Timing),
+            ],
         }
     }
 }
@@ -136,7 +157,7 @@ fn need(doc: &Json, path: &str, v: &mut Vec<String>) -> f64 {
 pub fn sanity(doc: &Json) -> Vec<String> {
     let mut v = Vec::new();
     let Some(kind) = Kind::of(doc) else {
-        return vec!["unrecognized artifact: neither \"bench\" nor \"sweep\" key".into()];
+        return vec!["unrecognized artifact: no \"bench\", \"sweep\", or \"serve\" key".into()];
     };
     match kind {
         Kind::Sim => {
@@ -196,6 +217,62 @@ pub fn sanity(doc: &Json) -> Vec<String> {
                     v.push(format!(
                         "counters[\"analysis.sweep.cells\"] = {counted:?} != cells = {cells}"
                     ));
+                }
+            }
+        }
+        Kind::Serve => {
+            let errors = need(doc, "errors", &mut v);
+            if errors != 0.0 {
+                v.push(format!(
+                    "errors {errors} != 0: bench traffic must all be 200s"
+                ));
+            }
+            let builds = need(doc, "measured_builds", &mut v);
+            if builds != 0.0 {
+                v.push(format!(
+                    "measured_builds {builds} != 0: warmup failed to cover the workload"
+                ));
+            }
+            let hit_rate = need(doc, "hit_rate", &mut v);
+            if hit_rate.is_nan() || !(0.0..=1.0).contains(&hit_rate) {
+                v.push(format!("hit_rate {hit_rate} outside [0, 1]"));
+            } else if hit_rate < 1.0 {
+                v.push(format!(
+                    "hit_rate {hit_rate} < 1: measured window is not all-warm"
+                ));
+            }
+            // The serving SLO from the design doc — only binding on
+            // full-scale artifacts; CI smoke runs are far too small (and
+            // runners too slow) for absolute throughput floors.
+            if doc.get("mode").and_then(Json::as_str) == Some("full") {
+                let qps = need(doc, "qps", &mut v);
+                if qps.is_nan() || qps < 50_000.0 {
+                    v.push(format!("qps {qps} below the 50k warm-serving SLO"));
+                }
+                let p99 = need(doc, "latency_p99_ms", &mut v);
+                if p99.is_nan() || p99 >= 5.0 {
+                    v.push(format!("latency_p99_ms {p99} at or above the 5 ms SLO"));
+                }
+            }
+            if obs_enabled(doc) {
+                // Every measured query is one request and (all-warm) one
+                // cache hit; the counters must agree with the client-side
+                // tally exactly.
+                let queries = need(doc, "queries", &mut v);
+                for counter in ["serve.requests", "serve.cache.hit"] {
+                    let c = doc
+                        .get("counters")
+                        .and_then(|cs| cs.get(counter))
+                        .and_then(Json::as_f64);
+                    match c {
+                        Some(c) if c == queries => {}
+                        Some(c) => v.push(format!(
+                            "counters[\"{counter}\"] = {c} != queries = {queries}"
+                        )),
+                        None => {
+                            v.push(format!("counters[\"{counter}\"] missing with obs enabled"));
+                        }
+                    }
                 }
             }
         }
@@ -393,6 +470,70 @@ mod tests {
             violations
                 .iter()
                 .any(|v| v.contains("kernel_cache/kernels")),
+            "{violations:?}"
+        );
+    }
+
+    fn serve_doc(mode: &str, qps: f64, p99_ms: f64, measured_builds: u64) -> Json {
+        Json::parse(&format!(
+            r#"{{
+                "serve": "x", "mode": "{mode}", "queries": 1000,
+                "concurrency": 4, "rhos": 8, "zipf_s": 1.1, "seed": 2005,
+                "quad_points": 32, "errors": 0, "warm_builds": 8,
+                "measured_builds": {measured_builds}, "coalesced": 0,
+                "evictions": 0, "hit_rate": 1.0,
+                "warmup_s": 0.05, "wall_s": 0.5, "qps": {qps},
+                "latency_p50_ms": 0.05, "latency_p99_ms": {p99_ms},
+                "obs_enabled": true,
+                "counters": {{"serve.requests": 1000, "serve.cache.hit": 1000}}
+            }}"#
+        ))
+        .expect("valid test doc")
+    }
+
+    #[test]
+    fn serve_sanity_accepts_warm_artifact_and_enforces_full_slo() {
+        assert_eq!(
+            sanity(&serve_doc("smoke", 100.0, 20.0, 0)),
+            Vec::<String>::new(),
+            "smoke mode carries no absolute throughput floor"
+        );
+        assert_eq!(
+            sanity(&serve_doc("full", 80_000.0, 1.5, 0)),
+            Vec::<String>::new()
+        );
+        let slow = sanity(&serve_doc("full", 10_000.0, 9.0, 0));
+        assert!(slow.iter().any(|v| v.contains("50k")), "{slow:?}");
+        assert!(slow.iter().any(|v| v.contains("5 ms")), "{slow:?}");
+    }
+
+    #[test]
+    fn serve_sanity_catches_cold_measured_window() {
+        let violations = sanity(&serve_doc("smoke", 100.0, 1.0, 3));
+        assert!(
+            violations.iter().any(|v| v.contains("measured_builds")),
+            "{violations:?}"
+        );
+    }
+
+    #[test]
+    fn serve_diff_pins_deterministic_traffic_fields() {
+        let base = serve_doc("smoke", 100.0, 1.0, 0);
+        assert_eq!(
+            diff(&base, &base, &Tolerance::default()),
+            Vec::<String>::new()
+        );
+        let mut drifted = serve_doc("smoke", 100.0, 1.0, 0);
+        if let Json::Obj(fields) = &mut drifted {
+            for (k, v) in fields.iter_mut() {
+                if k == "warm_builds" {
+                    *v = Json::parse("9").expect("valid");
+                }
+            }
+        }
+        let violations = diff(&drifted, &base, &Tolerance::default());
+        assert!(
+            violations.iter().any(|v| v.contains("`warm_builds`")),
             "{violations:?}"
         );
     }

@@ -3,7 +3,7 @@
 //!
 //! Declaration order matters: earlier figures deposit calibration values
 //! (the Fig. 4 plateau, the Fig. 6 energy budget, their simulated
-//! counterparts) into the shared [`Ctx`](crate::common::Ctx) state that
+//! counterparts) into the shared [`crate::common::Ctx`] state that
 //! later figures consume — exactly the paper's "analyze, then refine the
 //! target" workflow. A name-sorted dispatch (`fig10` < `fig4`
 //! lexicographically) would silently break that threading, which is why

@@ -9,7 +9,9 @@
 //! ```
 //!
 //! Commands are [`figures::Figure`] registry entries (`repro list` prints
-//! them) plus the groups `analysis`, `sim`, `ext`, `misc`, and `all`.
+//! them) plus the groups `analysis`, `sim`, `ext`, `misc`, and `all`, and
+//! the long-running `repro serve` (the `nss-serve` HTTP query service;
+//! own flags, blocks until killed).
 //! Options: `--fast` (smoke-scale), `--out DIR`, `--runs N`, `--threads N`,
 //! `--seed S`, `--faults SPEC` (e.g. `"loss=0.2,dead=0.1"`),
 //! `--metrics-addr HOST:PORT` (live `/metrics` scrapes for the run's
@@ -41,6 +43,15 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 fn main() {
+    // `repro serve` is a long-running service, not a figure run: it takes
+    // its own flags and never reaches the registry, so it is dispatched
+    // before figure selection.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.first().map(String::as_str) == Some("serve") {
+        run_serve(&raw[1..]);
+        return;
+    }
+
     let (ctx, commands) = match parse_args(std::env::args().skip(1)) {
         Ok(parsed) => parsed,
         Err(msg) => {
@@ -123,6 +134,84 @@ fn main() {
         server.shutdown();
     }
     nss_obs::status!("\ndone in {:.1}s", started.elapsed().as_secs_f64());
+}
+
+/// `repro serve`: starts the query service and blocks until the process
+/// is killed. Flags mirror [`nss_serve::ServeConfig`]; malformed input is
+/// a usage error (exit 2), never a panic.
+fn run_serve(args: &[String]) {
+    let mut config = nss_serve::ServeConfig::default();
+    let mut it = args.iter();
+    let parse_fail = |flag: &str, v: &str| -> ! {
+        eprintln!("error: {flag} got '{v}', expected a number");
+        std::process::exit(2);
+    };
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).unwrap_or_else(|| {
+                eprintln!("error: {name} needs a value");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr").to_string(),
+            "--workers" => {
+                let v = value("--workers");
+                config.workers = v.parse().unwrap_or_else(|_| parse_fail("--workers", v));
+            }
+            "--shards" => {
+                let v = value("--shards");
+                config.shards = v.parse().unwrap_or_else(|_| parse_fail("--shards", v));
+            }
+            "--cache-bytes" => {
+                let v = value("--cache-bytes");
+                config.cache_bytes = v.parse().unwrap_or_else(|_| parse_fail("--cache-bytes", v));
+            }
+            "--quad-points" => {
+                let v = value("--quad-points");
+                config.quad_points = v.parse().unwrap_or_else(|_| parse_fail("--quad-points", v));
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: repro serve [--addr HOST:PORT] [--workers N] [--shards N]\n                   \
+                     [--cache-bytes N] [--quad-points N]\n\
+                     Serves GET /v1/optimal-p, GET /v1/reachability, POST /v1/batch,\n\
+                     plus /metrics, /metrics.json, /healthz. Blocks until killed."
+                );
+                return;
+            }
+            other => {
+                eprintln!("error: unknown serve flag: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match nss_serve::QueryServer::start(&config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: cannot serve on {}: {e}", config.addr);
+            std::process::exit(2);
+        }
+    };
+    if !nss_obs::enabled() {
+        eprintln!("note: built without --features obs; /metrics will be empty");
+    }
+    eprintln!(
+        "repro serve: http://{addr}/v1/optimal-p  (workers={workers}, shards={shards}, \
+         cache {mib} MiB, quadrature {quad})",
+        addr = server.addr(),
+        workers = config.workers,
+        shards = config.shards,
+        mib = config.cache_bytes >> 20,
+        quad = config.quad_points,
+    );
+    eprintln!(
+        "endpoints: /v1/optimal-p /v1/reachability /v1/batch /metrics /metrics.json /healthz"
+    );
+    // Serve until the process is killed; worker threads own all the work.
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Parses flags and commands; any malformed flag is an `Err` (usage + exit
@@ -259,7 +348,8 @@ fn print_usage() {
          ext-survival ext-cfmcost ext-schemes ext-converge ext-failures ext-tdma\n  \
          ext-slots ext-hetero ext-fieldsize ext-faults\n  \
          report                   compose results/REPORT.md from the CSVs\n  \
-         analysis | sim | ext | misc | all\n\
+         analysis | sim | ext | misc | all\n  \
+         serve                    run the HTTP query service (see `repro serve --help`)\n\
          fault spec: comma-separated, e.g. \"loss=0.2,dead=0.1,duty=3/5,budget=2,out=3:2-5\""
     );
 }

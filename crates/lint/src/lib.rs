@@ -38,6 +38,7 @@
 
 pub mod json;
 pub mod lexer;
+pub mod metrics;
 pub mod pragma;
 pub mod rules;
 
@@ -59,7 +60,9 @@ pub enum FileKind {
 
 /// First-party library crates held to panic-hygiene (binaries may panic at
 /// the top level; these must route errors through `ConfigError`).
-pub const LIB_CRATES: &[&str] = &["model", "analysis", "sim", "core", "plot", "obs", "nss"];
+pub const LIB_CRATES: &[&str] = &[
+    "model", "analysis", "sim", "core", "plot", "obs", "serve", "nss",
+];
 
 /// One rule finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -377,7 +380,7 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
 
 /// Recursively collects `.rs` files under `dir` (sorted for deterministic
 /// reports), skipping `fixtures` directories.
-fn collect_rs(
+pub(crate) fn collect_rs(
     dir: &Path,
     out: &mut Vec<(PathBuf, String, FileKind)>,
     crate_name: &str,

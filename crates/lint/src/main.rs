@@ -3,12 +3,18 @@
 //! ```text
 //! cargo run -p nss-lint -- check [--root DIR] [--json FILE]
 //! cargo run -p nss-lint -- rules
+//! cargo run -p nss-lint -- metrics [--root DIR] [--check FILE | --write FILE]
 //! ```
 //!
 //! `check` exits 0 when the workspace is clean, 1 with one `file:line:
 //! [rule] message` diagnostic per violation otherwise, and 2 on usage or IO
 //! errors. `--json` additionally writes the machine-readable report
 //! (uploaded as a CI artifact).
+//!
+//! `metrics` prints the scanned metric inventory as markdown; with
+//! `--check docs/METRICS.md` it exits 1 when the file's generated block
+//! has drifted from the code (the CI sync gate), with `--write` it
+//! refreshes the block in place.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -19,7 +25,10 @@ fn main() -> ExitCode {
         Ok(code) => code,
         Err(msg) => {
             eprintln!("nss-lint: {msg}");
-            eprintln!("usage: nss-lint <check|rules> [--root DIR] [--json FILE]");
+            eprintln!(
+                "usage: nss-lint <check|rules|metrics> [--root DIR] [--json FILE]\n       \
+                 nss-lint metrics [--root DIR] [--check FILE | --write FILE]"
+            );
             ExitCode::from(2)
         }
     }
@@ -29,6 +38,8 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut cmd: Option<&str> = None;
     let mut root = PathBuf::from(".");
     let mut json_out: Option<PathBuf> = None;
+    let mut metrics_check: Option<PathBuf> = None;
+    let mut metrics_write: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,9 +49,21 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--json" => {
                 json_out = Some(PathBuf::from(it.next().ok_or("--json needs a file path")?));
             }
-            "check" | "rules" if cmd.is_none() => cmd = Some(a),
+            "--check" => {
+                metrics_check = Some(PathBuf::from(it.next().ok_or("--check needs a file path")?));
+            }
+            "--write" => {
+                metrics_write = Some(PathBuf::from(it.next().ok_or("--write needs a file path")?));
+            }
+            "check" | "rules" | "metrics" if cmd.is_none() => cmd = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
+    }
+    if (metrics_check.is_some() || metrics_write.is_some()) && cmd != Some("metrics") {
+        return Err("--check/--write only apply to the `metrics` subcommand".to_string());
+    }
+    if metrics_check.is_some() && metrics_write.is_some() {
+        return Err("--check and --write are mutually exclusive".to_string());
     }
     match cmd {
         Some("rules") => {
@@ -76,6 +99,48 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     report.files.len()
                 );
                 Ok(ExitCode::FAILURE)
+            }
+        }
+        Some("metrics") => {
+            let rows = nss_lint::metrics::scan_workspace(&root)?;
+            let block = nss_lint::metrics::render(&rows);
+            if let Some(path) = metrics_check {
+                let doc = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let committed = nss_lint::metrics::committed_block(&doc)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                if committed == block {
+                    println!(
+                        "nss-lint: {} metrics table in sync ({} metrics)",
+                        path.display(),
+                        rows.len()
+                    );
+                    Ok(ExitCode::SUCCESS)
+                } else {
+                    eprintln!(
+                        "nss-lint: {} metrics table is out of date with the code;\n          \
+                         regenerate with `cargo run -p nss-lint -- metrics --write {}`",
+                        path.display(),
+                        path.display()
+                    );
+                    Ok(ExitCode::FAILURE)
+                }
+            } else if let Some(path) = metrics_write {
+                let doc = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let updated = nss_lint::metrics::splice(&doc, &block)
+                    .map_err(|e| format!("{}: {e}", path.display()))?;
+                std::fs::write(&path, updated)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!(
+                    "nss-lint: refreshed {} ({} metrics)",
+                    path.display(),
+                    rows.len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                print!("{block}");
+                Ok(ExitCode::SUCCESS)
             }
         }
         _ => Err("missing subcommand".to_string()),

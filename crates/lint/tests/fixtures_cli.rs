@@ -107,6 +107,32 @@ fn live_workspace_is_clean() {
     );
 }
 
+/// META-TEST: the committed `docs/METRICS.md` table matches the scanned
+/// metric inventory — the same sync gate CI runs via
+/// `nss-lint metrics --check docs/METRICS.md`.
+#[test]
+fn live_metrics_doc_is_in_sync() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_nss-lint"))
+        .args(["metrics", "--root"])
+        .arg(&root)
+        .arg("--check")
+        .arg(root.join("docs/METRICS.md"))
+        .output()
+        .expect("spawn nss-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "docs/METRICS.md is out of sync; run \
+         `cargo run -p nss-lint -- metrics --write docs/METRICS.md`\n{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 /// `--json` writes the machine-readable report consumed by CI artifacts.
 #[test]
 fn json_report_is_written() {

@@ -264,6 +264,17 @@ impl FaultPlan {
     /// * `out=NODE:FROM-UNTIL` — outage window (`UNTIL` empty = forever)
     ///
     /// An empty string parses to the empty plan. The result is validated.
+    ///
+    /// ```
+    /// use nss_model::faults::FaultPlan;
+    ///
+    /// let plan = FaultPlan::parse_spec("loss=0.2,dead=0.1,duty=3/5").unwrap();
+    /// assert_eq!(plan.link_loss, 0.2);
+    /// assert_eq!(plan.dead_frac, 0.1);
+    /// assert_eq!(plan.to_spec(), "loss=0.2,dead=0.1,duty=3/5");
+    /// assert!(FaultPlan::parse_spec("").unwrap().is_empty());
+    /// assert!(FaultPlan::parse_spec("loss=2.0").is_err()); // out of range
+    /// ```
     pub fn parse_spec(spec: &str) -> Result<Self, String> {
         let mut plan = FaultPlan::none();
         for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {

@@ -34,7 +34,7 @@
 //! assert!(topo.mean_degree() > 40.0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod comm;
 pub mod deployment;

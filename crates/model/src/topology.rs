@@ -126,7 +126,7 @@ impl Topology {
     }
 
     /// Fallible build with automatic thread-count selection (sequential
-    /// below [`PAR_BUILD_THRESHOLD`] nodes, all cores above).
+    /// below `PAR_BUILD_THRESHOLD` (8192) nodes, all cores above).
     pub fn try_build(net: &DeployedNetwork) -> Result<Self, ConfigError> {
         Self::try_build_with_threads(net, 0)
     }

@@ -7,7 +7,7 @@
 //! * **Metrics** ([`registry`]) — process-global atomic [`registry::Counter`]s
 //!   and fixed-bucket [`registry::Histogram`]s interned by name. Accessed
 //!   through the [`counter!`], [`observe!`], and [`set_label!`] macros.
-//! * **Spans** ([`span`]) — RAII wall-time timers that record into a
+//! * **Spans** ([`mod@span`]) — RAII wall-time timers that record into a
 //!   histogram and append to a bounded, thread-safe event sink.
 //! * **Provenance** ([`manifest`]) — a [`manifest::RunManifest`] describing
 //!   one experiment run (config fingerprint, master seed, `git describe`,
@@ -48,8 +48,11 @@
 //! }
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod console;
 pub mod export;
+pub mod http;
 pub mod jsonval;
 pub mod manifest;
 pub mod registry;
@@ -68,6 +71,15 @@ pub const fn enabled() -> bool {
 
 /// Interns (once) and returns the `&'static` [`registry::Counter`] with the
 /// given name. Disabled builds get a no-op handle with the same API.
+///
+/// ```
+/// nss_obs::counter!("doc.counter.events").add(2);
+/// nss_obs::counter!("doc.counter.events").inc();
+/// if nss_obs::enabled() {
+///     let reg = nss_obs::registry::Registry::global();
+///     assert_eq!(reg.counter("doc.counter.events").get(), 3);
+/// }
+/// ```
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! counter {
@@ -115,6 +127,14 @@ macro_rules! observe {
 
 /// Interns (once) and returns the `&'static` [`registry::Gauge`] with the
 /// given name. Disabled builds get a no-op handle with the same API.
+///
+/// ```
+/// nss_obs::gauge!("doc.gauge.bytes").set(4096.0);
+/// if nss_obs::enabled() {
+///     let reg = nss_obs::registry::Registry::global();
+///     assert_eq!(reg.gauge("doc.gauge.bytes").get(), 4096.0);
+/// }
+/// ```
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! gauge {
@@ -145,6 +165,18 @@ macro_rules! gauge {
 /// memory. Use it (not [`span!`]) inside per-phase/per-shard loops —
 /// `nss-lint`'s feature-hygiene rule enforces exactly that in the hot-path
 /// crates.
+///
+/// ```
+/// {
+///     let _span = nss_obs::trace_span!("doc.trace.work");
+///     // … timed region …
+/// }
+/// if nss_obs::enabled() {
+///     // Wall time landed in the `<name>.seconds` histogram on drop.
+///     let reg = nss_obs::registry::Registry::global();
+///     assert_eq!(reg.histogram("doc.trace.work.seconds").snapshot().count, 1);
+/// }
+/// ```
 #[cfg(feature = "enabled")]
 #[macro_export]
 macro_rules! trace_span {

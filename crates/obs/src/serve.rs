@@ -14,26 +14,52 @@
 //! a sweep runs. Scrapes are snapshots of live atomics: they never pause
 //! or perturb the instrumented hot paths.
 //!
-//! The server is intentionally minimal: HTTP/1.0-style one-shot
-//! connections, GET/HEAD only, one request per connection, connections
-//! served sequentially on the accept thread (scrape traffic is one
-//! request every few seconds — a thread pool would be pure ceremony).
-//! Shutdown is graceful: [`MetricsServer::shutdown`] (also invoked on
-//! drop) flags the accept loop and unblocks it with a loopback
-//! connection, then joins the thread.
+//! The server is intentionally minimal: one-shot connections
+//! (`Connection: close` on every response), GET/HEAD only, one request
+//! per connection, connections served sequentially on the accept thread
+//! (scrape traffic is one request every few seconds — a thread pool
+//! would be pure ceremony). Shutdown is graceful:
+//! [`MetricsServer::shutdown`] (also invoked on drop) flags the accept
+//! loop and unblocks it with a loopback connection, then joins the
+//! thread.
 //!
-//! This module is the architectural seed for the ROADMAP's `nss-serve`
-//! query service: same no-deps listener discipline, same exporters.
+//! Since the `nss-serve` query service landed, the actual HTTP machinery
+//! lives in [`crate::http`]; this module is a thin profile over it
+//! (`workers = 0`, `keep_alive = false`) plus [`metrics_routes`], which
+//! `nss-serve` reuses to mount the identical scrape endpoints next to
+//! its query routes.
 
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
+
+use crate::http::{HttpServer, Response, Router, ServerOptions};
 
 /// Per-connection read/write timeout — a stuck scraper must not wedge the
 /// accept loop.
 const IO_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Mounts the scrape endpoints — `/metrics`, `/metrics.json`, `/healthz`
+/// — onto `router`, all answering from the global registry.
+///
+/// Shared by [`MetricsServer`] and the `nss-serve` query service so both
+/// expose byte-identical scrape routes.
+pub fn metrics_routes(router: Router) -> Router {
+    router
+        .get("/metrics", |_req| Response {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body: crate::export::prometheus(crate::registry::Registry::global()),
+        })
+        .get("/metrics.json", |_req| {
+            Response::json(
+                200,
+                crate::export::json(crate::registry::Registry::global()),
+            )
+        })
+        .get("/healthz", |_req| Response::text("ok\n"))
+}
 
 /// A running scrape server; shuts down gracefully on [`shutdown`]
 /// (explicit) or drop.
@@ -41,121 +67,37 @@ const IO_TIMEOUT: Duration = Duration::from_secs(2);
 /// [`shutdown`]: MetricsServer::shutdown
 #[derive(Debug)]
 pub struct MetricsServer {
-    addr: SocketAddr,
-    stop: Arc<AtomicBool>,
-    handle: Option<std::thread::JoinHandle<()>>,
+    inner: HttpServer,
 }
 
 impl MetricsServer {
     /// Binds `addr` (e.g. `"127.0.0.1:9187"`; port 0 picks a free port —
     /// read it back with [`MetricsServer::addr`]) and starts serving.
     pub fn start(addr: impl ToSocketAddrs) -> std::io::Result<MetricsServer> {
-        let listener = TcpListener::bind(addr)?;
-        let local = listener.local_addr()?;
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
-        let handle = std::thread::Builder::new()
-            .name("nss-obs-serve".into())
-            .spawn(move || accept_loop(&listener, &thread_stop))?;
-        Ok(MetricsServer {
-            addr: local,
-            stop,
-            handle: Some(handle),
-        })
+        let inner = HttpServer::start(
+            addr,
+            Arc::new(metrics_routes(Router::new())),
+            ServerOptions {
+                workers: 0,
+                keep_alive: false,
+                io_timeout: IO_TIMEOUT,
+                thread_name: "nss-obs-serve".to_string(),
+                ..ServerOptions::default()
+            },
+        )?;
+        Ok(MetricsServer { inner })
     }
 
     /// The bound address (resolves port 0 to the actual port).
     pub fn addr(&self) -> SocketAddr {
-        self.addr
+        self.inner.addr()
     }
 
     /// Stops accepting, unblocks the accept loop, and joins the serving
     /// thread. Idempotent; also called on drop.
     pub fn shutdown(&mut self) {
-        if self.handle.is_none() {
-            return;
-        }
-        self.stop.store(true, Ordering::SeqCst);
-        // Unblock the blocking accept with a throwaway loopback connection.
-        let _ = TcpStream::connect_timeout(&self.addr, IO_TIMEOUT);
-        if let Some(handle) = self.handle.take() {
-            let _ = handle.join();
-        }
+        self.inner.shutdown();
     }
-}
-
-impl Drop for MetricsServer {
-    fn drop(&mut self) {
-        self.shutdown();
-    }
-}
-
-fn accept_loop(listener: &TcpListener, stop: &AtomicBool) {
-    for stream in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = stream else { continue };
-        // Serve inline: scrapes are rare and the handler only formats a
-        // registry snapshot. Errors (hangups, timeouts) drop the
-        // connection and keep the loop alive.
-        let _ = handle_connection(stream);
-    }
-}
-
-fn handle_connection(mut stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(IO_TIMEOUT))?;
-    stream.set_write_timeout(Some(IO_TIMEOUT))?;
-
-    // Read until the end of the request head (or a sanity cap).
-    let mut buf = Vec::with_capacity(512);
-    let mut chunk = [0u8; 512];
-    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
-        let n = stream.read(&mut chunk)?;
-        if n == 0 {
-            break;
-        }
-        buf.extend_from_slice(&chunk[..n]);
-    }
-    let head = String::from_utf8_lossy(&buf);
-    let mut parts = head.lines().next().unwrap_or("").split_whitespace();
-    let method = parts.next().unwrap_or("");
-    let path = parts.next().unwrap_or("");
-
-    let (status, content_type, body) = match (method, path) {
-        ("GET" | "HEAD", "/metrics") => (
-            "200 OK",
-            "text/plain; version=0.0.4; charset=utf-8",
-            crate::export::prometheus(crate::registry::Registry::global()),
-        ),
-        ("GET" | "HEAD", "/metrics.json") => (
-            "200 OK",
-            "application/json",
-            crate::export::json(crate::registry::Registry::global()),
-        ),
-        ("GET" | "HEAD", "/healthz") => ("200 OK", "text/plain; charset=utf-8", "ok\n".into()),
-        ("GET" | "HEAD", _) => (
-            "404 Not Found",
-            "text/plain; charset=utf-8",
-            "not found; try /metrics, /metrics.json, /healthz\n".into(),
-        ),
-        _ => (
-            "405 Method Not Allowed",
-            "text/plain; charset=utf-8",
-            "GET only\n".into(),
-        ),
-    };
-
-    let mut response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\n\
-         Content-Length: {}\r\nConnection: close\r\n\r\n",
-        body.len()
-    );
-    if method != "HEAD" {
-        response.push_str(&body);
-    }
-    stream.write_all(response.as_bytes())?;
-    stream.flush()
 }
 
 /// Minimal test/smoke client: GETs `path` from `addr` and returns
@@ -185,6 +127,7 @@ pub fn http_get(addr: SocketAddr, path: &str) -> std::io::Result<(u16, String)> 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicBool, Ordering};
 
     fn start_local() -> MetricsServer {
         MetricsServer::start("127.0.0.1:0").expect("bind loopback")
@@ -195,8 +138,12 @@ mod tests {
         let server = start_local();
         let (status, body) = http_get(server.addr(), "/healthz").expect("scrape");
         assert_eq!((status, body.as_str()), (200, "ok\n"));
-        let (status, _) = http_get(server.addr(), "/nope").expect("scrape");
+        let (status, body) = http_get(server.addr(), "/nope").expect("scrape");
         assert_eq!(status, 404);
+        // The 404 body is part of the pinned wire format: the router must
+        // keep listing the scrape routes exactly as the pre-router server
+        // did.
+        assert_eq!(body, "not found; try /metrics, /metrics.json, /healthz\n");
     }
 
     #[test]
@@ -280,5 +227,23 @@ mod tests {
         let mut response = String::new();
         stream.read_to_string(&mut response).expect("read");
         assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        assert!(response.ends_with("GET only\n"), "{response}");
+    }
+
+    #[test]
+    fn response_headers_are_byte_identical_to_pre_router_server() {
+        let server = start_local();
+        let mut stream = TcpStream::connect_timeout(&server.addr(), IO_TIMEOUT).expect("connect");
+        stream.set_read_timeout(Some(IO_TIMEOUT)).expect("timeout");
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+            .expect("send");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("read");
+        assert_eq!(
+            response,
+            "HTTP/1.1 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\n\
+             Content-Length: 3\r\nConnection: close\r\n\r\nok\n"
+        );
     }
 }

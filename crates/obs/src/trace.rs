@@ -2,7 +2,7 @@
 //! events, dumped on demand as Chrome `trace_event` JSON (loads directly
 //! in Perfetto / `chrome://tracing`).
 //!
-//! ## Why not the [`crate::span`] sink?
+//! ## Why not the [`mod@crate::span`] sink?
 //!
 //! The span event sink is a mutex-guarded `Vec` with front eviction —
 //! fine for a handful of per-figure spans, hostile to hot loops: every

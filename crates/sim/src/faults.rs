@@ -17,7 +17,7 @@ use crate::medium::SlotStats;
 use nss_model::faults::{hash_unit, FaultPlan};
 use nss_model::rng::splitmix64;
 
-/// Per-slot fault context handed to [`Medium::resolve_slot`]
+/// Per-slot fault context handed to [`crate::medium::Medium::resolve_slot`]
 /// (crate::medium::Medium::resolve_slot): a liveness mask plus the link-loss
 /// coin for this `(phase, slot)`.
 #[derive(Debug)]
