@@ -3,10 +3,11 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use nss_bench::topo;
-use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::comm::{CollisionRule, CommunicationModel, MediumBackend, SinrParams};
 use nss_model::deployment::Deployment;
 use nss_model::topology::Topology;
 use nss_sim::exact::exact_expected_informed;
+use nss_sim::executor::Executor;
 use nss_sim::medium::{Medium, MediumScratch};
 use nss_sim::probe::probe_per_node_success;
 use nss_sim::protocols::ack_flood::{run_ack_flood, AckFloodConfig};
@@ -15,8 +16,8 @@ use nss_sim::protocols::convergecast::{run_convergecast, ConvergecastConfig};
 use nss_sim::protocols::counter::{run_counter_broadcast, CounterConfig};
 use nss_sim::protocols::distance::{run_distance_broadcast, DistanceConfig};
 use nss_sim::runner::Replication;
-use nss_sim::slotted::{run_gossip, GossipConfig};
-use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
+use nss_sim::slotted::GossipConfig;
+use nss_sim::tdma::TdmaSchedule;
 use std::hint::black_box;
 
 fn bench_substrate(c: &mut Criterion) {
@@ -53,6 +54,20 @@ fn bench_substrate(c: &mut Criterion) {
             deliveries
         })
     });
+    let medium_sinr = Medium::with_backend(
+        CommunicationModel::CAM,
+        MediumBackend::Sinr(SinrParams::DEFAULT),
+    );
+    c.bench_function("substrate/medium_slot_sinr_100tx", |b| {
+        let mut scratch = MediumScratch::new(topo.len());
+        b.iter(|| {
+            let mut deliveries = 0u64;
+            medium_sinr.resolve_slot(&topo, &transmitters, &mut scratch, None, |_, _| {
+                deliveries += 1
+            });
+            deliveries
+        })
+    });
 }
 
 fn bench_protocols(c: &mut Criterion) {
@@ -62,10 +77,18 @@ fn bench_protocols(c: &mut Criterion) {
     let t140 = topo(140.0, 3);
 
     group.bench_function("pbcam_rho60_p0.2", |b| {
-        b.iter(|| run_gossip(&t60, &GossipConfig::pb_cam(0.2), black_box(5)))
+        b.iter(|| {
+            Executor::new(&t60)
+                .gossip(GossipConfig::pb_cam(0.2))
+                .run(black_box(5))
+        })
     });
     group.bench_function("flooding_rho140", |b| {
-        b.iter(|| run_gossip(&t140, &GossipConfig::flooding_cam(), black_box(5)))
+        b.iter(|| {
+            Executor::new(&t140)
+                .gossip(GossipConfig::flooding_cam())
+                .run(black_box(5))
+        })
     });
     group.bench_function("async_gossip_rho60_p0.2", |b| {
         b.iter(|| run_async_gossip(&t60, &AsyncGossipConfig::paper(0.2), black_box(5)))
@@ -99,7 +122,7 @@ fn bench_extensions(c: &mut Criterion) {
     });
     let schedule = TdmaSchedule::build(&t60);
     group.bench_function("tdma_flooding_rho60", |b| {
-        b.iter(|| run_tdma_flooding(&t60, &schedule))
+        b.iter(|| Executor::new(&t60).run_tdma(&schedule))
     });
     group.bench_function("distance_broadcast_rho60", |b| {
         b.iter(|| run_distance_broadcast(&t60, &DistanceConfig::paper(0.4), black_box(5)))

@@ -27,7 +27,7 @@
 
 use nss_model::deployment::Deployment;
 use nss_model::topology::Topology;
-use nss_sim::sharded::run_gossip_sharded;
+use nss_sim::executor::Executor;
 use nss_sim::slotted::GossipConfig;
 use std::time::Instant;
 
@@ -128,7 +128,10 @@ fn main() {
     let before_measured = reg.snapshot();
     let cfg = GossipConfig::flooding_cam();
     let t0 = Instant::now();
-    let trace = run_gossip_sharded(&topo, &cfg, args.seed, args.threads);
+    let trace = Executor::new(&topo)
+        .gossip(cfg)
+        .sharded(args.threads)
+        .run(args.seed);
     let sim_s = t0.elapsed().as_secs_f64();
     let measured = reg.snapshot().delta_since(&before_measured);
     let phases = trace.phases();
@@ -144,12 +147,12 @@ fn main() {
     // Warm-path timing repeat: a second replication on the already-built
     // topology, so the sim figure excludes first-touch page faults.
     let warm_s = time(&|| {
-        std::hint::black_box(run_gossip_sharded(
-            &topo,
-            &cfg,
-            args.seed.wrapping_add(1),
-            args.threads,
-        ));
+        std::hint::black_box(
+            Executor::new(&topo)
+                .gossip(cfg)
+                .sharded(args.threads)
+                .run(args.seed.wrapping_add(1)),
+        );
     });
 
     // Obs sections (all empty unless built with --features obs): the

@@ -19,7 +19,8 @@ use nss_analysis::ring_model::RingModelConfig;
 use nss_model::deployment::Deployment;
 use nss_model::rng::{SeedFactory, Stream};
 use nss_model::topology::Topology;
-use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::executor::Executor;
+use nss_sim::slotted::GossipConfig;
 use serde::{Deserialize, Serialize};
 
 /// A calibrated success-rate → probability controller.
@@ -56,7 +57,7 @@ impl AdaptiveController {
 /// Maps per-node measured success rates to per-node broadcast
 /// probabilities with the calibrated ratio — the spatially-adaptive
 /// variant of the §6 rule for deployments with density hotspots.
-/// Feed the result to [`nss_sim::slotted::run_gossip_per_node`].
+/// Feed the result to [`Executor::per_node_probs`].
 pub fn per_node_probabilities(controller: &AdaptiveController, rates: &[f64]) -> Vec<f64> {
     rates.iter().map(|&sr| controller.probability(sr)).collect()
 }
@@ -72,7 +73,9 @@ pub fn measure_success_rate(topo: &Topology, s: u32, probes: u32, master_seed: u
     let mut total = 0.0;
     let mut count = 0u32;
     for i in 0..probes {
-        let trace = run_gossip(topo, &cfg, factory.seed(Stream::Protocol, u64::from(i)));
+        let trace = Executor::new(topo)
+            .gossip(cfg)
+            .run(factory.seed(Stream::Protocol, u64::from(i)));
         if let Some(sr) = trace.mean_success_rate() {
             total += sr;
             count += 1;
@@ -157,12 +160,16 @@ pub fn evaluate_adaptive(
         let seed = factory.seed(Stream::Protocol, u64::from(rep));
         let mut cfg = GossipConfig::pb_cam(p_adaptive);
         cfg.s = model.slots;
-        adaptive_total += run_gossip(&topo, &cfg, seed)
+        adaptive_total += Executor::new(&topo)
+            .gossip(cfg)
+            .run(seed)
             .phase_series()
             .reachability_at_latency(latency_phases);
         let mut cfg = GossipConfig::pb_cam(oracle.prob);
         cfg.s = model.slots;
-        oracle_total += run_gossip(&topo, &cfg, seed)
+        oracle_total += Executor::new(&topo)
+            .gossip(cfg)
+            .run(seed)
             .phase_series()
             .reachability_at_latency(latency_phases);
     }

@@ -8,7 +8,7 @@
 //! [`BroadcastAlgorithm`] names the scheme and its tunable parameter, and
 //! [`BroadcastAlgorithm::instantiate`] lowers it onto the simulator.
 
-use nss_model::comm::CommunicationModel;
+use nss_model::comm::{CommunicationModel, MediumBackend};
 use nss_model::error::ConfigError;
 use nss_sim::slotted::GossipConfig;
 use serde::{Deserialize, Serialize};
@@ -79,6 +79,7 @@ impl BroadcastAlgorithm {
                 max_phases: 10_000,
                 track_success_rate: false,
                 node_failure_per_phase: 0.0,
+                backend: MediumBackend::UnitDisk,
             }),
             BroadcastAlgorithm::ProbabilityBased { prob } => Some(GossipConfig {
                 s,
@@ -87,6 +88,7 @@ impl BroadcastAlgorithm {
                 max_phases: 10_000,
                 track_success_rate: false,
                 node_failure_per_phase: 0.0,
+                backend: MediumBackend::UnitDisk,
             }),
             BroadcastAlgorithm::CounterBased { .. } => None,
         }

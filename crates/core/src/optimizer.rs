@@ -6,7 +6,7 @@ use crate::network::NetworkModel;
 use nss_analysis::mu::MuMode;
 use nss_analysis::optimize::{Objective, Optimum, ProbabilitySweep};
 use nss_analysis::ring_model::RingModelConfig;
-use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::comm::{CollisionRule, CommunicationModel, MediumBackend};
 use nss_model::deployment::Deployment;
 use nss_model::error::ConfigError;
 use nss_sim::runner::{ReplicatedTraces, Replication};
@@ -96,6 +96,7 @@ impl DesignOptimizer {
             max_phases: 10_000,
             track_success_rate: false,
             node_failure_per_phase: 0.0,
+            backend: MediumBackend::UnitDisk,
         };
         Replication::paper(self.model.deployment, gossip, master_seed)
             .with_runs(replications)

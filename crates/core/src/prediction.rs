@@ -11,7 +11,8 @@ use crate::network::NetworkModel;
 use nss_model::ids::NodeId;
 use nss_model::rng::{SeedFactory, Stream};
 use nss_model::topology::Topology;
-use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::executor::Executor;
+use nss_sim::slotted::GossipConfig;
 use nss_sim::stats::Summary;
 use serde::{Deserialize, Serialize};
 
@@ -103,7 +104,9 @@ pub fn flooding_gap(model: &NetworkModel, replications: u32, master_seed: u64) -
         // CAM reality.
         let mut cfg = GossipConfig::flooding_cam();
         cfg.s = model.slots;
-        let trace = run_gossip(&topo, &cfg, factory.seed(Stream::Protocol, u64::from(rep)));
+        let trace = Executor::new(&topo)
+            .gossip(cfg)
+            .run(factory.seed(Stream::Protocol, u64::from(rep)));
         cam_reach.push(trace.final_reachability());
         cam_reach_at.push(trace.phase_series().reachability_at_latency(ecc));
         cam_lat.push(trace.phases() as f64);

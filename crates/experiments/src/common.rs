@@ -3,6 +3,7 @@
 use nss_analysis::optimize::ProbabilitySweep;
 use nss_analysis::ring_model::RingModelConfig;
 use nss_analysis::sweep::DensitySweep;
+use nss_model::comm::MediumBackend;
 use nss_model::deployment::Deployment;
 use nss_model::faults::FaultPlan;
 use nss_sim::runner::{ReplicatedTraces, Replication};
@@ -59,6 +60,9 @@ pub struct Ctx {
     /// Fault scenario applied to every simulated sweep (`--faults SPEC`);
     /// the empty plan reproduces the fault-free figures bit-for-bit.
     pub faults: FaultPlan,
+    /// Physical-layer backend for every simulated sweep (`--medium SPEC`);
+    /// the unit-disk default reproduces the paper figures bit-for-bit.
+    pub medium: MediumBackend,
     /// Live `/metrics` scrape endpoint for the run (`--metrics-addr`).
     pub metrics_addr: Option<String>,
     /// Flight-recorder dump path (`--trace-out`, Chrome `trace_event` JSON).
@@ -80,6 +84,7 @@ impl Ctx {
             threads: 0,
             seed: 2005,
             faults: FaultPlan::none(),
+            medium: MediumBackend::UnitDisk,
             metrics_addr: None,
             trace_out: None,
             artifacts: Arc::new(Mutex::new(Vec::new())),
@@ -301,7 +306,8 @@ pub fn sim_sweep(ctx: &Ctx, track_success_rate: bool) -> SimSweep {
             let rep = Replication::paper(Deployment::disk(5, 1.0, rho), gossip, cell_seed)
                 .with_runs(ctx.sim_runs())
                 .with_threads(ctx.threads)
-                .with_faults(ctx.faults.clone());
+                .with_faults(ctx.faults.clone())
+                .with_medium(ctx.medium);
             row.push(rep.run());
         }
         grid.push(row);

@@ -15,9 +15,10 @@ use nss_model::comm::CollisionRule;
 use nss_model::deployment::{Deployment, GridDeployment};
 use nss_model::rng::{SeedFactory, Stream};
 use nss_model::topology::Topology;
+use nss_sim::executor::Executor;
 use nss_sim::protocols::ack_flood::{run_ack_flood, AckFloodConfig};
 use nss_sim::protocols::async_gossip::{run_async_gossip, AsyncGossipConfig};
-use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::slotted::GossipConfig;
 use nss_sim::stats::Summary;
 
 /// Ext A — Appendix-A carrier-sense variant of Fig. 4(b).
@@ -121,11 +122,9 @@ pub fn ext_grid_percolation(ctx: &Ctx) {
             let dep = Deployment::Grid(GridDeployment::new(side, 1.0, 1.0));
             let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
             let cfg = GossipConfig::gossip_cfm(p);
-            let trace = run_gossip(
-                &topo,
-                &cfg,
-                factory.seed(Stream::Protocol, rep ^ (i as u64) << 8),
-            );
+            let trace = Executor::new(&topo)
+                .gossip(cfg)
+                .run(factory.seed(Stream::Protocol, rep ^ (i as u64) << 8));
             total += trace.final_reachability();
         }
         let mean = total / runs as f64;
@@ -224,11 +223,9 @@ pub fn ext_ack_flood(ctx: &Ctx) {
         for rep in 0..runs {
             let dep = Deployment::disk(4, 1.0, rho);
             let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
-            let plain = run_gossip(
-                &topo,
-                &GossipConfig::flooding_cam(),
-                factory.seed(Stream::Protocol, rep),
-            );
+            let plain = Executor::new(&topo)
+                .gossip(GossipConfig::flooding_cam())
+                .run(factory.seed(Stream::Protocol, rep));
             plain_tx.push(plain.total_broadcasts() as f64);
             let rel = run_ack_flood(
                 &topo,
@@ -290,7 +287,9 @@ pub fn ext_async(ctx: &Ctx) {
             let dep = Deployment::disk(5, 1.0, rho);
             let topo = Topology::build(&dep.sample(factory.seed(Stream::Deployment, rep)));
             let seed = factory.seed(Stream::Protocol, rep);
-            sync_total += run_gossip(&topo, &GossipConfig::pb_cam(p), seed)
+            sync_total += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(p))
+                .run(seed)
                 .phase_series()
                 .reachability_at_latency(LATENCY_BUDGET);
             async_total += run_async_gossip(&topo, &AsyncGossipConfig::paper(p), seed)
@@ -344,12 +343,10 @@ pub fn ext_survival(ctx: &Ctx) {
             let topo = Topology::build(
                 &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
             );
-            total += run_gossip(
-                &topo,
-                &GossipConfig::pb_cam(p),
-                factory.seed(Stream::Protocol, rep),
-            )
-            .final_reachability();
+            total += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(p))
+                .run(factory.seed(Stream::Protocol, rep))
+                .final_reachability();
         }
         let sim = total / runs as f64;
         nss_obs::status!(
@@ -445,7 +442,9 @@ pub fn ext_schemes(ctx: &Ctx) {
                 &Deployment::disk(5, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
             );
             let seed = factory.seed(Stream::Protocol, rep);
-            let t = run_gossip(&topo, &GossipConfig::pb_cam(p), seed);
+            let t = Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(p))
+                .run(seed);
             acc[0].0 += t.final_reachability();
             acc[0].1 += t.total_broadcasts();
             let t = run_counter_broadcast(&topo, &CounterConfig::paper(3), seed);
@@ -570,7 +569,9 @@ pub fn ext_failures(ctx: &Ctx) {
                 );
                 let mut cfg = GossipConfig::pb_cam(p);
                 cfg.node_failure_per_phase = q;
-                total += run_gossip(&topo, &cfg, factory.seed(Stream::Protocol, rep))
+                total += Executor::new(&topo)
+                    .gossip(cfg)
+                    .run(factory.seed(Stream::Protocol, rep))
                     .final_reachability();
             }
             let mean = total / runs as f64;
@@ -591,7 +592,7 @@ pub fn ext_failures(ctx: &Ctx) {
 /// Ext M — TDMA (CFM via time diversity, §3.2.1) vs CSMA-style CAM
 /// flooding: reliability vs latency, quantified.
 pub fn ext_tdma(ctx: &Ctx) {
-    use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
+    use nss_sim::tdma::TdmaSchedule;
     heading("Ext M: TDMA-implemented CFM flooding vs CAM flooding");
     nss_obs::status!(
         "{:>6} {:>8} {:>12} {:>12} {:>12} {:>12}",
@@ -616,16 +617,14 @@ pub fn ext_tdma(ctx: &Ctx) {
                 &Deployment::disk(4, 1.0, rho).sample(factory.seed(Stream::Deployment, rep)),
             );
             let schedule = TdmaSchedule::build(&topo);
-            let out = run_tdma_flooding(&topo, &schedule);
+            let out = Executor::new(&topo).run_tdma(&schedule);
             assert_eq!(out.collisions, 0, "schedule must be collision-free");
             frame += u64::from(out.frame_len);
             tdma_slots += out.slots_elapsed;
             tdma_reach += out.reachability();
-            let trace = run_gossip(
-                &topo,
-                &GossipConfig::flooding_cam(),
-                factory.seed(Stream::Protocol, rep),
-            );
+            let trace = Executor::new(&topo)
+                .gossip(GossipConfig::flooding_cam())
+                .run(factory.seed(Stream::Protocol, rep));
             cam_slots += trace.phases() as u64 * 3; // s = 3 slots per phase
             cam_reach += trace.final_reachability();
         }
@@ -711,7 +710,6 @@ pub fn ext_hetero(ctx: &Ctx) {
     use nss_core::adaptive::{per_node_probabilities, AdaptiveController};
     use nss_model::deployment::ClusterDeployment;
     use nss_sim::probe::probe_per_node_success;
-    use nss_sim::slotted::run_gossip_per_node;
 
     heading("Ext O: clustered density — fixed vs global-adaptive vs per-node adaptive");
     let mut base = ctx.ring_base();
@@ -752,7 +750,11 @@ pub fn ext_hetero(ctx: &Ctx) {
 
             // (a) fixed p tuned for the MEAN density via the 13/rho rule.
             let p_fixed = (13.0 / topo.mean_degree().max(1.0)).clamp(0.02, 1.0);
-            let (a, b) = eval(run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed));
+            let (a, b) = eval(
+                Executor::new(&topo)
+                    .gossip(GossipConfig::pb_cam(p_fixed))
+                    .run(seed),
+            );
             fixed.0 += a;
             fixed.1 += b;
 
@@ -765,18 +767,22 @@ pub fn ext_hetero(ctx: &Ctx) {
             );
             let global_sr = rates.iter().sum::<f64>() / rates.len() as f64;
             let p_global = controller.probability(global_sr);
-            let (a, b) = eval(run_gossip(&topo, &GossipConfig::pb_cam(p_global), seed));
+            let (a, b) = eval(
+                Executor::new(&topo)
+                    .gossip(GossipConfig::pb_cam(p_global))
+                    .run(seed),
+            );
             global.0 += a;
             global.1 += b;
 
             // (c) per-node adaptive: each node from its own measured rate.
             let probs = per_node_probabilities(&controller, &rates);
-            let (a, b) = eval(run_gossip_per_node(
-                &topo,
-                &GossipConfig::pb_cam(0.5),
-                &probs,
-                seed,
-            ));
+            let (a, b) = eval(
+                Executor::new(&topo)
+                    .gossip(GossipConfig::pb_cam(0.5))
+                    .per_node_probs(probs)
+                    .run(seed),
+            );
             local.0 += a;
             local.1 += b;
         }

@@ -11,8 +11,8 @@
 
 use crate::common::Ctx;
 use crate::{
-    ext_connectivity, ext_faults, extensions, fig04, fig05, fig06, fig07, fig08, fig09, fig10,
-    fig11, fig12, report,
+    ext_connectivity, ext_faults, ext_sinr, extensions, fig04, fig05, fig06, fig07, fig08, fig09,
+    fig10, fig11, fig12, report,
 };
 
 /// One reproducible artifact of the harness.
@@ -306,6 +306,13 @@ pub static REGISTRY: &[FigureDef] = &[
         "Monte-Carlo connectivity probability at f * r_crit(n)",
         "repro.ext-connectivity",
         ext_connectivity::run
+    ),
+    fig!(
+        "ext-sinr",
+        "ext",
+        "SINR vs unit-disk backends: reachability overlay, transmit-only uplink",
+        "repro.ext-sinr",
+        ext_sinr::run
     ),
     fig!(
         "report",

@@ -14,6 +14,7 @@
 //! own flags, blocks until killed).
 //! Options: `--fast` (smoke-scale), `--out DIR`, `--runs N`, `--threads N`,
 //! `--seed S`, `--faults SPEC` (e.g. `"loss=0.2,dead=0.1"`),
+//! `--medium SPEC` (`unit-disk` or e.g. `"sinr:alpha=4,beta=0.5"`),
 //! `--metrics-addr HOST:PORT` (live `/metrics` scrapes for the run's
 //! duration), `--trace-out FILE` (flight-recorder dump, Chrome
 //! `trace_event` JSON). The last two carry data only with `--features obs`.
@@ -23,6 +24,7 @@
 mod common;
 mod ext_connectivity;
 mod ext_faults;
+mod ext_sinr;
 mod extensions;
 mod fig04;
 mod fig05;
@@ -38,6 +40,7 @@ mod report;
 
 use common::Ctx;
 use figures::Figure;
+use nss_model::comm::MediumBackend;
 use nss_model::faults::FaultPlan;
 use std::collections::BTreeSet;
 use std::time::Instant;
@@ -104,10 +107,18 @@ fn main() {
         ctx.fast,
         ctx.sim_runs(),
         ctx.seed,
-        if ctx.faults.is_empty() {
-            String::new()
-        } else {
-            format!(", faults={}", ctx.faults.to_spec())
+        match (
+            ctx.faults.is_empty(),
+            matches!(ctx.medium, MediumBackend::UnitDisk),
+        ) {
+            (true, true) => String::new(),
+            (false, true) => format!(", faults={}", ctx.faults.to_spec()),
+            (true, false) => format!(", medium={}", ctx.medium.to_spec()),
+            (false, false) => format!(
+                ", faults={}, medium={}",
+                ctx.faults.to_spec(),
+                ctx.medium.to_spec()
+            ),
         }
     );
 
@@ -250,6 +261,11 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(Ctx, Vec<String>), 
                 ctx.faults =
                     FaultPlan::parse_spec(&v).map_err(|e| format!("--faults spec '{v}': {e}"))?;
             }
+            "--medium" => {
+                let v = args.next().ok_or("--medium needs a spec string")?;
+                ctx.medium = MediumBackend::parse_spec(&v)
+                    .map_err(|e| format!("--medium spec '{v}': {e}"))?;
+            }
             "--metrics-addr" => {
                 ctx.metrics_addr = Some(args.next().ok_or("--metrics-addr needs HOST:PORT")?);
             }
@@ -305,6 +321,7 @@ fn write_run_records(ctx: &Ctx, selected: &BTreeSet<&str>, wall_s: f64) {
     manifest.config_entry("threads", ctx.threads);
     manifest.config_entry("out_dir", ctx.out_dir.display());
     manifest.config_entry("faults", ctx.faults.to_spec());
+    manifest.config_entry("medium", ctx.medium.to_spec());
     manifest.config_entry("obs_enabled", nss_obs::enabled());
     for cmd in selected {
         manifest.commands.push((*cmd).to_string());
@@ -338,7 +355,8 @@ fn print_list() {
 fn print_usage() {
     println!(
         "usage: repro [--fast] [--quiet] [--out DIR] [--runs N] [--threads N] [--seed S]\n             \
-         [--faults SPEC] [--metrics-addr HOST:PORT] [--trace-out FILE] COMMAND...\n\
+         [--faults SPEC] [--medium SPEC] [--metrics-addr HOST:PORT] [--trace-out FILE]\n             \
+         COMMAND...\n\
          commands:\n  \
          list                     print every registered figure\n  \
          fig4 fig5 fig6 fig7      analytical figures (ring model)\n  \
@@ -346,10 +364,11 @@ fn print_usage() {
          fig12                    success-rate correlation\n  \
          ext-cs ext-cfmgap ext-grid ext-adaptive ext-ack ext-async ext-mumode\n  \
          ext-survival ext-cfmcost ext-schemes ext-converge ext-failures ext-tdma\n  \
-         ext-slots ext-hetero ext-fieldsize ext-faults\n  \
+         ext-slots ext-hetero ext-fieldsize ext-faults ext-sinr\n  \
          report                   compose results/REPORT.md from the CSVs\n  \
          analysis | sim | ext | misc | all\n  \
          serve                    run the HTTP query service (see `repro serve --help`)\n\
-         fault spec: comma-separated, e.g. \"loss=0.2,dead=0.1,duty=3/5,budget=2,out=3:2-5\""
+         fault spec: comma-separated, e.g. \"loss=0.2,dead=0.1,duty=3/5,budget=2,out=3:2-5\"\n\
+         medium spec: \"unit-disk\" (default) or \"sinr[:alpha=A,beta=B,noise=N,kappa=K]\""
     );
 }

@@ -147,6 +147,179 @@ impl CommunicationModel {
     }
 }
 
+/// Parameters of the SINR (physical / signal-to-interference-plus-noise)
+/// reception model from *Towards Tight Bounds for Local Broadcasting*.
+///
+/// Powers are **normalized**: a transmitter at distance `d ≤ r` from a
+/// receiver arrives with power `(r²/d²)^(α/2)`, so the weakest in-range
+/// link (at `d = r`) has power exactly 1 and `noise` is expressed in the
+/// same units. A packet from the strongest in-range transmitter decodes
+/// iff
+///
+/// ```text
+///   signal / (noise + Σ interference) ≥ β
+/// ```
+///
+/// where the interference sum ranges over every *other* concurrent
+/// transmitter within `interference_factor · r` of the receiver (the
+/// truncation the spatial grid makes cheap; contributions beyond it are
+/// below `interference_factor^-α` per transmitter and are dropped).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SinrParams {
+    /// Path-loss exponent `α` (free space ≈ 2, urban 3–4). Must be > 0.
+    pub alpha: f64,
+    /// Decode threshold `β` ≥ 0. `β ≥ 1` forbids capture-free ties;
+    /// `β → 0` accepts any nonzero-SINR reception.
+    pub beta: f64,
+    /// Ambient noise floor in normalized power units (≥ 0; 0 = the
+    /// interference-limited regime).
+    pub noise: f64,
+    /// Interference truncation radius as a multiple of the transmission
+    /// range `r` (≥ 1).
+    pub interference_factor: f64,
+}
+
+impl SinrParams {
+    /// A conventional default: `α = 3`, `β = 1`, no noise, interference
+    /// truncated at `3r`.
+    pub const DEFAULT: SinrParams = SinrParams {
+        alpha: 3.0,
+        beta: 1.0,
+        noise: 0.0,
+        interference_factor: 3.0,
+    };
+
+    /// Validates parameter ranges.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.alpha > 0.0 && self.alpha.is_finite()) {
+            return Err(ConfigError::NotPositive {
+                field: "sinr.alpha",
+                value: self.alpha,
+            });
+        }
+        for (field, value) in [("sinr.beta", self.beta), ("sinr.noise", self.noise)] {
+            if !(value >= 0.0 && value.is_finite()) {
+                return Err(ConfigError::NotPositive { field, value });
+            }
+        }
+        if !(self.interference_factor >= 1.0 && self.interference_factor.is_finite()) {
+            return Err(ConfigError::TooSmall {
+                field: "sinr.interference_factor",
+                min: 1,
+                value: self.interference_factor as u64,
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Default for SinrParams {
+    fn default() -> Self {
+        SinrParams::DEFAULT
+    }
+}
+
+/// Which physical-layer arbitration backend resolves concurrent CAM
+/// transmissions.
+///
+/// The backend refines *how* Assumption 6's "concurrent transmissions
+/// interfere" is decided; CFM is reliable by definition and ignores it.
+/// [`MediumBackend::UnitDisk`] (the default) is the paper's boolean
+/// unit-disk rule and is guaranteed byte-identical to the pre-backend
+/// code path; [`MediumBackend::Sinr`] replaces the boolean rule with
+/// received-power sums (and in particular models the *capture effect*:
+/// the strongest of several colliding transmitters may still decode).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub enum MediumBackend {
+    /// Boolean unit-disk interference (Assumption 6 / Appendix A).
+    #[default]
+    UnitDisk,
+    /// SINR reception with the given parameters.
+    Sinr(SinrParams),
+}
+
+impl MediumBackend {
+    /// True for the SINR backend.
+    pub fn is_sinr(&self) -> bool {
+        matches!(self, MediumBackend::Sinr(_))
+    }
+
+    /// Validates backend parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        match self {
+            MediumBackend::UnitDisk => Ok(()),
+            MediumBackend::Sinr(p) => p.validate(),
+        }
+    }
+
+    /// Serializes to the compact spec accepted by
+    /// [`MediumBackend::parse_spec`] (and the `repro --medium` flag).
+    pub fn to_spec(&self) -> String {
+        match self {
+            MediumBackend::UnitDisk => "unit-disk".to_string(),
+            MediumBackend::Sinr(p) => format!(
+                "sinr:alpha={},beta={},noise={},kappa={}",
+                p.alpha, p.beta, p.noise, p.interference_factor
+            ),
+        }
+    }
+
+    /// Parses the compact spec format:
+    ///
+    /// * `unit-disk` — the default boolean backend
+    /// * `sinr` — SINR with [`SinrParams::DEFAULT`]
+    /// * `sinr:alpha=A,beta=B,noise=N,kappa=K` — SINR with overrides
+    ///   (each key optional, in any order)
+    ///
+    /// ```
+    /// use nss_model::comm::{MediumBackend, SinrParams};
+    ///
+    /// assert_eq!(
+    ///     MediumBackend::parse_spec("unit-disk").unwrap(),
+    ///     MediumBackend::UnitDisk
+    /// );
+    /// let b = MediumBackend::parse_spec("sinr:alpha=4,beta=0.5").unwrap();
+    /// assert_eq!(
+    ///     b,
+    ///     MediumBackend::Sinr(SinrParams { alpha: 4.0, beta: 0.5, ..SinrParams::DEFAULT })
+    /// );
+    /// assert_eq!(MediumBackend::parse_spec(&b.to_spec()).unwrap(), b);
+    /// assert!(MediumBackend::parse_spec("sinr:alpha=-1").is_err());
+    /// ```
+    pub fn parse_spec(spec: &str) -> Result<Self, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "unit-disk" {
+            return Ok(MediumBackend::UnitDisk);
+        }
+        let rest = spec
+            .strip_prefix("sinr")
+            .ok_or_else(|| format!("unknown medium backend `{spec}` (unit-disk | sinr[:...])"))?;
+        let mut p = SinrParams::DEFAULT;
+        if let Some(kvs) = rest.strip_prefix(':') {
+            for part in kvs.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                let (key, value) = part
+                    .split_once('=')
+                    .ok_or_else(|| format!("medium spec item `{part}` is not key=value"))?;
+                let v: f64 = value
+                    .parse()
+                    .map_err(|_| format!("bad medium value `{value}` for `{key}`"))?;
+                match key {
+                    "alpha" => p.alpha = v,
+                    "beta" => p.beta = v,
+                    "noise" => p.noise = v,
+                    "kappa" => p.interference_factor = v,
+                    other => return Err(format!("unknown medium spec key `{other}`")),
+                }
+            }
+        } else if !rest.is_empty() {
+            return Err(format!("unknown medium backend `{spec}`"));
+        }
+        let backend = MediumBackend::Sinr(p);
+        backend.validate().map_err(|e| e.to_string())?;
+        Ok(backend)
+    }
+}
+
 /// The communication primitives the link-layer models expose (§3.2).
 ///
 /// Both primitives obey the same collision semantics; they differ only in
@@ -212,6 +385,63 @@ mod tests {
         assert_eq!(CommunicationModel::Cfm.energy_cost(&costs), 3.0);
         assert_eq!(CommunicationModel::CAM.time_cost(&costs), 1.0);
         assert_eq!(CommunicationModel::CAM.energy_cost(&costs), 1.5);
+    }
+
+    #[test]
+    fn sinr_validation() {
+        assert!(SinrParams::DEFAULT.validate().is_ok());
+        assert!(MediumBackend::UnitDisk.validate().is_ok());
+        let mut p = SinrParams::DEFAULT;
+        p.alpha = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = SinrParams::DEFAULT;
+        p.beta = -0.5;
+        assert!(p.validate().is_err());
+        let mut p = SinrParams::DEFAULT;
+        p.noise = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = SinrParams::DEFAULT;
+        p.interference_factor = 0.5;
+        assert!(MediumBackend::Sinr(p).validate().is_err());
+    }
+
+    #[test]
+    fn medium_spec_roundtrip() {
+        // The vendored serde is a marker-only shim, so the durable wire
+        // format is the spec string; round-trip both variants through it.
+        for backend in [
+            MediumBackend::UnitDisk,
+            MediumBackend::Sinr(SinrParams::DEFAULT),
+            MediumBackend::Sinr(SinrParams {
+                alpha: 2.5,
+                beta: 0.25,
+                noise: 0.01,
+                interference_factor: 4.0,
+            }),
+        ] {
+            let spec = backend.to_spec();
+            assert_eq!(MediumBackend::parse_spec(&spec).unwrap(), backend, "{spec}");
+        }
+        // Defaults and shorthand.
+        assert_eq!(
+            MediumBackend::parse_spec("").unwrap(),
+            MediumBackend::UnitDisk
+        );
+        assert_eq!(
+            MediumBackend::parse_spec("sinr").unwrap(),
+            MediumBackend::Sinr(SinrParams::DEFAULT)
+        );
+        assert_eq!(MediumBackend::default(), MediumBackend::UnitDisk);
+    }
+
+    #[test]
+    fn medium_spec_errors() {
+        assert!(MediumBackend::parse_spec("laser").is_err());
+        assert!(MediumBackend::parse_spec("sinrx").is_err());
+        assert!(MediumBackend::parse_spec("sinr:alpha").is_err());
+        assert!(MediumBackend::parse_spec("sinr:alpha=x").is_err());
+        assert!(MediumBackend::parse_spec("sinr:wat=1").is_err());
+        assert!(MediumBackend::parse_spec("sinr:beta=-1").is_err()); // fails validate
     }
 
     #[test]

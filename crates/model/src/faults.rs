@@ -72,6 +72,37 @@ impl DutyCycle {
     }
 }
 
+/// Run-level hardware capability of one node, sampled per node from the
+/// faults stream (see [`FaultPlan::capability_of`]).
+///
+/// Generalizes dead-receiver thinning to the heterogeneous deployments of
+/// *On Performance of Event-to-Sink Transport in Transmit-Only Sensor
+/// Networks*: a transmit-only node has no receiver chain — it can source
+/// and send packets but never hears, so it is unreachable by broadcast
+/// and never relays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum Capability {
+    /// Full transceiver: transmits and receives.
+    #[default]
+    Normal,
+    /// Transmitter only: sources/sends packets but never receives.
+    TransmitOnly,
+    /// Dead for the whole run: neither transmits nor receives.
+    Dead,
+}
+
+impl Capability {
+    /// Whether this class can receive packets.
+    pub fn can_receive(&self) -> bool {
+        matches!(self, Capability::Normal)
+    }
+
+    /// Whether this class can transmit packets.
+    pub fn can_transmit(&self) -> bool {
+        !matches!(self, Capability::Dead)
+    }
+}
+
 /// A complete fault scenario for one execution.
 ///
 /// The default ([`FaultPlan::none`]) injects nothing and is guaranteed to
@@ -87,12 +118,20 @@ pub struct FaultPlan {
     /// the channel, so they collide like any other transmission).
     pub link_loss: f64,
     /// Probability that a non-source node is dead for the entire run
-    /// (sampled per node from the faults stream).
+    /// (sampled per node from the faults stream); the
+    /// [`Capability::Dead`] class fraction.
     pub dead_frac: f64,
     /// Optional per-node broadcast quota: a node that has transmitted this
     /// many times runs out of energy and dies (stops relaying *and*
     /// receiving).
     pub energy_budget: Option<u32>,
+    /// Probability that a non-source node is transmit-only for the entire
+    /// run (the [`Capability::TransmitOnly`] class fraction). Sampled from
+    /// the *same* per-node draw as `dead_frac`, so adding transmit-only
+    /// nodes to a plan never changes *which* nodes the dead fraction
+    /// kills. `dead_frac + tx_only_frac` must stay ≤ 1.
+    #[serde(default)]
+    pub tx_only_frac: f64,
 }
 
 impl FaultPlan {
@@ -119,6 +158,28 @@ impl FaultPlan {
         }
     }
 
+    /// A plan that assigns each non-source node to capability `class` with
+    /// probability `frac` (the remainder stay [`Capability::Normal`]).
+    ///
+    /// `capability(Capability::Dead, f)` is exactly [`FaultPlan::thinned`];
+    /// `capability(Capability::Normal, _)` is the empty plan.
+    pub fn capability(class: Capability, frac: f64) -> Self {
+        match class {
+            Capability::Normal => FaultPlan::none(),
+            Capability::TransmitOnly => FaultPlan {
+                tx_only_frac: frac,
+                ..FaultPlan::default()
+            },
+            Capability::Dead => FaultPlan::thinned(frac),
+        }
+    }
+
+    /// A plan that makes each non-source node transmit-only for the whole
+    /// run with probability `frac`.
+    pub fn transmit_only(frac: f64) -> Self {
+        FaultPlan::capability(Capability::TransmitOnly, frac)
+    }
+
     /// True when the plan injects nothing; executors take the exact
     /// fault-free code path in that case.
     pub fn is_empty(&self) -> bool {
@@ -127,6 +188,7 @@ impl FaultPlan {
             && self.link_loss == 0.0
             && self.dead_frac == 0.0
             && self.energy_budget.is_none()
+            && self.tx_only_frac == 0.0
     }
 
     /// Validates parameter ranges.
@@ -141,6 +203,20 @@ impl FaultPlan {
             return Err(ConfigError::OutOfUnitRange {
                 field: "dead_frac",
                 value: self.dead_frac,
+            });
+        }
+        if !(0.0..=1.0).contains(&self.tx_only_frac) {
+            return Err(ConfigError::OutOfUnitRange {
+                field: "tx_only_frac",
+                value: self.tx_only_frac,
+            });
+        }
+        if self.dead_frac + self.tx_only_frac > 1.0 {
+            return Err(ConfigError::Exceeds {
+                field: "dead_frac + tx_only_frac",
+                bound: "1",
+                value: self.dead_frac + self.tx_only_frac,
+                limit: 1.0,
             });
         }
         if let Some(d) = self.duty_cycle {
@@ -230,6 +306,36 @@ impl FaultPlan {
         hash_unit(faults_seed ^ 0xD1E5_F00D, u64::from(node)) >= self.dead_frac
     }
 
+    /// The run-level [`Capability`] class of node `node` under `faults_seed`.
+    ///
+    /// Stateless, like [`FaultPlan::survives_thinning`], and built on the
+    /// *same* per-node draw: the unit interval is partitioned as
+    /// `[0, dead_frac)` → [`Capability::Dead`],
+    /// `[dead_frac, dead_frac + tx_only_frac)` → [`Capability::TransmitOnly`],
+    /// rest → [`Capability::Normal`]. So for every node and seed,
+    /// `survives_thinning(n, s) == (capability_of(n, s) != Capability::Dead)`
+    /// bit-exactly, and raising `tx_only_frac` never changes which nodes
+    /// die. The source (node 0) is always [`Capability::Normal`].
+    pub fn capability_of(&self, node: u32, faults_seed: u64) -> Capability {
+        if node == 0 {
+            return Capability::Normal;
+        }
+        if self.dead_frac >= 1.0 {
+            return Capability::Dead;
+        }
+        if self.dead_frac <= 0.0 && self.tx_only_frac <= 0.0 {
+            return Capability::Normal;
+        }
+        let u = hash_unit(faults_seed ^ 0xD1E5_F00D, u64::from(node));
+        if self.dead_frac > 0.0 && u < self.dead_frac {
+            return Capability::Dead;
+        }
+        if self.tx_only_frac > 0.0 && u < self.dead_frac.max(0.0) + self.tx_only_frac {
+            return Capability::TransmitOnly;
+        }
+        Capability::Normal
+    }
+
     /// Serializes the plan to the compact single-line spec format accepted
     /// by [`FaultPlan::parse_spec`] (and the `repro --faults` flag).
     pub fn to_spec(&self) -> String {
@@ -239,6 +345,9 @@ impl FaultPlan {
         }
         if self.dead_frac > 0.0 {
             parts.push(format!("dead={}", self.dead_frac));
+        }
+        if self.tx_only_frac > 0.0 {
+            parts.push(format!("txonly={}", self.tx_only_frac));
         }
         if let Some(d) = self.duty_cycle {
             parts.push(format!("duty={}/{}", d.on_phases, d.period));
@@ -259,6 +368,7 @@ impl FaultPlan {
     ///
     /// * `loss=F` — per-link loss probability
     /// * `dead=F` — dead-from-start node fraction
+    /// * `txonly=F` — transmit-only node fraction
     /// * `duty=ON/PERIOD` — duty cycle
     /// * `budget=N` — per-node broadcast quota
     /// * `out=NODE:FROM-UNTIL` — outage window (`UNTIL` empty = forever)
@@ -291,6 +401,11 @@ impl FaultPlan {
                     plan.dead_frac = value
                         .parse()
                         .map_err(|_| format!("bad dead fraction `{value}`"))?;
+                }
+                "txonly" => {
+                    plan.tx_only_frac = value
+                        .parse()
+                        .map_err(|_| format!("bad transmit-only fraction `{value}`"))?;
                 }
                 "duty" => {
                     let (on, period) = value
@@ -476,6 +591,7 @@ mod tests {
             link_loss: 0.25,
             dead_frac: 0.1,
             energy_budget: Some(2),
+            tx_only_frac: 0.15,
         };
         let spec = plan.to_spec();
         let parsed = FaultPlan::parse_spec(&spec).expect("roundtrip parse");
@@ -497,6 +613,91 @@ mod tests {
         let p = FaultPlan::parse_spec(" loss=0.2 , dead=0.1 ").unwrap();
         assert_eq!(p.link_loss, 0.2);
         assert_eq!(p.dead_frac, 0.1);
+    }
+
+    #[test]
+    fn capability_partitions_the_same_draw_as_thinning() {
+        let seed = 987;
+        let dead_only = FaultPlan::thinned(0.3);
+        let mixed = FaultPlan {
+            dead_frac: 0.3,
+            tx_only_frac: 0.4,
+            ..FaultPlan::default()
+        };
+        for node in 0..5000u32 {
+            // Bit-exact agreement between the legacy predicate and the class.
+            assert_eq!(
+                dead_only.survives_thinning(node, seed),
+                dead_only.capability_of(node, seed) != Capability::Dead,
+                "node {node}"
+            );
+            // Adding a transmit-only fraction never changes who dies.
+            assert_eq!(
+                mixed.capability_of(node, seed) == Capability::Dead,
+                dead_only.capability_of(node, seed) == Capability::Dead,
+                "node {node}"
+            );
+        }
+        // Class fractions come out roughly proportional.
+        let classes: Vec<Capability> = (1..=5000).map(|u| mixed.capability_of(u, seed)).collect();
+        let frac = |c: Capability| {
+            classes.iter().filter(|&&x| x == c).count() as f64 / classes.len() as f64
+        };
+        assert!((0.25..=0.35).contains(&frac(Capability::Dead)));
+        assert!((0.35..=0.45).contains(&frac(Capability::TransmitOnly)));
+        assert!((0.25..=0.35).contains(&frac(Capability::Normal)));
+        // The source is always a full transceiver; no draw → all Normal.
+        assert_eq!(mixed.capability_of(0, seed), Capability::Normal);
+        assert_eq!(
+            FaultPlan::none().capability_of(42, seed),
+            Capability::Normal
+        );
+        // Extremes saturate.
+        assert_eq!(
+            FaultPlan::thinned(1.0).capability_of(7, seed),
+            Capability::Dead
+        );
+        assert_eq!(
+            FaultPlan::transmit_only(1.0).capability_of(7, seed),
+            Capability::TransmitOnly
+        );
+    }
+
+    #[test]
+    fn capability_constructors_and_predicates() {
+        assert!(FaultPlan::capability(Capability::Normal, 0.5).is_empty());
+        assert_eq!(
+            FaultPlan::capability(Capability::Dead, 0.2),
+            FaultPlan::thinned(0.2)
+        );
+        let tx = FaultPlan::transmit_only(0.3);
+        assert!(!tx.is_empty());
+        assert_eq!(tx.tx_only_frac, 0.3);
+        assert!(tx.validate().is_ok());
+        // Fractions must fit in the unit interval together.
+        assert!(FaultPlan::transmit_only(1.5).validate().is_err());
+        assert!(FaultPlan::transmit_only(-0.1).validate().is_err());
+        let mut p = FaultPlan::thinned(0.7);
+        p.tx_only_frac = 0.5;
+        assert!(matches!(p.validate(), Err(ConfigError::Exceeds { .. })));
+        // Class predicates.
+        assert!(Capability::Normal.can_receive() && Capability::Normal.can_transmit());
+        assert!(!Capability::TransmitOnly.can_receive());
+        assert!(Capability::TransmitOnly.can_transmit());
+        assert!(!Capability::Dead.can_receive() && !Capability::Dead.can_transmit());
+    }
+
+    #[test]
+    fn txonly_spec_roundtrip() {
+        let plan = FaultPlan::parse_spec("dead=0.1,txonly=0.2").unwrap();
+        assert_eq!(plan.dead_frac, 0.1);
+        assert_eq!(plan.tx_only_frac, 0.2);
+        assert_eq!(plan.to_spec(), "dead=0.1,txonly=0.2");
+        assert!(FaultPlan::parse_spec("txonly=x").is_err());
+        assert!(FaultPlan::parse_spec("dead=0.6,txonly=0.6").is_err());
+        // Old specs (no txonly key) still parse to tx_only_frac = 0.
+        let legacy = FaultPlan::parse_spec("loss=0.2,dead=0.1").unwrap();
+        assert_eq!(legacy.tx_only_frac, 0.0);
     }
 
     #[test]

@@ -146,7 +146,8 @@ fn expected(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slotted::{run_gossip, GossipConfig};
+    use crate::executor::Executor;
+    use crate::slotted::GossipConfig;
     use nss_model::deployment::DeployedNetwork;
     use nss_model::geometry::Point2;
 
@@ -238,7 +239,10 @@ mod tests {
         cfg.s = s;
         let mut total = 0.0;
         for seed in 0..runs {
-            total += run_gossip(&topo, &cfg, seed).final_reachability();
+            total += Executor::new(&topo)
+                .gossip(cfg)
+                .run(seed)
+                .final_reachability();
         }
         let mc = total / runs as f64;
         // Std error ≈ 0.5/√runs ≈ 0.0025; allow 5σ.

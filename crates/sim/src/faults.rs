@@ -14,7 +14,7 @@
 
 use crate::bits::BitSet;
 use crate::medium::SlotStats;
-use nss_model::faults::{hash_unit, FaultPlan};
+use nss_model::faults::{hash_unit, Capability, FaultPlan};
 use nss_model::rng::splitmix64;
 
 /// Per-slot fault context handed to [`crate::medium::Medium::resolve_slot`]
@@ -22,7 +22,9 @@ use nss_model::rng::splitmix64;
 /// coin for this `(phase, slot)`.
 #[derive(Debug)]
 pub struct SlotFaults<'a> {
-    /// Effective liveness this phase; dead receivers hear nothing.
+    /// Effective *hearing* mask this phase: dead receivers hear nothing,
+    /// and neither do transmit-only nodes (which stay alive as senders but
+    /// have no receiver chain).
     pub alive: &'a BitSet,
     /// Per-delivery independent loss probability.
     pub link_loss: f64,
@@ -72,10 +74,17 @@ pub struct FaultState<'a> {
     seed: u64,
     /// Survives the run-level `dead_frac` thinning (fixed at construction).
     survives: BitSet,
+    /// Has a receiver chain: capability class is not
+    /// [`Capability::TransmitOnly`] (fixed at construction).
+    rx_capable: BitSet,
     /// Broadcast counts toward `energy_budget`.
     broadcasts: Vec<u32>,
     exhausted: BitSet,
     alive: BitSet,
+    /// `alive ∧ rx_capable` — the reception-gating mask handed to the
+    /// medium. Bitwise equal to `alive` when `tx_only_frac` is zero, so
+    /// plans without transmit-only nodes stay byte-identical.
+    hearing: BitSet,
 }
 
 impl<'a> FaultState<'a> {
@@ -83,30 +92,35 @@ impl<'a> FaultState<'a> {
     /// (derived from [`Stream::Faults`](nss_model::rng::Stream::Faults)).
     pub fn new(plan: &'a FaultPlan, seed: u64, n: usize) -> Self {
         let mut survives = BitSet::new(n);
+        let mut rx_capable = BitSet::new(n);
         for u in 0..n {
             if plan.survives_thinning(u as u32, seed) {
                 survives.set(u);
+            }
+            if plan.capability_of(u as u32, seed) != Capability::TransmitOnly {
+                rx_capable.set(u);
             }
         }
         FaultState {
             plan,
             seed,
             survives,
+            rx_capable,
             broadcasts: vec![0; n],
             exhausted: BitSet::new(n),
             alive: BitSet::filled(n),
+            hearing: BitSet::filled(n),
         }
     }
 
     /// Recomputes the effective liveness mask for `phase` (1-based).
     pub fn begin_phase(&mut self, phase: u32) {
         for u in 0..self.alive.len() {
-            self.alive.assign(
-                u,
-                self.survives.get(u)
-                    && !self.exhausted.get(u)
-                    && self.plan.scheduled_awake(u as u32, phase),
-            );
+            let alive = self.survives.get(u)
+                && !self.exhausted.get(u)
+                && self.plan.scheduled_awake(u as u32, phase);
+            self.alive.assign(u, alive);
+            self.hearing.assign(u, alive && self.rx_capable.get(u));
         }
     }
 
@@ -115,9 +129,21 @@ impl<'a> FaultState<'a> {
         &self.alive
     }
 
-    /// Whether node `u` is alive in the current phase.
+    /// Whether node `u` is alive in the current phase (can transmit;
+    /// transmit-only nodes count as alive).
     pub fn is_alive(&self, u: usize) -> bool {
         self.alive.get(u)
+    }
+
+    /// Whether node `u` can *receive* in the current phase: alive and not
+    /// in the transmit-only capability class.
+    pub fn can_hear(&self, u: usize) -> bool {
+        self.hearing.get(u)
+    }
+
+    /// The reception-gating mask (`alive ∧ rx_capable`) for this phase.
+    pub fn hearing(&self) -> &BitSet {
+        &self.hearing
     }
 
     /// Number of alive nodes in the current phase.
@@ -141,9 +167,11 @@ impl<'a> FaultState<'a> {
         }
     }
 
-    /// Per-slot fault context for the medium.
+    /// Per-slot fault context for the medium. The reception mask is the
+    /// hearing mask, so transmit-only nodes are counted as `dead_drops`
+    /// receivers exactly like fault-killed ones.
     pub fn slot(&self, phase: u32, slot: u32) -> SlotFaults<'_> {
-        SlotFaults::new(&self.alive, self.plan.link_loss, self.seed, phase, slot)
+        SlotFaults::new(&self.hearing, self.plan.link_loss, self.seed, phase, slot)
     }
 }
 
@@ -249,6 +277,43 @@ mod tests {
         fs.note_broadcast(0);
         fs.begin_phase(4);
         assert!(fs.is_alive(0));
+    }
+
+    #[test]
+    fn hearing_mask_tracks_capability_classes() {
+        // Without transmit-only nodes the hearing mask IS the alive mask.
+        let plan = FaultPlan::thinned(0.4);
+        let mut fs = FaultState::new(&plan, 11, 300);
+        fs.begin_phase(1);
+        assert_eq!(fs.hearing(), fs.alive());
+        // With a transmit-only class, tx-only nodes stay alive (transmit)
+        // but drop out of the hearing mask.
+        let mixed = FaultPlan {
+            dead_frac: 0.2,
+            tx_only_frac: 0.3,
+            ..FaultPlan::default()
+        };
+        let mut fs = FaultState::new(&mixed, 11, 300);
+        fs.begin_phase(1);
+        let mut tx_only_seen = 0;
+        for u in 0..300 {
+            match mixed.capability_of(u as u32, 11) {
+                Capability::Normal => {
+                    assert!(fs.is_alive(u) && fs.can_hear(u), "node {u}");
+                }
+                Capability::TransmitOnly => {
+                    assert!(fs.is_alive(u) && !fs.can_hear(u), "node {u}");
+                    tx_only_seen += 1;
+                }
+                Capability::Dead => {
+                    assert!(!fs.is_alive(u) && !fs.can_hear(u), "node {u}");
+                }
+            }
+        }
+        assert!(tx_only_seen > 50, "expected a sizable tx-only class");
+        // The slot context gates reception on the hearing mask.
+        let sf = fs.slot(1, 0);
+        assert_eq!(sf.alive, fs.hearing());
     }
 
     #[test]

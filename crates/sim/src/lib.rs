@@ -12,6 +12,8 @@
 //!   (Williams et al., the paper's future-work family).
 //! * [`engine`] — a generic discrete-event core for asynchronous (non
 //!   phase-aligned) executions.
+//! * [`executor`] — the unified [`Executor`] builder that selects the
+//!   engine, medium backend, fault plan, and probability axis for a run.
 //! * [`trace`] / [`runner`] / [`stats`] — execution records, seeded
 //!   parallel replication, and the 30-run aggregation the paper reports.
 //!
@@ -20,7 +22,9 @@
 //! use nss_model::prelude::*;
 //!
 //! let topo = Topology::build(&Deployment::disk(5, 1.0, 60.0).sample(1));
-//! let trace = run_gossip(&topo, &GossipConfig::pb_cam(0.2), 7);
+//! let trace = Executor::new(&topo)
+//!     .gossip(GossipConfig::pb_cam(0.2))
+//!     .run(7);
 //! assert!(trace.final_reachability() > 0.2);
 //! ```
 
@@ -28,7 +32,9 @@
 
 pub mod bits;
 pub mod engine;
+pub mod events;
 pub mod exact;
+pub mod executor;
 pub mod faults;
 pub mod medium;
 pub mod probe;
@@ -43,15 +49,22 @@ pub mod trace;
 /// Commonly used items, re-exported for glob import.
 pub mod prelude {
     pub use crate::bits::{AtomicBitSet, BitSet};
+    pub use crate::events::{run_event_delivery, EventDeliveryReport};
     pub use crate::exact::{exact_expected_informed, exact_expected_reachability};
+    pub use crate::executor::Executor;
     pub use crate::faults::{FaultState, SlotFaults};
     pub use crate::medium::{Medium, MediumScratch};
     pub use crate::probe::probe_per_node_success;
     pub use crate::runner::{ReplicatedTraces, Replication};
+    #[allow(deprecated)]
     pub use crate::sharded::{run_gossip_sharded, run_gossip_sharded_faulty};
-    pub use crate::slotted::{run_gossip, run_gossip_faulty, run_gossip_per_node, GossipConfig};
+    pub use crate::slotted::GossipConfig;
+    #[allow(deprecated)]
+    pub use crate::slotted::{run_gossip, run_gossip_faulty, run_gossip_per_node};
     pub use crate::stats::Summary;
-    pub use crate::tdma::{run_tdma_flooding, run_tdma_flooding_faulty, TdmaOutcome, TdmaSchedule};
+    #[allow(deprecated)]
+    pub use crate::tdma::{run_tdma_flooding, run_tdma_flooding_faulty};
+    pub use crate::tdma::{TdmaOutcome, TdmaSchedule};
     pub use crate::trace::{SimTrace, NEVER};
 }
 

@@ -10,9 +10,18 @@
 //!   `r` of `v` transmitted in the slot.
 //! * **CAM, carrier sense `f·r`** — additionally, no node in the annulus
 //!   `(r, f·r]` of `v` may have transmitted.
+//!
+//! A second physical-layer *backend* replaces the unit-disk reception rule
+//! with the SINR model (see [`MediumBackend::Sinr`]): normalized received
+//! power `p = (r²/d²)^(α/2)` per transmitter, and `v` decodes its strongest
+//! in-range candidate iff `p / (N + Σ interference) ≥ β`, with interference
+//! summed over every other transmitter within `κ·r` of `v`. The sum is
+//! accumulated per receiver in the spatial grid's canonical iteration
+//! order, so results are bit-identical under any engine or thread count.
 
+use crate::bits::BitSet;
 use crate::faults::SlotFaults;
-use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::comm::{CollisionRule, CommunicationModel, MediumBackend, SinrParams};
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
 
@@ -23,6 +32,7 @@ pub struct MediumScratch {
     cs_count: Vec<u16>,
     last_tx: Vec<u32>,
     touched: Vec<u32>,
+    tx_bits: BitSet,
 }
 
 impl MediumScratch {
@@ -33,6 +43,7 @@ impl MediumScratch {
             cs_count: vec![0; n],
             last_tx: vec![0; n],
             touched: Vec::with_capacity(256),
+            tx_bits: BitSet::new(n),
         }
     }
 
@@ -68,6 +79,13 @@ pub struct SlotStats {
     /// Clean receptions addressed to a node the fault plan had killed
     /// (crash schedule, duty-cycle sleep, thinning, energy exhaustion).
     pub dead_drops: u64,
+    /// Sole-candidate receptions the SINR threshold test rejected: no
+    /// concurrent in-range transmitter, but out-of-range interference (or
+    /// noise) pushed SINR below β. Zero under the unit-disk backend.
+    pub sinr_rejects: u64,
+    /// Deliveries decoded *despite* ≥ 2 concurrent in-range transmitters —
+    /// the SINR capture effect, impossible under unit-disk Assumption 6.
+    pub sinr_captures: u64,
 }
 
 impl SlotStats {
@@ -78,6 +96,8 @@ impl SlotStats {
         self.cs_deferrals += other.cs_deferrals;
         self.losses += other.losses;
         self.dead_drops += other.dead_drops;
+        self.sinr_rejects += other.sinr_rejects;
+        self.sinr_captures += other.sinr_captures;
     }
 }
 
@@ -85,17 +105,37 @@ impl SlotStats {
 #[derive(Debug, Clone, Copy)]
 pub struct Medium {
     model: CommunicationModel,
+    backend: MediumBackend,
 }
 
 impl Medium {
-    /// Creates a medium implementing the given communication model.
+    /// Creates a medium implementing the given communication model under
+    /// the default unit-disk backend (the paper's reception rules).
     pub fn new(model: CommunicationModel) -> Self {
-        Medium { model }
+        Medium {
+            model,
+            backend: MediumBackend::UnitDisk,
+        }
+    }
+
+    /// Creates a medium with an explicit physical-layer backend.
+    ///
+    /// The backend only affects CAM arbitration: CFM is reliable by
+    /// assumption, so it ignores the physical layer entirely. Under
+    /// [`MediumBackend::Sinr`] the CAM [`CollisionRule`] is subsumed by
+    /// the interference sum and ignored.
+    pub fn with_backend(model: CommunicationModel, backend: MediumBackend) -> Self {
+        Medium { model, backend }
     }
 
     /// The model this medium implements.
     pub fn model(&self) -> CommunicationModel {
         self.model
+    }
+
+    /// The physical-layer backend this medium resolves slots under.
+    pub fn backend(&self) -> MediumBackend {
+        self.backend
     }
 
     /// Resolves one slot: `transmitters` all transmit simultaneously;
@@ -144,6 +184,11 @@ impl Medium {
                     }
                 }
             }
+            CommunicationModel::Cam(_) if self.backend.is_sinr() => {
+                if let MediumBackend::Sinr(params) = self.backend {
+                    resolve_sinr(topo, transmitters, scratch, &params, &mut stats, deliver);
+                }
+            }
             CommunicationModel::Cam(rule) => {
                 scratch.reset();
                 for &t in transmitters {
@@ -189,10 +234,94 @@ impl Medium {
         nss_obs::counter!("sim.deliveries").add(stats.deliveries);
         nss_obs::counter!("sim.collisions").add(stats.collisions);
         nss_obs::counter!("sim.cs_deferrals").add(stats.cs_deferrals);
+        if self.backend.is_sinr() {
+            nss_obs::counter!("sim.sinr.rejects").add(stats.sinr_rejects);
+            nss_obs::counter!("sim.sinr.captures").add(stats.sinr_captures);
+        }
         if faults.is_some() {
             crate::faults::record_fault_obs(&stats);
         }
         stats
+    }
+}
+
+/// Resolves one CAM slot under the SINR backend.
+///
+/// Two passes: pass 1 walks each transmitter's neighbor list to collect the
+/// set of *touched* receivers (nodes with ≥ 1 in-range transmitter — only
+/// they can possibly decode, since normalized power is < 1 beyond `r` and
+/// β ≥ weakest-link power is required for the model to deliver anything at
+/// unit range). Pass 2 sweeps the spatial grid once per touched receiver,
+/// accumulating the interference sum over every transmitter within `κ·r`
+/// in the grid's canonical order and tracking the strongest in-range
+/// candidate (ties broken toward the lower node id). The candidate decodes
+/// iff `p / (noise + Σ others) ≥ β`.
+pub(crate) fn resolve_sinr(
+    topo: &Topology,
+    transmitters: &[u32],
+    scratch: &mut MediumScratch,
+    params: &SinrParams,
+    stats: &mut SlotStats,
+    mut deliver: impl FnMut(&mut SlotStats, u32, u32),
+) {
+    scratch.reset();
+    for &t in transmitters {
+        scratch.tx_bits.set(t as usize);
+    }
+    for &t in transmitters {
+        for &v in topo.neighbors(NodeId(t)) {
+            if scratch.rx_count[v as usize] == 0 {
+                scratch.touched.push(v);
+            }
+            scratch.rx_count[v as usize] += 1;
+        }
+    }
+    let r = topo.comm_radius();
+    let r2 = r * r;
+    // Floor d² at a tiny fraction of r² so co-located nodes don't produce
+    // an infinite power (the result stays finite and deterministic).
+    let d2_floor = r2 * 1e-12;
+    for &v in &scratch.touched {
+        let pos = topo.position(NodeId(v));
+        let mut total = 0.0f64;
+        let mut best_p = -1.0f64;
+        let mut best_tx = u32::MAX;
+        topo.for_each_within(&pos, params.interference_factor * r, |u| {
+            if u.0 == v || !scratch.tx_bits.get(u.index()) {
+                return;
+            }
+            let d2 = topo.position(u).dist_sq(&pos).max(d2_floor);
+            let p = (r2 / d2).powf(params.alpha * 0.5);
+            total += p;
+            if d2 <= r2 && (p > best_p || (p == best_p && u.0 < best_tx)) {
+                best_p = p;
+                best_tx = u.0;
+            }
+        });
+        if best_tx == u32::MAX {
+            continue; // touched implies an in-range candidate; defensive
+        }
+        let denom = params.noise + (total - best_p).max(0.0);
+        let decodes = if denom <= 0.0 {
+            // No noise and no interference: SINR is unbounded.
+            true
+        } else {
+            best_p / denom >= params.beta
+        };
+        let candidates = scratch.rx_count[v as usize];
+        if decodes {
+            if candidates > 1 {
+                stats.sinr_captures += 1;
+            }
+            deliver(stats, v, best_tx);
+        } else if candidates > 1 {
+            stats.collisions += 1;
+        } else {
+            stats.sinr_rejects += 1;
+        }
+    }
+    for &t in transmitters {
+        scratch.tx_bits.assign(t as usize, false);
     }
 }
 
@@ -384,6 +513,8 @@ mod tests {
             cs_deferrals: 3,
             losses: 4,
             dead_drops: 5,
+            sinr_rejects: 6,
+            sinr_captures: 7,
         };
         a.absorb(SlotStats {
             deliveries: 10,
@@ -391,6 +522,8 @@ mod tests {
             cs_deferrals: 30,
             losses: 40,
             dead_drops: 50,
+            sinr_rejects: 60,
+            sinr_captures: 70,
         });
         assert_eq!(
             a,
@@ -400,6 +533,8 @@ mod tests {
                 cs_deferrals: 33,
                 losses: 44,
                 dead_drops: 55,
+                sinr_rejects: 66,
+                sinr_captures: 77,
             }
         );
     }
@@ -458,6 +593,131 @@ mod tests {
         assert_eq!(s.collisions, 1);
         assert_eq!(s.deliveries, 0);
         assert!(s.losses >= 1);
+    }
+
+    fn sinr(params: SinrParams) -> Medium {
+        Medium::with_backend(CommunicationModel::CAM, MediumBackend::Sinr(params))
+    }
+
+    #[test]
+    fn sinr_single_transmitter_matches_unit_disk() {
+        // One transmitter, zero noise: denominator is 0 → unbounded SINR →
+        // every neighbor decodes, exactly like the unit-disk rule.
+        let topo = line(4);
+        let m = sinr(SinrParams::DEFAULT);
+        let d = collect_deliveries(&m, &topo, &[1]);
+        assert_eq!(d, vec![(0, 1), (2, 1)]);
+        let s = slot_stats(&m, &topo, &[1]);
+        assert_eq!(s.sinr_rejects, 0);
+        assert_eq!(s.sinr_captures, 0);
+    }
+
+    #[test]
+    fn sinr_capture_effect_beats_assumption_6() {
+        // Receiver 0 hears tx A (d=0.3) and tx B (d=1.0) concurrently.
+        // Assumption 6 collides both; SINR decodes A: p_A ≈ 37 ≫ p_B = 1.
+        let pts = vec![
+            Point2::new(0.0, 0.0), // receiver
+            Point2::new(0.3, 0.0), // tx A
+            Point2::new(1.0, 0.0), // tx B
+        ];
+        let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+        let unit = Medium::new(CommunicationModel::CAM);
+        let d = collect_deliveries(&unit, &topo, &[1, 2]);
+        assert!(
+            !d.iter().any(|&(rx, _)| rx == 0),
+            "unit-disk collides: {d:?}"
+        );
+        let m = sinr(SinrParams::DEFAULT);
+        let d = collect_deliveries(&m, &topo, &[1, 2]);
+        assert!(d.contains(&(0, 1)), "SINR captures the stronger tx: {d:?}");
+        let s = slot_stats(&m, &topo, &[1, 2]);
+        assert_eq!(s.sinr_captures, 1);
+        assert_eq!(s.collisions, 0);
+    }
+
+    #[test]
+    fn sinr_out_of_range_interference_rejects_sole_candidate() {
+        // Receiver 0's only in-range tx is at 0.9; an interferer at 1.8 is
+        // outside the disk but inside κ·r = 3. SINR ≈ 8.0 — fine at β = 1,
+        // rejected at β = 10 (where unit-disk TR would still deliver).
+        let pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(0.9, 0.0),
+            Point2::new(1.8, 0.0),
+        ];
+        let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+        let lenient = sinr(SinrParams::DEFAULT);
+        let d = collect_deliveries(&lenient, &topo, &[1, 2]);
+        assert!(d.contains(&(0, 1)), "β=1 decodes: {d:?}");
+        let strict = sinr(SinrParams {
+            beta: 10.0,
+            ..SinrParams::DEFAULT
+        });
+        let s = slot_stats(&strict, &topo, &[1, 2]);
+        assert!(s.sinr_rejects >= 1, "β=10 must reject 1→0: {s:?}");
+        let d = collect_deliveries(&strict, &topo, &[1, 2]);
+        assert!(!d.iter().any(|&(rx, _)| rx == 0), "no delivery at 0: {d:?}");
+        // Unit-disk TR is oblivious to the annulus interferer.
+        let unit = Medium::new(CommunicationModel::CAM);
+        assert!(collect_deliveries(&unit, &topo, &[1, 2]).contains(&(0, 1)));
+    }
+
+    #[test]
+    fn sinr_noise_floor_shrinks_effective_range() {
+        // Neighbors in line(4) sit at exactly d = r, so p = 1. With noise 4
+        // and β = 1 the edge of the disk no longer decodes.
+        let topo = line(4);
+        let noisy = sinr(SinrParams {
+            noise: 4.0,
+            ..SinrParams::DEFAULT
+        });
+        let s = slot_stats(&noisy, &topo, &[1]);
+        assert_eq!(s.deliveries, 0);
+        assert_eq!(s.sinr_rejects, 2);
+        // A gentle noise floor (SINR = 1/0.5 = 2 ≥ β = 1) still decodes.
+        let mild = sinr(SinrParams {
+            noise: 0.5,
+            ..SinrParams::DEFAULT
+        });
+        assert_eq!(slot_stats(&mild, &topo, &[1]).deliveries, 2);
+    }
+
+    #[test]
+    fn sinr_deliveries_gated_by_faults() {
+        use crate::bits::BitSet;
+        use crate::faults::SlotFaults;
+        let topo = line(4);
+        let m = sinr(SinrParams::DEFAULT);
+        let mut scratch = MediumScratch::new(topo.len());
+        // Node 2 can't hear (dead or transmit-only): 1→2 becomes dead_drop.
+        let hearing = BitSet::from_bools(&[true, true, false, true]);
+        let f = SlotFaults::new(&hearing, 0.0, 0, 1, 0);
+        let mut out = Vec::new();
+        let s = m.resolve_slot(&topo, &[1], &mut scratch, Some(&f), |rx, t| {
+            out.push((rx.0, t.0));
+        });
+        assert_eq!(out, vec![(0, 1)]);
+        assert_eq!(s.deliveries, 1);
+        assert_eq!(s.dead_drops, 1);
+    }
+
+    #[test]
+    fn sinr_scratch_reuse_is_clean() {
+        // tx_bits must be fully cleared between slots, or stale transmitter
+        // marks would poison later interference sums.
+        let topo = line(5);
+        let m = sinr(SinrParams::DEFAULT);
+        let mut scratch = MediumScratch::new(topo.len());
+        let first = m.resolve_slot(&topo, &[2], &mut scratch, None, |_, _| {});
+        for _ in 0..3 {
+            let again = m.resolve_slot(&topo, &[2], &mut scratch, None, |_, _| {});
+            assert_eq!(again, first);
+        }
+        // Alternate transmitter sets through the same scratch.
+        let a = m.resolve_slot(&topo, &[0, 4], &mut scratch, None, |_, _| {});
+        let b = m.resolve_slot(&topo, &[0, 4], &mut scratch, None, |_, _| {});
+        assert_eq!(a, b);
     }
 
     #[test]

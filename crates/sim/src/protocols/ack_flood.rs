@@ -196,7 +196,8 @@ pub fn run_ack_flood(topo: &Topology, cfg: &AckFloodConfig, seed: u64) -> AckFlo
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slotted::{run_gossip, GossipConfig};
+    use crate::executor::Executor;
+    use crate::slotted::GossipConfig;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
 
@@ -217,7 +218,9 @@ mod tests {
     #[test]
     fn reliable_flooding_costs_far_more_than_plain() {
         let topo = Topology::build(&Deployment::disk(3, 1.0, 25.0).sample(2));
-        let plain = run_gossip(&topo, &GossipConfig::flooding_cam(), 1);
+        let plain = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(1);
         let reliable = run_ack_flood(&topo, &AckFloodConfig::default(), 1);
         assert!(
             reliable.total_tx() > 3 * plain.total_broadcasts(),

@@ -232,7 +232,7 @@ fn run_async_with(
                         continue;
                     }
                     if let Some(fs) = fault_state.as_ref() {
-                        if !fs.is_alive(v as usize) {
+                        if !fs.can_hear(v as usize) {
                             dead_dropped.push(end);
                             continue;
                         }
@@ -403,12 +403,16 @@ mod tests {
     fn async_is_worse_or_similar_to_slotted() {
         // Aligned slots are the optimistic idealization; the async
         // execution should not beat it meaningfully. (Statistical, coarse.)
-        use crate::slotted::{run_gossip, GossipConfig};
+        use crate::executor::Executor;
+        use crate::slotted::GossipConfig;
         let topo = Topology::build(&Deployment::disk(4, 1.0, 60.0).sample(12));
         let mut slotted_sum = 0.0;
         let mut async_sum = 0.0;
         for seed in 0..15 {
-            slotted_sum += run_gossip(&topo, &GossipConfig::pb_cam(0.3), seed).final_reachability();
+            slotted_sum += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(0.3))
+                .run(seed)
+                .final_reachability();
             async_sum +=
                 run_async_gossip(&topo, &AsyncGossipConfig::paper(0.3), seed).final_reachability();
         }

@@ -139,7 +139,8 @@ pub fn run_counter_broadcast(topo: &Topology, cfg: &CounterConfig, seed: u64) ->
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slotted::{run_gossip, GossipConfig};
+    use crate::executor::Executor;
+    use crate::slotted::GossipConfig;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
 
@@ -155,7 +156,9 @@ mod tests {
         let topo = line(7);
         let cfg = CounterConfig::paper(10);
         let t = run_counter_broadcast(&topo, &cfg, 2);
-        let f = run_gossip(&topo, &GossipConfig::flooding_cam(), 2);
+        let f = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(2);
         // Same reachability shape (both may lose to collisions, but the
         // counter run can't transmit *more* than flooding).
         assert!(t.total_broadcasts() <= f.total_broadcasts() + 1);
@@ -172,7 +175,10 @@ mod tests {
         let mut counter_reach = 0.0;
         let runs = 5;
         for seed in 0..runs {
-            flood_tx += run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
+            flood_tx += Executor::new(&topo)
+                .gossip(GossipConfig::gossip_cfm(1.0))
+                .run(seed)
+                .total_broadcasts();
             let mut cfg = CounterConfig::paper(3);
             cfg.model = CommunicationModel::Cfm;
             let t = run_counter_broadcast(&topo, &cfg, seed);
@@ -197,7 +203,9 @@ mod tests {
         // must still never transmit more than flooding.
         let topo = Topology::build(&Deployment::disk(4, 1.0, 80.0).sample(5));
         for seed in 0..5 {
-            let flood = run_gossip(&topo, &GossipConfig::flooding_cam(), seed);
+            let flood = Executor::new(&topo)
+                .gossip(GossipConfig::flooding_cam())
+                .run(seed);
             let counter = run_counter_broadcast(&topo, &CounterConfig::paper(3), seed);
             assert!(
                 counter.total_broadcasts() <= flood.total_broadcasts(),

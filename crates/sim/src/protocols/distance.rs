@@ -135,7 +135,8 @@ pub fn run_distance_broadcast(topo: &Topology, cfg: &DistanceConfig, seed: u64) 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::slotted::{run_gossip, GossipConfig};
+    use crate::executor::Executor;
+    use crate::slotted::GossipConfig;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
 
@@ -149,7 +150,9 @@ mod tests {
         // threshold 0 never suppresses (closest heard distance > 0 always).
         let topo = line(6);
         let t = run_distance_broadcast(&topo, &DistanceConfig::paper(0.0), 3);
-        let f = run_gossip(&topo, &GossipConfig::flooding_cam(), 3);
+        let f = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(3);
         assert_eq!(t.informed_count() > 4, f.informed_count() > 4);
         assert!(t.total_broadcasts() <= t.informed_count() as u64);
     }
@@ -193,7 +196,10 @@ mod tests {
             let t = run_distance_broadcast(&topo, &cfg, seed);
             dist_tx += t.total_broadcasts();
             reach += t.final_reachability();
-            flood_tx += run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), seed).total_broadcasts();
+            flood_tx += Executor::new(&topo)
+                .gossip(GossipConfig::gossip_cfm(1.0))
+                .run(seed)
+                .total_broadcasts();
         }
         assert!(
             dist_tx * 2 < flood_tx,

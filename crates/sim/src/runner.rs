@@ -5,8 +5,8 @@
 //! stream derived from one master seed ([`nss_model::rng::SeedFactory`]),
 //! so results are bit-reproducible regardless of thread scheduling.
 
-use crate::sharded::{run_gossip_sharded, run_gossip_sharded_faulty};
-use crate::slotted::{run_gossip, run_gossip_faulty, GossipConfig};
+use crate::executor::Executor;
+use crate::slotted::GossipConfig;
 use crate::stats::Summary;
 use crate::trace::SimTrace;
 use crossbeam::channel;
@@ -90,6 +90,13 @@ impl Replication {
         self
     }
 
+    /// Sets the physical-layer backend every run resolves CAM slots with
+    /// (mirrors [`Executor::medium`]).
+    pub fn with_medium(mut self, backend: nss_model::comm::MediumBackend) -> Self {
+        self.gossip.backend = backend;
+        self
+    }
+
     /// Runs all replications and collects their traces (ordered by
     /// replication index).
     pub fn run(&self) -> ReplicatedTraces {
@@ -161,27 +168,12 @@ impl Replication {
             .deployment
             .sample(factory.seed(Stream::Deployment, rep));
         let topo = Topology::build(&net);
-        let trace = match (self.intra_threads, self.faults.is_empty()) {
-            (0, true) => run_gossip(&topo, &self.gossip, factory.seed(Stream::Protocol, rep)),
-            (0, false) => run_gossip_faulty(
-                &topo,
-                &self.gossip,
-                &self.faults,
-                factory.seed(Stream::Protocol, rep),
-                factory.seed(Stream::Faults, rep),
-            ),
-            (t, true) => {
-                run_gossip_sharded(&topo, &self.gossip, factory.seed(Stream::Protocol, rep), t)
-            }
-            (t, false) => run_gossip_sharded_faulty(
-                &topo,
-                &self.gossip,
-                &self.faults,
-                factory.seed(Stream::Protocol, rep),
-                factory.seed(Stream::Faults, rep),
-                t,
-            ),
-        };
+        let trace = Executor::new(&topo)
+            .gossip(self.gossip)
+            .faults(self.faults.clone())
+            .faults_seed(factory.seed(Stream::Faults, rep))
+            .threads(self.intra_threads)
+            .run(factory.seed(Stream::Protocol, rep));
         if let Some(start) = start {
             let secs = start.elapsed().as_secs_f64();
             nss_obs::observe!("sim.replication_seconds", secs);
@@ -392,6 +384,34 @@ mod tests {
         for (a, b) in fone.traces.iter().zip(&ffour.traces) {
             assert_eq!(a, b, "faulty sharded traces must be invariant too");
         }
+    }
+
+    #[test]
+    fn sinr_backend_reproducible_across_intra_thread_counts() {
+        use nss_model::comm::{MediumBackend, SinrParams};
+        let sinr = MediumBackend::Sinr(SinrParams {
+            alpha: 3.0,
+            beta: 0.8,
+            noise: 0.02,
+            interference_factor: 3.0,
+        });
+        let one = small_replication(1)
+            .with_medium(sinr)
+            .with_intra_threads(1)
+            .run();
+        let four = small_replication(1)
+            .with_medium(sinr)
+            .with_intra_threads(4)
+            .run();
+        for (a, b) in one.traces.iter().zip(&four.traces) {
+            assert_eq!(a, b, "SINR traces must be thread-count invariant");
+        }
+        assert!(
+            one.traces
+                .iter()
+                .any(|t| !t.sinr_rejects_by_phase.is_empty()),
+            "SINR runs must record the reject series"
+        );
     }
 
     #[test]

@@ -34,7 +34,7 @@ use crate::faults::{FaultState, SlotFaults};
 use crate::medium::SlotStats;
 use crate::slotted::GossipConfig;
 use crate::trace::SimTrace;
-use nss_model::comm::{CollisionRule, CommunicationModel};
+use nss_model::comm::{CollisionRule, CommunicationModel, MediumBackend, SinrParams};
 use nss_model::error::ConfigError;
 use nss_model::faults::{hash_unit, FaultPlan};
 use nss_model::ids::NodeId;
@@ -182,6 +182,10 @@ fn record_stage<T>(stage: &'static str, start_ns: u64, timed: &[(T, u64)]) {
 /// # Panics
 ///
 /// On configs rejected by [`validate_sharded`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor` with `.sharded(threads)`"
+)]
 pub fn run_gossip_sharded(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -198,6 +202,10 @@ pub fn run_gossip_sharded(
 /// # Panics
 ///
 /// On configs rejected by [`validate_sharded`] or an invalid plan.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor` with `.sharded(threads).faults(plan).faults_seed(seed)`"
+)]
 pub fn run_gossip_sharded_faulty(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -216,7 +224,7 @@ pub fn run_gossip_sharded_faulty(
     run_sharded_with(topo, cfg, seed, faults, threads)
 }
 
-fn run_sharded_with(
+pub(crate) fn run_sharded_with(
     topo: &Topology,
     cfg: &GossipConfig,
     seed: u64,
@@ -233,8 +241,16 @@ fn run_sharded_with(
     let workers = resolve_workers(threads, n);
     let s = cfg.s as usize;
     let is_cfm = matches!(cfg.model, CommunicationModel::Cfm);
+    // The SINR backend replaces CAM arbitration (CFM ignores the physical
+    // layer entirely, mirroring the sequential medium).
+    let sinr = match cfg.backend {
+        MediumBackend::Sinr(params) if !is_cfm => Some(params),
+        _ => None,
+    };
     let cs_rule = match cfg.model {
-        CommunicationModel::Cam(CollisionRule::CarrierSense { factor }) => Some(factor),
+        CommunicationModel::Cam(CollisionRule::CarrierSense { factor }) if sinr.is_none() => {
+            Some(factor)
+        }
         _ => None,
     };
 
@@ -245,7 +261,9 @@ fn run_sharded_with(
 
     // CAM arbitration scratch: relaxed atomics accumulated in pass A, read
     // and reset by the (single) owner of each touched receiver in pass B.
-    let rx_count: Vec<AtomicU32> = if is_cfm {
+    // The SINR backend needs neither — its pass B recomputes exposure from
+    // the transmitter bitset in the grid's canonical order.
+    let rx_count: Vec<AtomicU32> = if is_cfm || sinr.is_some() {
         Vec::new()
     } else {
         (0..n).map(|_| AtomicU32::new(0)).collect()
@@ -255,12 +273,15 @@ fn run_sharded_with(
     } else {
         Vec::new()
     };
-    let last_tx: Vec<AtomicU32> = if is_cfm {
+    let last_tx: Vec<AtomicU32> = if is_cfm || sinr.is_some() {
         Vec::new()
     } else {
         (0..n).map(|_| AtomicU32::new(0)).collect()
     };
     let mut touched_claim = AtomicBitSet::new(if is_cfm { 0 } else { n });
+    // Per-slot transmitter membership for SINR interference sweeps, built
+    // and cleared by the coordinator between slots.
+    let mut tx_bits = BitSet::new(if sinr.is_some() { n } else { 0 });
 
     // Memory-footprint gauges: protocol bitsets vs. CAM arbitration
     // scratch, so a scrape of a live million-node run shows where the
@@ -334,6 +355,24 @@ fn run_sharded_with(
             let sf = fault_state.as_ref().map(|fs| fs.slot(phase, si as u32));
             let (stats, mut newly) = if is_cfm {
                 resolve_slot_cfm(topo, txs, &informed, sf.as_ref(), workers)
+            } else if let Some(params) = sinr {
+                for &t in txs {
+                    tx_bits.set(t as usize);
+                }
+                let out = resolve_slot_sinr(
+                    topo,
+                    txs,
+                    &informed,
+                    sf.as_ref(),
+                    &params,
+                    &tx_bits,
+                    &touched_claim,
+                    workers,
+                );
+                for &t in txs {
+                    tx_bits.clear_bit(t as usize);
+                }
+                out
             } else {
                 resolve_slot_cam(
                     topo,
@@ -369,6 +408,11 @@ fn run_sharded_with(
         nss_obs::counter!("sim.deliveries").add(phase_stats.deliveries);
         nss_obs::counter!("sim.collisions").add(phase_stats.collisions);
         nss_obs::counter!("sim.cs_deferrals").add(phase_stats.cs_deferrals);
+        if sinr.is_some() {
+            trace.sinr_rejects_by_phase.push(phase_stats.sinr_rejects);
+            nss_obs::counter!("sim.sinr.rejects").add(phase_stats.sinr_rejects);
+            nss_obs::counter!("sim.sinr.captures").add(phase_stats.sinr_captures);
+        }
         if let Some(fs) = fault_state.as_ref() {
             trace.losses_by_phase.push(phase_stats.losses);
             trace.dead_drops_by_phase.push(phase_stats.dead_drops);
@@ -528,6 +572,111 @@ fn resolve_slot_cam(
     merge_partials(partials)
 }
 
+/// SINR slot under atomic-claim contention.
+///
+/// Pass A shards the transmitters and only *claims* touched receivers —
+/// no exposure counters, because pass B recomputes everything it needs by
+/// sweeping the spatial grid around each receiver in the grid's canonical
+/// order (the exact loop [`crate::medium`]'s sequential SINR resolver
+/// runs), so the per-receiver interference sum is bit-identical under any
+/// thread count. Classification order (capture accounting before fault
+/// gating) matches the sequential medium exactly.
+#[allow(clippy::too_many_arguments)]
+fn resolve_slot_sinr(
+    topo: &Topology,
+    txs: &[u32],
+    informed: &BitSet,
+    sf: Option<&SlotFaults<'_>>,
+    params: &SinrParams,
+    tx_bits: &BitSet,
+    touched_claim: &AtomicBitSet,
+    workers: usize,
+) -> (SlotStats, Vec<u32>) {
+    let touched_parts = map_chunks("sim.slot.expose", txs, workers, |chunk| {
+        let mut touched: Vec<u32> = Vec::new();
+        let mut lost: u64 = 0;
+        for &t in chunk {
+            for &v in topo.neighbors(NodeId(t)) {
+                if touched_claim.claim(v as usize) {
+                    touched.push(v);
+                } else if nss_obs::enabled() {
+                    lost += 1;
+                }
+            }
+        }
+        (touched, lost)
+    });
+    let mut touched: Vec<u32> = Vec::new();
+    let mut lost_total: u64 = 0;
+    for (mut part, lost) in touched_parts {
+        touched.append(&mut part);
+        lost_total += lost;
+    }
+    nss_obs::counter!("sim.claim.won").add(touched.len() as u64);
+    nss_obs::counter!("sim.claim.contended").add(lost_total);
+
+    let r = topo.comm_radius();
+    let r2 = r * r;
+    let d2_floor = r2 * 1e-12;
+    let partials = map_chunks("sim.slot.classify", &touched, workers, |chunk| {
+        let mut st = SlotStats::default();
+        let mut newly: Vec<u32> = Vec::new();
+        for &v in chunk {
+            let vi = v as usize;
+            let pos = topo.position(NodeId(v));
+            let mut total = 0.0f64;
+            let mut best_p = -1.0f64;
+            let mut best_tx = u32::MAX;
+            let mut candidates = 0u32;
+            topo.for_each_within(&pos, params.interference_factor * r, |u| {
+                if u.0 == v || !tx_bits.get(u.index()) {
+                    return;
+                }
+                let d2 = topo.position(u).dist_sq(&pos).max(d2_floor);
+                let p = (r2 / d2).powf(params.alpha * 0.5);
+                total += p;
+                if d2 <= r2 {
+                    candidates += 1;
+                    if p > best_p || (p == best_p && u.0 < best_tx) {
+                        best_p = p;
+                        best_tx = u.0;
+                    }
+                }
+            });
+            if best_tx == u32::MAX {
+                continue; // touched implies an in-range candidate; defensive
+            }
+            let denom = params.noise + (total - best_p).max(0.0);
+            let decodes = denom <= 0.0 || best_p / denom >= params.beta;
+            if decodes {
+                if candidates > 1 {
+                    st.sinr_captures += 1;
+                }
+                if let Some(f) = sf {
+                    if !f.alive.get(vi) {
+                        st.dead_drops += 1;
+                        continue;
+                    }
+                    if !f.link_delivers(best_tx, v) {
+                        st.losses += 1;
+                        continue;
+                    }
+                }
+                st.deliveries += 1;
+                if !informed.get(vi) {
+                    newly.push(v);
+                }
+            } else if candidates > 1 {
+                st.collisions += 1;
+            } else {
+                st.sinr_rejects += 1;
+            }
+        }
+        (st, newly)
+    });
+    merge_partials(partials)
+}
+
 /// Folds per-worker `(stats, newly)` partials; both merges commute, so the
 /// result is shard-layout independent.
 fn merge_partials(partials: Vec<(SlotStats, Vec<u32>)>) -> (SlotStats, Vec<u32>) {
@@ -541,6 +690,9 @@ fn merge_partials(partials: Vec<(SlotStats, Vec<u32>)>) -> (SlotStats, Vec<u32>)
 }
 
 #[cfg(test)]
+// The legacy free-function shims stay covered here until their removal;
+// crate::executor::tests proves the builder reproduces each one bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::slotted::run_gossip;
@@ -779,6 +931,71 @@ mod tests {
                 .any(|e| nss_obs::trace::name_of(e.name_id) == "sim.phase"),
             "flight recorder saw no sim.phase events"
         );
+    }
+
+    #[test]
+    fn thread_count_invariant_under_sinr() {
+        let topo = Topology::build(&Deployment::disk(5, 1.0, 60.0).sample(11));
+        let cfg = GossipConfig::pb_cam(0.5).with_backend(MediumBackend::Sinr(SinrParams {
+            alpha: 3.0,
+            beta: 0.5,
+            noise: 0.05,
+            interference_factor: 3.0,
+        }));
+        let base = run_gossip_sharded(&topo, &cfg, 42, 1);
+        assert_eq!(base.sinr_rejects_by_phase.len(), base.phases());
+        for threads in [2, 3, 4, 7] {
+            let t = run_gossip_sharded(&topo, &cfg, 42, threads);
+            assert_traces_equal(&base, &t);
+            assert_eq!(base.sinr_rejects_by_phase, t.sinr_rejects_by_phase);
+        }
+        assert_traces_equal(&base, &run_gossip_sharded(&topo, &cfg, 42, 0));
+    }
+
+    #[test]
+    fn sinr_flooding_single_slot_matches_sequential_engine() {
+        // With s = 1 and p = 1 neither engine draws a consequential coin:
+        // every informed node transmits in the only slot, and the SINR
+        // interference sum is accumulated in the grid's canonical order by
+        // both resolvers — the traces must agree exactly.
+        let topo = Topology::build(&Deployment::disk(5, 1.0, 50.0).sample(8));
+        let mut cfg =
+            GossipConfig::flooding_cam().with_backend(MediumBackend::Sinr(SinrParams::DEFAULT));
+        cfg.s = 1;
+        let seq = run_gossip(&topo, &cfg, 3);
+        for threads in [1, 4] {
+            let shard = run_gossip_sharded(&topo, &cfg, 3, threads);
+            assert_eq!(seq.first_rx_phase, shard.first_rx_phase);
+            assert_eq!(seq.broadcasts_by_phase, shard.broadcasts_by_phase);
+            assert_eq!(seq.deliveries_by_phase, shard.deliveries_by_phase);
+            assert_eq!(seq.collisions_by_phase, shard.collisions_by_phase);
+            assert_eq!(seq.sinr_rejects_by_phase, shard.sinr_rejects_by_phase);
+        }
+    }
+
+    #[test]
+    fn sinr_with_capability_classes_is_thread_invariant() {
+        let topo = Topology::build(&Deployment::disk(5, 1.0, 50.0).sample(6));
+        let cfg = GossipConfig::pb_cam(0.6).with_backend(MediumBackend::Sinr(SinrParams::DEFAULT));
+        let plan = FaultPlan {
+            dead_frac: 0.1,
+            tx_only_frac: 0.2,
+            link_loss: 0.1,
+            ..FaultPlan::default()
+        };
+        let base = run_gossip_sharded_faulty(&topo, &cfg, &plan, 7, 70, 1);
+        for threads in [2, 4] {
+            let t = run_gossip_sharded_faulty(&topo, &cfg, &plan, 7, 70, threads);
+            assert_traces_equal(&base, &t);
+        }
+        // Tx-only receivers drop packets without dying.
+        assert!(base.total_dead_drops() > 0);
+        assert_eq!(base.alive_by_phase[0], {
+            let dead = (0..topo.len() as u32)
+                .filter(|&u| !plan.survives_thinning(u, 70))
+                .count() as u32;
+            topo.len() as u32 - dead
+        });
     }
 
     #[test]

@@ -14,7 +14,7 @@ use crate::bits::BitSet;
 use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch, SlotStats};
 use crate::trace::SimTrace;
-use nss_model::comm::CommunicationModel;
+use nss_model::comm::{CommunicationModel, MediumBackend};
 use nss_model::error::ConfigError;
 use nss_model::faults::FaultPlan;
 use nss_model::ids::NodeId;
@@ -42,6 +42,11 @@ pub struct GossipConfig {
     /// Dead nodes neither transmit nor receive; the source never dies
     /// (a dead source makes reachability trivially degenerate).
     pub node_failure_per_phase: f64,
+    /// Physical-layer backend resolving CAM slots (unit-disk reception by
+    /// default; [`MediumBackend::Sinr`] replaces Assumption 6 with the
+    /// SINR threshold test). Ignored under CFM.
+    #[serde(default)]
+    pub backend: MediumBackend,
 }
 
 impl GossipConfig {
@@ -54,6 +59,7 @@ impl GossipConfig {
             max_phases: 10_000,
             track_success_rate: false,
             node_failure_per_phase: 0.0,
+            backend: MediumBackend::UnitDisk,
         }
     }
 
@@ -71,7 +77,14 @@ impl GossipConfig {
             max_phases: 10_000,
             track_success_rate: false,
             node_failure_per_phase: 0.0,
+            backend: MediumBackend::UnitDisk,
         }
+    }
+
+    /// Returns the config with a different physical-layer backend.
+    pub fn with_backend(mut self, backend: MediumBackend) -> Self {
+        self.backend = backend;
+        self
     }
 
     /// Validates parameter ranges.
@@ -102,6 +115,7 @@ impl GossipConfig {
                 value: self.max_phases as u64,
             });
         }
+        self.backend.validate()?;
         Ok(())
     }
 }
@@ -109,6 +123,10 @@ impl GossipConfig {
 /// Runs one gossip execution over `topo`, seeded deterministically.
 ///
 /// The source is [`NodeId::SOURCE`] (index 0).
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor::new(topo).gossip(cfg).run(seed)`"
+)]
 pub fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
     run_gossip_with(topo, cfg, |_| cfg.prob, seed, None)
 }
@@ -120,6 +138,10 @@ pub fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
 /// [`Stream::Faults`](nss_model::rng::Stream::Faults) so the protocol and
 /// jitter streams stay untouched. An empty plan takes the exact fault-free
 /// code path — the returned trace is identical to [`run_gossip`]'s.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor` with `.faults(plan).faults_seed(seed)`"
+)]
 pub fn run_gossip_faulty(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -141,6 +163,10 @@ pub fn run_gossip_faulty(
 /// extension where each node tunes its own `p` from locally measurable
 /// quantities (see `nss-core`'s adaptive controller). `cfg.prob` is
 /// ignored.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor` with `.per_node_probs(probs)`"
+)]
 pub fn run_gossip_per_node(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -155,7 +181,7 @@ pub fn run_gossip_per_node(
     run_gossip_with(topo, cfg, |u| probs[u], seed, None)
 }
 
-fn run_gossip_with(
+pub(crate) fn run_gossip_with(
     topo: &Topology,
     cfg: &GossipConfig,
     prob_of: impl Fn(usize) -> f64,
@@ -170,7 +196,7 @@ fn run_gossip_with(
         return trace;
     }
     let mut rng = SmallRng::seed_from_u64(seed);
-    let medium = Medium::new(cfg.model);
+    let medium = Medium::with_backend(cfg.model, cfg.backend);
     let mut scratch = MediumScratch::new(n);
 
     // Packed per-node flags: 64 nodes per word keeps the phase loop's
@@ -264,6 +290,9 @@ fn run_gossip_with(
         trace.deliveries_by_phase.push(deliveries);
         trace.collisions_by_phase.push(phase_stats.collisions);
         trace.cs_deferrals_by_phase.push(phase_stats.cs_deferrals);
+        if cfg.backend.is_sinr() {
+            trace.sinr_rejects_by_phase.push(phase_stats.sinr_rejects);
+        }
         if let Some(fs) = fault_state.as_ref() {
             trace.losses_by_phase.push(phase_stats.losses);
             trace.dead_drops_by_phase.push(phase_stats.dead_drops);
@@ -306,6 +335,9 @@ fn run_gossip_with(
 }
 
 #[cfg(test)]
+// The legacy free-function shims stay covered here until their removal;
+// crate::executor::tests proves the builder reproduces each one bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nss_model::comm::CollisionRule;
@@ -666,6 +698,68 @@ mod tests {
             last < first,
             "relays should exhaust their budget: {first} -> {last}"
         );
+    }
+
+    #[test]
+    fn sinr_backend_runs_and_records_reject_series() {
+        use nss_model::comm::SinrParams;
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 40.0).sample(5));
+        // β = 1, zero noise: uncontended slots decode like unit-disk, but
+        // concurrent out-of-range interference can reject sole candidates.
+        let cfg =
+            GossipConfig::flooding_cam().with_backend(MediumBackend::Sinr(SinrParams::DEFAULT));
+        let t = run_gossip(&topo, &cfg, 3);
+        assert!(t.final_reachability() > 0.0);
+        assert_eq!(t.sinr_rejects_by_phase.len(), t.phases());
+        // Deterministic per seed.
+        let again = run_gossip(&topo, &cfg, 3);
+        assert_eq!(t, again);
+        // The default backend leaves the series empty.
+        let unit = run_gossip(&topo, &GossipConfig::flooding_cam(), 3);
+        assert!(unit.sinr_rejects_by_phase.is_empty());
+    }
+
+    #[test]
+    fn sinr_uncontended_flooding_matches_unit_disk_on_line() {
+        use nss_model::comm::SinrParams;
+        // On a line with s large enough that a seed separates transmitters,
+        // compare against unit-disk where no slot ever has 2 transmitters:
+        // use p=1, n=2 (source + one node) — only the source transmits in
+        // phase 1 and node 1 in phase 2, each alone in its slot.
+        let topo = line(2);
+        let sinr_cfg =
+            GossipConfig::flooding_cam().with_backend(MediumBackend::Sinr(SinrParams::DEFAULT));
+        let unit_cfg = GossipConfig::flooding_cam();
+        for seed in 0..5 {
+            let a = run_gossip(&topo, &sinr_cfg, seed);
+            let b = run_gossip(&topo, &unit_cfg, seed);
+            assert_eq!(a.first_rx_phase, b.first_rx_phase);
+            assert_eq!(a.deliveries_by_phase, b.deliveries_by_phase);
+        }
+    }
+
+    #[test]
+    fn transmit_only_nodes_relay_but_never_learn() {
+        // A transmit-only node can never be informed (it hears nothing), so
+        // under a plan converting most relays to tx-only, reachability
+        // collapses toward the dead-node case even though the nodes are
+        // "alive".
+        let topo = Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(3));
+        let cfg = GossipConfig::flooding_cam();
+        let t = run_gossip_faulty(&topo, &cfg, &FaultPlan::transmit_only(0.6), 1, 77);
+        let n = topo.len();
+        // Tx-only nodes count as alive...
+        assert_eq!(t.alive_by_phase[0] as usize, n);
+        // ...but are never informed, and their missed receptions are drops.
+        let plan = FaultPlan::transmit_only(0.6);
+        for u in 0..n {
+            if !plan.capability_of(u as u32, 77).can_receive() {
+                assert_eq!(t.first_rx_phase[u], crate::trace::NEVER, "node {u}");
+            }
+        }
+        assert!(t.total_dead_drops() > 0);
+        let full = run_gossip(&topo, &cfg, 1);
+        assert!(t.final_reachability() < full.final_reachability());
     }
 
     #[test]

@@ -22,7 +22,7 @@
 use crate::bits::BitSet;
 use crate::faults::FaultState;
 use crate::medium::{Medium, MediumScratch};
-use nss_model::comm::CommunicationModel;
+use nss_model::comm::{CommunicationModel, MediumBackend};
 use nss_model::faults::FaultPlan;
 use nss_model::ids::NodeId;
 use nss_model::topology::Topology;
@@ -32,12 +32,13 @@ use serde::{Deserialize, Serialize};
 ///
 /// ```
 /// use nss_model::prelude::*;
-/// use nss_sim::tdma::{run_tdma_flooding, TdmaSchedule};
+/// use nss_sim::executor::Executor;
+/// use nss_sim::tdma::TdmaSchedule;
 ///
 /// let topo = Topology::build(&Deployment::disk(3, 1.0, 30.0).sample(1));
 /// let schedule = TdmaSchedule::build(&topo);
 /// assert!(schedule.verify(&topo));
-/// let out = run_tdma_flooding(&topo, &schedule);
+/// let out = Executor::new(&topo).run_tdma(&schedule);
 /// assert_eq!(out.collisions, 0); // TDMA implements CFM on CAM hardware
 /// ```
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -146,8 +147,12 @@ impl TdmaOutcome {
 ///
 /// Each node transmits exactly once, in its first assigned slot after
 /// receiving the packet. Deterministic: TDMA needs no coin flips.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor::new(topo).run_tdma(&schedule)`"
+)]
 pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcome {
-    run_tdma_with(topo, schedule, None)
+    run_tdma_with(topo, schedule, None, MediumBackend::UnitDisk)
 }
 
 /// TDMA flooding under a [`FaultPlan`]: the fault "phase" is the TDMA
@@ -155,6 +160,10 @@ pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcom
 /// A node sleeping through its assigned slot keeps its transmission pending
 /// and retries in the next frame it is awake. An empty plan takes the
 /// exact fault-free code path.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `nss_sim::Executor` with `.faults(plan).faults_seed(seed).run_tdma(&schedule)`"
+)]
 pub fn run_tdma_flooding_faulty(
     topo: &Topology,
     schedule: &TdmaSchedule,
@@ -162,21 +171,31 @@ pub fn run_tdma_flooding_faulty(
     faults_seed: u64,
 ) -> TdmaOutcome {
     if plan.is_empty() {
-        return run_tdma_with(topo, schedule, None);
+        return run_tdma_with(topo, schedule, None, MediumBackend::UnitDisk);
     }
     plan.validate()
         .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
-    run_tdma_with(topo, schedule, Some((plan, faults_seed)))
+    run_tdma_with(
+        topo,
+        schedule,
+        Some((plan, faults_seed)),
+        MediumBackend::UnitDisk,
+    )
 }
 
-fn run_tdma_with(
+/// Core TDMA loop, parameterized over the physical-layer backend (the
+/// [`crate::executor::Executor`] entry point). Under a SINR backend the
+/// `collisions` field counts every reception garbled by interference —
+/// in-range concurrency *and* SINR-threshold rejects.
+pub(crate) fn run_tdma_with(
     topo: &Topology,
     schedule: &TdmaSchedule,
     faults: Option<(&FaultPlan, u64)>,
+    backend: MediumBackend,
 ) -> TdmaOutcome {
     let n = topo.len();
     assert_eq!(schedule.slot_of.len(), n, "schedule/topology size mismatch");
-    let medium = Medium::new(CommunicationModel::CAM);
+    let medium = Medium::with_backend(CommunicationModel::CAM, backend);
     let mut scratch = MediumScratch::new(n);
     let mut fault_state = faults.map(|(plan, fseed)| FaultState::new(plan, fseed, n));
 
@@ -264,6 +283,9 @@ fn run_tdma_with(
 }
 
 #[cfg(test)]
+// The legacy free-function shims stay covered here until their removal;
+// crate::executor::tests proves the builder reproduces each one bit-for-bit.
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use nss_model::deployment::{DeployedNetwork, Deployment};

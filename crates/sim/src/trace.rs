@@ -45,6 +45,12 @@ pub struct SimTrace {
     /// Effectively-alive node count at each phase under the fault plan.
     /// Empty for fault-free executions (everyone is alive).
     pub alive_by_phase: Vec<u32>,
+    /// Sole-candidate receptions rejected by the SINR threshold test per
+    /// phase (signal present, no concurrent in-range transmitter, but
+    /// out-of-range interference pushed SINR below β). Empty under the
+    /// unit-disk backend.
+    #[serde(default)]
+    pub sinr_rejects_by_phase: Vec<u64>,
 }
 
 impl SimTrace {
@@ -65,6 +71,7 @@ impl SimTrace {
             losses_by_phase: Vec::new(),
             dead_drops_by_phase: Vec::new(),
             alive_by_phase: Vec::new(),
+            sinr_rejects_by_phase: Vec::new(),
         }
     }
 
@@ -111,6 +118,11 @@ impl SimTrace {
     /// Total dead-receiver drops over the execution (fault injection only).
     pub fn total_dead_drops(&self) -> u64 {
         self.dead_drops_by_phase.iter().sum()
+    }
+
+    /// Total SINR-threshold rejects over the execution (SINR backend only).
+    pub fn total_sinr_rejects(&self) -> u64 {
+        self.sinr_rejects_by_phase.iter().sum()
     }
 
     /// Smallest per-phase alive count, if fault tracking recorded any.
@@ -213,6 +225,9 @@ mod tests {
         assert_eq!(t.total_losses(), 3);
         assert_eq!(t.total_dead_drops(), 1);
         assert_eq!(t.min_alive(), Some(5));
+        assert_eq!(t.total_sinr_rejects(), 0);
+        t.sinr_rejects_by_phase = vec![0, 1, 2];
+        assert_eq!(t.total_sinr_rejects(), 3);
     }
 
     #[test]

@@ -1,0 +1,109 @@
+//! Property tests for the SINR physical-layer backend.
+//!
+//! The SINR model must *contain* the unit-disk model as a limit: with a
+//! vanishing decode threshold β (and any path-loss exponent), every
+//! receiver with at least one in-range transmitter decodes the strongest
+//! of them — interference can garble nothing because the threshold test
+//! `SINR ≥ β` is satisfied by any bounded interference sum. Unit-disk CAM
+//! (Assumption 6) delivers exactly to receivers with *exactly one*
+//! in-range transmitter, so on any field:
+//!
+//! * β→0 SINR deliveries ⊇ unit-disk deliveries (pairwise, same tx), and
+//! * the two backends agree exactly on slots where no receiver hears two
+//!   or more transmitters (the sparse/uncontended regime).
+
+use nss_model::comm::{CommunicationModel, MediumBackend, SinrParams};
+use nss_model::deployment::DeployedNetwork;
+use nss_model::geometry::Point2;
+use nss_model::topology::Topology;
+use nss_sim::medium::{Medium, MediumScratch};
+use proptest::collection;
+use proptest::prelude::*;
+
+/// β small enough that any in-range signal beats the worst-case
+/// interference sum of a few dozen transmitters.
+const VANISHING_BETA: f64 = 1e-9;
+
+fn degenerate_sinr() -> Medium {
+    Medium::with_backend(
+        CommunicationModel::CAM,
+        MediumBackend::Sinr(SinrParams {
+            alpha: 6.0,
+            beta: VANISHING_BETA,
+            noise: 0.0,
+            interference_factor: 3.0,
+        }),
+    )
+}
+
+/// Splits the generated field into positions and a non-empty transmitter
+/// set (node 0 transmits when the drawn set would be empty).
+fn field(nodes: &[(f64, f64, u32)]) -> (Topology, Vec<u32>) {
+    let pts: Vec<Point2> = nodes.iter().map(|&(x, y, _)| Point2::new(x, y)).collect();
+    let mut txs: Vec<u32> = nodes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, &(_, _, tx))| (tx == 1).then_some(i as u32))
+        .collect();
+    if txs.is_empty() {
+        txs.push(0);
+    }
+    let topo = Topology::build(&DeployedNetwork::from_positions(pts, 1.0));
+    (topo, txs)
+}
+
+/// Resolves one slot and returns the sorted clean (receiver, transmitter)
+/// pairs plus the slot's collision count.
+fn deliveries(medium: &Medium, topo: &Topology, txs: &[u32]) -> (Vec<(u32, u32)>, u64) {
+    let mut scratch = MediumScratch::new(topo.len());
+    let mut pairs = Vec::new();
+    let stats = medium.resolve_slot(topo, txs, &mut scratch, None, |rx, tx| {
+        pairs.push((rx.0, tx.0));
+    });
+    pairs.sort_unstable();
+    (pairs, stats.collisions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// On arbitrary random fields, the β→0 SINR backend delivers a
+    /// superset of the unit-disk deliveries, pair for pair — and exactly
+    /// the unit-disk deliveries on slots with no contended receiver.
+    #[test]
+    fn vanishing_beta_sinr_degenerates_to_unit_disk(
+        nodes in collection::vec((0.0f64..25.0, 0.0f64..25.0, 0u32..2), 2..40),
+    ) {
+        let (topo, txs) = field(&nodes);
+        let unit = Medium::new(CommunicationModel::CAM);
+        let sinr = degenerate_sinr();
+        let (unit_pairs, unit_collisions) = deliveries(&unit, &topo, &txs);
+        let (sinr_pairs, sinr_collisions) = deliveries(&sinr, &topo, &txs);
+
+        for pair in &unit_pairs {
+            prop_assert!(
+                sinr_pairs.binary_search(pair).is_ok(),
+                "unit-disk delivery {:?} lost under β→0 SINR",
+                pair
+            );
+        }
+        // β→0 leaves nothing for the threshold test to reject.
+        prop_assert_eq!(sinr_collisions, 0, "β→0 SINR still garbled a reception");
+        // Every unit-disk collision is a ≥2-candidate receiver the SINR
+        // backend captures instead, so the delivery surplus matches.
+        prop_assert_eq!(
+            sinr_pairs.len() as u64,
+            unit_pairs.len() as u64 + unit_collisions,
+            "captured receivers must account for the delivery surplus"
+        );
+        // Sparse/uncontended regime: the degenerate backend is bitwise the
+        // unit-disk model.
+        if unit_collisions == 0 {
+            prop_assert_eq!(
+                unit_pairs,
+                sinr_pairs,
+                "backends diverge on an uncontended slot"
+            );
+        }
+    }
+}

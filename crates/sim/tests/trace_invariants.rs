@@ -16,11 +16,12 @@
 
 use nss_model::deployment::Deployment;
 use nss_model::topology::Topology;
+use nss_sim::executor::Executor;
 use nss_sim::protocols::{
     run_async_gossip, run_counter_broadcast, run_distance_broadcast, AsyncGossipConfig,
     CounterConfig, DistanceConfig,
 };
-use nss_sim::slotted::{run_gossip, GossipConfig};
+use nss_sim::slotted::GossipConfig;
 use nss_sim::trace::{SimTrace, NEVER};
 
 fn disk(n_avg: u32, diameter: f64, seed: u64) -> Topology {
@@ -32,12 +33,21 @@ fn slotted_traces(topo: &Topology, seed: u64) -> Vec<(&'static str, SimTrace)> {
     vec![
         (
             "flooding_cam",
-            run_gossip(topo, &GossipConfig::flooding_cam(), seed),
+            Executor::new(topo)
+                .gossip(GossipConfig::flooding_cam())
+                .run(seed),
         ),
-        ("pb_cam", run_gossip(topo, &GossipConfig::pb_cam(0.6), seed)),
+        (
+            "pb_cam",
+            Executor::new(topo)
+                .gossip(GossipConfig::pb_cam(0.6))
+                .run(seed),
+        ),
         (
             "gossip_cfm",
-            run_gossip(topo, &GossipConfig::gossip_cfm(0.8), seed),
+            Executor::new(topo)
+                .gossip(GossipConfig::gossip_cfm(0.8))
+                .run(seed),
         ),
         (
             "counter",
@@ -142,7 +152,9 @@ fn slotted_protocols_satisfy_trace_invariants() {
 #[test]
 fn cfm_never_records_collisions_or_deferrals() {
     let topo = disk(5, 40.0, 9);
-    let t = run_gossip(&topo, &GossipConfig::gossip_cfm(1.0), 2);
+    let t = Executor::new(&topo)
+        .gossip(GossipConfig::gossip_cfm(1.0))
+        .run(2);
     assert_eq!(t.total_collisions(), 0, "CFM cannot collide");
     assert_eq!(t.total_cs_deferrals(), 0, "CFM cannot defer");
     assert!(t.total_deliveries() > 0);
@@ -152,7 +164,9 @@ fn cfm_never_records_collisions_or_deferrals() {
 fn transmission_range_rule_never_defers() {
     for seed in 0..3u64 {
         let topo = disk(6, 30.0, seed + 7);
-        let t = run_gossip(&topo, &GossipConfig::flooding_cam(), seed);
+        let t = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(seed);
         assert_eq!(
             t.total_cs_deferrals(),
             0,
@@ -167,7 +181,12 @@ fn dense_cam_flooding_records_collisions() {
     // collision channel should see them.
     let topo = disk(8, 20.0, 3);
     let collided: u64 = (0..5)
-        .map(|s| run_gossip(&topo, &GossipConfig::flooding_cam(), s).total_collisions())
+        .map(|s| {
+            Executor::new(&topo)
+                .gossip(GossipConfig::flooding_cam())
+                .run(s)
+                .total_collisions()
+        })
         .sum();
     assert!(collided > 0, "dense CAM flooding produced zero collisions");
 }
@@ -214,7 +233,9 @@ mod obs_counters {
             counter("sim.collisions"),
             counter("sim.cs_deferrals"),
         );
-        let t = run_gossip(&topo, &GossipConfig::flooding_cam(), 4);
+        let t = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(4);
         let after = (
             counter("sim.broadcasts"),
             counter("sim.deliveries"),

@@ -40,19 +40,23 @@ fn main() {
             let seed = 77 ^ rep;
 
             let p_fixed = (13.0 / topo.mean_degree().max(1.0)).clamp(0.02, 1.0);
-            sums.0 += run_gossip(&topo, &GossipConfig::pb_cam(p_fixed), seed).final_reachability();
+            sums.0 += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(p_fixed))
+                .run(seed)
+                .final_reachability();
 
             let rates = probe_per_node_success(&topo, 3, 2, 55 + rep);
             let global_sr = rates.iter().sum::<f64>() / rates.len() as f64;
-            sums.1 += run_gossip(
-                &topo,
-                &GossipConfig::pb_cam(controller.probability(global_sr)),
-                seed,
-            )
-            .final_reachability();
+            sums.1 += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(controller.probability(global_sr)))
+                .run(seed)
+                .final_reachability();
 
             let probs = per_node_probabilities(&controller, &rates);
-            sums.2 += run_gossip_per_node(&topo, &GossipConfig::pb_cam(0.5), &probs, seed)
+            sums.2 += Executor::new(&topo)
+                .gossip(GossipConfig::pb_cam(0.5))
+                .per_node_probs(probs)
+                .run(seed)
                 .final_reachability();
         }
         let r = runs as f64;

@@ -24,11 +24,13 @@ fn main() {
         // TDMA: distance-2 schedule executed over the CAM medium.
         let schedule = TdmaSchedule::build(&topo);
         assert!(schedule.verify(&topo), "schedule must be distance-2 valid");
-        let tdma = run_tdma_flooding(&topo, &schedule);
+        let tdma = Executor::new(&topo).run_tdma(&schedule);
         assert_eq!(tdma.collisions, 0, "TDMA implements CFM: no collisions");
 
         // CSMA-style CAM flooding (3 jitter slots per phase).
-        let csma = run_gossip(&topo, &GossipConfig::flooding_cam(), 1);
+        let csma = Executor::new(&topo)
+            .gossip(GossipConfig::flooding_cam())
+            .run(1);
 
         println!(
             "{rho:>6.0} {:>8} {:>12} {:>12} {:>11.3} {:>11.3}",

@@ -147,7 +147,9 @@ fn extinction_correction_moves_prediction_toward_simulation() {
     let runs = 20;
     for seed in 0..runs {
         let topo = Topology::build(&Deployment::disk(5, 1.0, 80.0).sample(seed));
-        let trace = run_gossip(&topo, &GossipConfig::pb_cam(0.03), seed ^ 0x5555);
+        let trace = Executor::new(&topo)
+            .gossip(GossipConfig::pb_cam(0.03))
+            .run(seed ^ 0x5555);
         total += trace.final_reachability();
     }
     let simulated = total / runs as f64;
@@ -170,7 +172,7 @@ fn phase_series_semantics_identical_across_sources() {
     let topo = Topology::build(&Deployment::disk(3, 1.0, 25.0).sample(4));
     let mut cfg = GossipConfig::flooding_cam();
     cfg.model = CommunicationModel::Cfm;
-    let trace = run_gossip(&topo, &cfg, 9);
+    let trace = Executor::new(&topo).gossip(cfg).run(9);
     let series = trace.phase_series();
     series.validate().unwrap();
 

@@ -102,7 +102,10 @@ fn simulator_matches_exact_on_assorted_topologies() {
         let mut total = 0.0;
         let cfg = GossipConfig::pb_cam(p);
         for seed in 0..runs {
-            total += run_gossip(&topo, &cfg, seed).final_reachability();
+            total += Executor::new(&topo)
+                .gossip(cfg)
+                .run(seed)
+                .final_reachability();
         }
         let mc = total / runs as f64;
         // Per-run reachability std ≤ 0.5 → SE ≤ 0.0036; 5σ ≈ 0.018.

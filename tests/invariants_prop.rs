@@ -138,7 +138,7 @@ proptest! {
         seed in 0u64..1000,
     ) {
         let topo = Topology::build(&Deployment::disk(3, 1.0, rho).sample(seed));
-        let trace = run_gossip(&topo, &GossipConfig::pb_cam(prob), seed ^ 0xABCD);
+        let trace = Executor::new(&topo).gossip(GossipConfig::pb_cam(prob)).run(seed ^ 0xABCD);
         // Source always informed; it always transmits once.
         prop_assert_eq!(trace.first_rx_phase[0], 0);
         prop_assert!(trace.total_broadcasts() >= 1);
@@ -168,7 +168,7 @@ proptest! {
         let topo = Topology::build(&Deployment::disk(3, 1.0, rho).sample(seed));
         let mut cfg = GossipConfig::flooding_cam();
         cfg.model = CommunicationModel::Cfm;
-        let trace = run_gossip(&topo, &cfg, seed);
+        let trace = Executor::new(&topo).gossip(cfg).run(seed);
         let levels = topo.bfs_levels(NodeId::SOURCE);
         for (v, &phase) in trace.first_rx_phase.iter().enumerate() {
             let level = levels[v];
