@@ -34,6 +34,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod cfm_cost;
 pub mod combinatorics;

@@ -13,6 +13,8 @@
 //! Exits 0 when every check passes, 1 with one violation per line on
 //! stderr otherwise (2 for usage/IO errors).
 
+#![forbid(unsafe_code)]
+
 use nss_bench::check::{diff, sanity, Tolerance};
 use nss_obs::jsonval::Json;
 

@@ -27,6 +27,8 @@
 //! `bench_check` additionally enforces the serving SLO — ≥ 50k qps warm
 //! at p99 < 5 ms — on `--mode full` artifacts.
 
+#![forbid(unsafe_code)]
+
 use nss_obs::jsonval::Json;
 use nss_serve::{QueryServer, ServeConfig};
 use std::io::{Read, Write};

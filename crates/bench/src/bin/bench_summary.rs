@@ -11,6 +11,8 @@
 //!
 //! Usage: `cargo run --release -p nss-bench --bin bench_summary [out.json]`
 
+#![forbid(unsafe_code)]
+
 use nss_analysis::mu::MuEvaluator;
 use nss_analysis::mu_cs::MuCsEvaluator;
 use nss_analysis::quadrature::simpson;

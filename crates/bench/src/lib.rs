@@ -1,6 +1,8 @@
 //! Shared fixtures for the nss benchmark suite, plus the [`check`]
 //! regression-gate logic behind the `bench_check` binary.
 
+#![forbid(unsafe_code)]
+
 pub mod check;
 
 use nss_analysis::ring_model::RingModelConfig;

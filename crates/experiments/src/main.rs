@@ -20,6 +20,7 @@
 //! `trace_event` JSON). The last two carry data only with `--features obs`.
 
 #![allow(clippy::needless_range_loop)] // tabular row/column code reads better indexed
+#![forbid(unsafe_code)]
 
 mod common;
 mod ext_connectivity;

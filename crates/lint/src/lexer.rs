@@ -232,7 +232,14 @@ fn skip_string(b: &[char], start: usize, line: &mut u32) -> usize {
     let mut j = start + 1;
     while j < n {
         match b[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // An escaped newline (line continuation) still ends a
+                // source line.
+                if b.get(j + 1) == Some(&'\n') {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 *line += 1;
                 j += 1;
@@ -401,6 +408,13 @@ mod tests {
     #[test]
     fn line_numbers_track_multiline_constructs() {
         let s = scan("a\n\"two\nlines\"\nb");
+        let b = s.toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 4);
+    }
+
+    #[test]
+    fn escaped_newline_in_string_counts_a_line() {
+        let s = scan("a\n\"continued \\\n string\"\nb");
         let b = s.toks.iter().find(|t| t.is_ident("b")).unwrap();
         assert_eq!(b.line, 4);
     }

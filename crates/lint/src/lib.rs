@@ -32,15 +32,33 @@
 //! | `panic-hygiene` | no `unwrap`/`expect`/`panic!`-family in library crates outside `#[cfg(test)]`; route through `ConfigError` |
 //! | `float-safety` | no `==`/`!=` against float literals and no unguarded `.sqrt()`/`.acos()`/`.asin()` in `analysis`/`core` |
 //! | `feature-hygiene` | obs macros must be `nss_obs::`-qualified and carry effect-free arguments, so `--no-default-features` builds stay identical |
+//! | `atomic-protocol` | `Relaxed` only for counter accumulate; claim/CAS RMWs and load/store in fence-bearing files need the proven ordering or a pragma citing a loom/Miri proof |
+//! | `unsafe-hygiene` | no `unsafe` anywhere; every crate root carries `#![forbid(unsafe_code)]` |
+//! | `lock-order` | no cycles in the workspace lock-acquisition graph; no blocking calls or caller-supplied closures under a Mutex guard |
+//! | `nondeterminism-taint` | clock/thread-id/pointer/hash-order reads must not reach pinned artifacts (CSV writers, `SimTrace`-returning fns) through the call graph |
+//! | `blocking-in-handler` | route handlers hold no lock across kernel computation and perform no unbounded stream reads |
+//!
+//! The last three are **interprocedural**: they run over a cross-crate
+//! call graph ([`callgraph::Workspace`], built from the [`parser`] item
+//! model) rather than file by file, so a deadlock seeded in one crate and
+//! closed in another is still caught. `nss-lint rules --check` keeps
+//! `docs/LINTS.md` in sync with this catalogue; `--sarif` emits the
+//! findings as a SARIF 2.1.0 artifact for CI upload.
 //!
 //! Malformed pragmas (missing reason, unknown rule) and pragmas that no
 //! longer suppress anything are reported under the reserved id `pragma`.
 
+#![forbid(unsafe_code)]
+
+pub mod callgraph;
+pub mod docsync;
 pub mod json;
 pub mod lexer;
 pub mod metrics;
+pub mod parser;
 pub mod pragma;
 pub mod rules;
+pub mod sarif;
 
 use lexer::{scan, Tok, TokKind};
 use pragma::{parse_pragmas, Pragma};
@@ -246,19 +264,55 @@ fn mark_test_regions(toks: &[Tok], test_lines: &mut [bool]) {
     }
 }
 
-/// Lints a single in-memory source (the fixture-test entry point).
+/// Lints a single in-memory source (the fixture-test entry point). Runs
+/// the per-file rules *and* the workspace rules over the one-file
+/// workspace.
 pub fn lint_source(path: &str, crate_name: &str, kind: FileKind, src: &str) -> Vec<Violation> {
-    let file = SourceFile::parse(path, crate_name, kind, src);
-    lint_file(&file)
+    lint_sources(vec![SourceFile::parse(path, crate_name, kind, src)])
 }
 
-/// Runs every rule over a parsed file, applies pragmas, and appends
-/// pragma-hygiene findings.
+/// Lints a set of parsed files as one workspace: per-file rules on each
+/// file, workspace (interprocedural) rules over the shared call graph,
+/// then pragma application per file. The multi-file fixture entry point
+/// and the core of [`lint_workspace`].
+pub fn lint_sources(files: Vec<SourceFile>) -> Vec<Violation> {
+    let ws = callgraph::Workspace::build(files);
+    let mut raw: Vec<Violation> = Vec::new();
+    for file in &ws.files {
+        for rule in rules::all() {
+            rule.check(file, &mut raw);
+        }
+    }
+    for rule in rules::workspace_rules() {
+        rule.check(&ws, &mut raw);
+    }
+    let mut out = Vec::new();
+    for file in &ws.files {
+        let for_file: Vec<Violation> = raw
+            .iter()
+            .filter(|v| v.path == file.path)
+            .cloned()
+            .collect();
+        out.extend(finalize(file, for_file));
+    }
+    out.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    out
+}
+
+/// Runs the per-file rules over a parsed file, applies pragmas, and
+/// appends pragma-hygiene findings. (Workspace rules need
+/// [`lint_sources`].)
 pub fn lint_file(file: &SourceFile) -> Vec<Violation> {
     let mut raw = Vec::new();
     for rule in rules::all() {
         rule.check(file, &mut raw);
     }
+    finalize(file, raw)
+}
+
+/// Applies pragma suppression to `raw`, appends pragma-hygiene findings,
+/// and sorts — the per-file tail of every lint pass.
+fn finalize(file: &SourceFile, raw: Vec<Violation>) -> Vec<Violation> {
     let mut out = Vec::new();
     // A pragma on line L covers violations on L and L+1.
     let covers = |p: &Pragma, v: &Violation| {
@@ -356,10 +410,7 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
         collect_rs(&dir.join("benches"), &mut files, &name, FileKind::TestSrc)?;
     }
 
-    let mut report = Report {
-        files: Vec::new(),
-        violations: Vec::new(),
-    };
+    let mut parsed: Vec<SourceFile> = Vec::with_capacity(files.len());
     for (path, crate_name, kind) in files {
         let rel = path
             .strip_prefix(root)
@@ -368,14 +419,13 @@ pub fn lint_workspace(root: &Path) -> Result<Report, String> {
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)
             .map_err(|e| format!("reading {}: {e}", path.display()))?;
-        let file = SourceFile::parse(&rel, &crate_name, kind, &src);
-        report.violations.extend(lint_file(&file));
-        report.files.push(rel);
+        parsed.push(SourceFile::parse(&rel, &crate_name, kind, &src));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
-    Ok(report)
+    let file_names: Vec<String> = parsed.iter().map(|f| f.path.clone()).collect();
+    Ok(Report {
+        files: file_names,
+        violations: lint_sources(parsed),
+    })
 }
 
 /// Recursively collects `.rs` files under `dir` (sorted for deterministic

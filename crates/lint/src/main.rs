@@ -1,20 +1,22 @@
 //! `nss-lint` CLI.
 //!
 //! ```text
-//! cargo run -p nss-lint -- check [--root DIR] [--json FILE]
-//! cargo run -p nss-lint -- rules
+//! cargo run -p nss-lint -- check [--root DIR] [--json FILE] [--sarif FILE]
+//! cargo run -p nss-lint -- rules [--check FILE | --write FILE]
 //! cargo run -p nss-lint -- metrics [--root DIR] [--check FILE | --write FILE]
 //! ```
 //!
 //! `check` exits 0 when the workspace is clean, 1 with one `file:line:
 //! [rule] message` diagnostic per violation otherwise, and 2 on usage or IO
-//! errors. `--json` additionally writes the machine-readable report
-//! (uploaded as a CI artifact).
+//! errors. `--json` additionally writes the machine-readable report and
+//! `--sarif` the SARIF 2.1.0 form (both uploaded as CI artifacts).
 //!
-//! `metrics` prints the scanned metric inventory as markdown; with
-//! `--check docs/METRICS.md` it exits 1 when the file's generated block
-//! has drifted from the code (the CI sync gate), with `--write` it
-//! refreshes the block in place.
+//! `rules` prints the rule catalogue; with `--check docs/LINTS.md` it exits
+//! 1 when the file's generated block has drifted from the registered rules
+//! (the CI sync gate), with `--write` it refreshes the block in place.
+//! `metrics` does the same for the metric inventory in `docs/METRICS.md`.
+
+#![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -26,7 +28,8 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("nss-lint: {msg}");
             eprintln!(
-                "usage: nss-lint <check|rules|metrics> [--root DIR] [--json FILE]\n       \
+                "usage: nss-lint check [--root DIR] [--json FILE] [--sarif FILE]\n       \
+                 nss-lint rules [--check FILE | --write FILE]\n       \
                  nss-lint metrics [--root DIR] [--check FILE | --write FILE]"
             );
             ExitCode::from(2)
@@ -38,8 +41,9 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
     let mut cmd: Option<&str> = None;
     let mut root = PathBuf::from(".");
     let mut json_out: Option<PathBuf> = None;
-    let mut metrics_check: Option<PathBuf> = None;
-    let mut metrics_write: Option<PathBuf> = None;
+    let mut sarif_out: Option<PathBuf> = None;
+    let mut doc_check: Option<PathBuf> = None;
+    let mut doc_write: Option<PathBuf> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -49,37 +53,96 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
             "--json" => {
                 json_out = Some(PathBuf::from(it.next().ok_or("--json needs a file path")?));
             }
+            "--sarif" => {
+                sarif_out = Some(PathBuf::from(it.next().ok_or("--sarif needs a file path")?));
+            }
             "--check" => {
-                metrics_check = Some(PathBuf::from(it.next().ok_or("--check needs a file path")?));
+                doc_check = Some(PathBuf::from(it.next().ok_or("--check needs a file path")?));
             }
             "--write" => {
-                metrics_write = Some(PathBuf::from(it.next().ok_or("--write needs a file path")?));
+                doc_write = Some(PathBuf::from(it.next().ok_or("--write needs a file path")?));
             }
             "check" | "rules" | "metrics" if cmd.is_none() => cmd = Some(a),
             other => return Err(format!("unexpected argument `{other}`")),
         }
     }
-    if (metrics_check.is_some() || metrics_write.is_some()) && cmd != Some("metrics") {
-        return Err("--check/--write only apply to the `metrics` subcommand".to_string());
+    if (doc_check.is_some() || doc_write.is_some()) && !matches!(cmd, Some("metrics" | "rules")) {
+        return Err("--check/--write only apply to `metrics` and `rules`".to_string());
     }
-    if metrics_check.is_some() && metrics_write.is_some() {
+    if doc_check.is_some() && doc_write.is_some() {
         return Err("--check and --write are mutually exclusive".to_string());
+    }
+    if sarif_out.is_some() && cmd != Some("check") {
+        return Err("--sarif only applies to the `check` subcommand".to_string());
     }
     match cmd {
         Some("rules") => {
-            for rule in nss_lint::rules::all() {
-                println!("{:<16} {}", rule.id(), rule.describe());
+            let block = nss_lint::docsync::render_rules();
+            if let Some(path) = doc_check {
+                let doc = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let committed = nss_lint::docsync::committed_block(
+                    &doc,
+                    nss_lint::docsync::RULES_BEGIN,
+                    nss_lint::docsync::RULES_END,
+                )
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+                if committed == block {
+                    println!(
+                        "nss-lint: {} rule catalogue in sync ({} rules)",
+                        path.display(),
+                        nss_lint::rules::ids().len()
+                    );
+                    Ok(ExitCode::SUCCESS)
+                } else {
+                    eprintln!(
+                        "nss-lint: {} rule catalogue is out of date with the code;\n          \
+                         regenerate with `cargo run -p nss-lint -- rules --write {}`",
+                        path.display(),
+                        path.display()
+                    );
+                    Ok(ExitCode::FAILURE)
+                }
+            } else if let Some(path) = doc_write {
+                let doc = std::fs::read_to_string(&path)
+                    .map_err(|e| format!("reading {}: {e}", path.display()))?;
+                let updated = nss_lint::docsync::splice(
+                    &doc,
+                    &block,
+                    nss_lint::docsync::RULES_BEGIN,
+                    nss_lint::docsync::RULES_END,
+                )
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+                std::fs::write(&path, updated)
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+                println!(
+                    "nss-lint: refreshed {} ({} rules)",
+                    path.display(),
+                    nss_lint::rules::ids().len()
+                );
+                Ok(ExitCode::SUCCESS)
+            } else {
+                for rule in nss_lint::rules::all() {
+                    println!("{:<20} {}", rule.id(), rule.describe());
+                }
+                for rule in nss_lint::rules::workspace_rules() {
+                    println!("{:<20} {}", rule.id(), rule.describe());
+                }
+                println!(
+                    "{:<20} reserved: malformed or stale `// nss-lint: allow(…) — reason` pragmas",
+                    "pragma"
+                );
+                Ok(ExitCode::SUCCESS)
             }
-            println!(
-                "{:<16} reserved: malformed or stale `// nss-lint: allow(…) — reason` pragmas",
-                "pragma"
-            );
-            Ok(ExitCode::SUCCESS)
         }
         Some("check") => {
             let report = nss_lint::lint_workspace(&root)?;
             if let Some(path) = json_out {
                 std::fs::write(&path, nss_lint::json::render(&report))
+                    .map_err(|e| format!("writing {}: {e}", path.display()))?;
+            }
+            if let Some(path) = sarif_out {
+                std::fs::write(&path, nss_lint::sarif::render(&report))
                     .map_err(|e| format!("writing {}: {e}", path.display()))?;
             }
             for v in &report.violations {
@@ -89,7 +152,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                 println!(
                     "nss-lint: {} files clean ({} rules)",
                     report.files.len(),
-                    nss_lint::rules::all().len()
+                    nss_lint::rules::ids().len()
                 );
                 Ok(ExitCode::SUCCESS)
             } else {
@@ -104,7 +167,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
         Some("metrics") => {
             let rows = nss_lint::metrics::scan_workspace(&root)?;
             let block = nss_lint::metrics::render(&rows);
-            if let Some(path) = metrics_check {
+            if let Some(path) = doc_check {
                 let doc = std::fs::read_to_string(&path)
                     .map_err(|e| format!("reading {}: {e}", path.display()))?;
                 let committed = nss_lint::metrics::committed_block(&doc)
@@ -125,7 +188,7 @@ fn run(args: &[String]) -> Result<ExitCode, String> {
                     );
                     Ok(ExitCode::FAILURE)
                 }
-            } else if let Some(path) = metrics_write {
+            } else if let Some(path) = doc_write {
                 let doc = std::fs::read_to_string(&path)
                     .map_err(|e| format!("reading {}: {e}", path.display()))?;
                 let updated = nss_lint::metrics::splice(&doc, &block)

@@ -329,32 +329,12 @@ pub fn render(rows: &[MetricRow]) -> String {
 /// Replaces the marked block inside `doc` with `block`; `Err` when the
 /// markers are missing or out of order.
 pub fn splice(doc: &str, block: &str) -> Result<String, String> {
-    let begin = doc
-        .find(BEGIN_MARK)
-        .ok_or_else(|| format!("missing `{BEGIN_MARK}` marker"))?;
-    let end = doc
-        .find(END_MARK)
-        .ok_or_else(|| format!("missing `{END_MARK}` marker"))?;
-    if end < begin {
-        return Err("END marker precedes BEGIN marker".to_string());
-    }
-    let tail = &doc[end + END_MARK.len()..];
-    let tail = tail.strip_prefix('\n').unwrap_or(tail);
-    Ok(format!("{}{}{}", &doc[..begin], block, tail))
+    crate::docsync::splice(doc, block, BEGIN_MARK, END_MARK)
 }
 
 /// Extracts the currently committed block (markers included).
 pub fn committed_block(doc: &str) -> Result<&str, String> {
-    let begin = doc
-        .find(BEGIN_MARK)
-        .ok_or_else(|| format!("missing `{BEGIN_MARK}` marker"))?;
-    let end = doc
-        .find(END_MARK)
-        .ok_or_else(|| format!("missing `{END_MARK}` marker"))?;
-    if end < begin {
-        return Err("END marker precedes BEGIN marker".to_string());
-    }
-    Ok(&doc[begin..end + END_MARK.len() + 1])
+    crate::docsync::committed_block(doc, BEGIN_MARK, END_MARK)
 }
 
 #[cfg(test)]

@@ -105,8 +105,10 @@ impl Rule for Determinism {
 
 /// Identifiers in this file that are (or contain) hash collections: type
 /// ascriptions whose type mentions `HashMap`/`HashSet`, and `let`-bindings
-/// initialized from `HashMap::new()`-style constructors.
-fn hash_bound_names(file: &SourceFile) -> Vec<String> {
+/// initialized from `HashMap::new()`-style constructors. Shared with the
+/// `nondeterminism-taint` rule, which treats the same iterations as taint
+/// sources.
+pub(super) fn hash_bound_names(file: &SourceFile) -> Vec<String> {
     let toks = &file.toks;
     let mut names: Vec<String> = Vec::new();
     for (i, t) in toks.iter().enumerate() {
@@ -143,7 +145,7 @@ fn hash_bound_names(file: &SourceFile) -> Vec<String> {
 /// If the postfix chain rooted at token `i` reaches an iteration method,
 /// returns `(line, method)`. The chain follows field projections, index
 /// groups, and intermediate calls (`self.map.read().values()`).
-fn chain_iteration(file: &SourceFile, i: usize) -> Option<(u32, String)> {
+pub(super) fn chain_iteration(file: &SourceFile, i: usize) -> Option<(u32, String)> {
     let toks = &file.toks;
     let mut j = i + 1;
     let mut hops = 0usize;

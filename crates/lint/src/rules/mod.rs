@@ -1,18 +1,29 @@
 //! The rule catalogue.
 //!
-//! Each rule is a pure function over a parsed [`SourceFile`]; adding a rule
-//! means adding a module here, registering it in [`all`], and giving it a
-//! fixture pair under `tests/fixtures/` (see DESIGN.md §8 for the recipe).
+//! Rules come in two shapes. A [`Rule`] is a pure function over one parsed
+//! [`SourceFile`]; a [`WorkspaceRule`] sees the whole parsed workspace —
+//! the cross-crate call graph in [`Workspace`] — and powers the
+//! interprocedural checks (lock ordering, taint flow, handler hygiene).
+//! Adding a rule means adding a module here, registering it in [`all`] or
+//! [`workspace_rules`], giving it a fixture pair under `tests/fixtures/`
+//! (see DESIGN.md §8 for the recipe), and re-running
+//! `cargo run -p nss-lint -- rules --write docs/LINTS.md`.
 
+use crate::callgraph::Workspace;
 use crate::{SourceFile, Violation};
 
-mod determinism;
+mod atomic;
+mod blocking;
+pub(crate) mod determinism;
 mod float;
+mod lock_order;
 mod obs;
 mod panic;
 mod rng;
+mod taint;
+mod unsafe_hygiene;
 
-/// A single lint rule.
+/// A single per-file lint rule.
 pub trait Rule {
     /// Stable id, as named by pragmas and JSON reports.
     fn id(&self) -> &'static str;
@@ -22,7 +33,17 @@ pub trait Rule {
     fn check(&self, file: &SourceFile, out: &mut Vec<Violation>);
 }
 
-/// Every registered rule, in reporting order.
+/// An interprocedural rule over the whole parsed workspace.
+pub trait WorkspaceRule {
+    /// Stable id, as named by pragmas and JSON reports.
+    fn id(&self) -> &'static str;
+    /// One-line description for `nss-lint rules`.
+    fn describe(&self) -> &'static str;
+    /// Appends findings across `ws` to `out` (paths identify the files).
+    fn check(&self, ws: &Workspace, out: &mut Vec<Violation>);
+}
+
+/// Every registered per-file rule, in reporting order.
 pub fn all() -> Vec<Box<dyn Rule>> {
     vec![
         Box::new(rng::RngDiscipline),
@@ -30,12 +51,25 @@ pub fn all() -> Vec<Box<dyn Rule>> {
         Box::new(panic::PanicHygiene),
         Box::new(float::FloatSafety),
         Box::new(obs::FeatureHygiene),
+        Box::new(atomic::AtomicProtocol),
+        Box::new(unsafe_hygiene::UnsafeHygiene),
     ]
 }
 
-/// Ids of every rule (pragma validation).
+/// Every registered workspace rule, in reporting order.
+pub fn workspace_rules() -> Vec<Box<dyn WorkspaceRule>> {
+    vec![
+        Box::new(lock_order::LockOrder),
+        Box::new(taint::NondeterminismTaint),
+        Box::new(blocking::BlockingInHandler),
+    ]
+}
+
+/// Ids of every rule, per-file and workspace (pragma validation).
 pub fn ids() -> Vec<&'static str> {
-    all().iter().map(|r| r.id()).collect()
+    let mut out: Vec<&'static str> = all().iter().map(|r| r.id()).collect();
+    out.extend(workspace_rules().iter().map(|r| r.id()));
+    out
 }
 
 /// Shorthand used by the rule modules.

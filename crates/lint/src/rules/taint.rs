@@ -1,0 +1,343 @@
+//! `nondeterminism-taint` — nondeterministic sources must not reach
+//! determinism sinks.
+//!
+//! The repo's outputs are bitwise-pinned: fig4/fig8 CSVs, `SimTrace`
+//! digests, and the Exact-policy BENCH fields are compared byte-for-byte
+//! across runs and machines. A wall-clock read, a thread id, a pointer
+//! address, or a hash-iteration order anywhere on the call path that
+//! produces those artifacts silently breaks the pin.
+//!
+//! **Sources** (per site): `Instant::now` / `SystemTime::now`, thread-id
+//! reads (`thread::current().id()` / `ThreadId`), pointer-as-integer
+//! (`as_ptr() as usize`), and iteration over hash-ordered collections
+//! (shared detection with the per-file `determinism` rule).
+//!
+//! **Sinks** (per function): anything `csv` in its name (`write_csv`,
+//! `csv_to_markdown`), and simulation entry points returning `SimTrace` /
+//! `TdmaOutcome` / `ReplicatedTraces` — their return values feed the
+//! pinned digests.
+//!
+//! **Flow**: a source site in function `F` is flagged when the value can
+//! plausibly reach a sink through the call graph — `F` is a sink, `F`
+//! transitively calls a sink, or `F`'s return value propagates up through
+//! callers to a function that does (`emit()` calling both `rows()` — which
+//! iterates a `HashMap` — and `write_csv(rows(…))`). The diagnostic names
+//! the sink and one example chain. Timing that feeds the obs plane only
+//! (histograms, status lines) is legal by design — that is exactly what
+//! the pragma is for, and the live workspace's clock reads carry pragmas
+//! saying so.
+
+use super::{determinism, Violation, WorkspaceRule};
+use crate::callgraph::Workspace;
+use crate::lexer::TokKind;
+use crate::SourceFile;
+use std::collections::{BTreeSet, VecDeque};
+
+/// Return-type names that mark a function as a determinism sink.
+const SINK_RETURNS: &[&str] = &["SimTrace", "TdmaOutcome", "ReplicatedTraces"];
+
+pub struct NondeterminismTaint;
+
+/// One nondeterministic read site.
+struct Source {
+    line: u32,
+    what: &'static str,
+    detail: String,
+}
+
+impl WorkspaceRule for NondeterminismTaint {
+    fn id(&self) -> &'static str {
+        "nondeterminism-taint"
+    }
+
+    fn describe(&self) -> &'static str {
+        "clock/thread-id/pointer/hash-order reads must not sit on a call path \
+         that produces pinned artifacts (CSV writers, SimTrace-returning fns)"
+    }
+
+    fn check(&self, ws: &Workspace, out: &mut Vec<Violation>) {
+        let n = ws.fns.len();
+        let sinks: BTreeSet<usize> = ws
+            .fns
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !f.is_test && is_sink(f))
+            .map(|(i, _)| i)
+            .collect();
+        if sinks.is_empty() {
+            return;
+        }
+        // Reverse call edges, then "can reach a sink" = backward closure
+        // from the sinks over callers.
+        let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for fi in 0..n {
+            for rc in &ws.calls[fi] {
+                for &c in &rc.callees {
+                    rev[c].push(fi);
+                }
+            }
+        }
+        let mut reaches_sink = vec![false; n];
+        let mut queue: VecDeque<usize> = sinks.iter().copied().collect();
+        for &s in &sinks {
+            reaches_sink[s] = true;
+        }
+        while let Some(f) = queue.pop_front() {
+            for &caller in &rev[f] {
+                if !reaches_sink[caller] {
+                    reaches_sink[caller] = true;
+                    queue.push_back(caller);
+                }
+            }
+        }
+
+        for (fi, f) in ws.fns.iter().enumerate() {
+            if f.is_test {
+                continue;
+            }
+            let Some(body) = f.body else { continue };
+            let file = &ws.files[f.file];
+            let srcs = find_sources(file, body);
+            if srcs.is_empty() {
+                continue;
+            }
+            // Nearest function (self included, then callers upward) whose
+            // forward call cone contains a sink: the tainted value can flow
+            // up to it as a return value and onward into the sink.
+            let Some(carrier) = nearest_carrier(fi, &rev, &reaches_sink) else {
+                continue;
+            };
+            let (sink, route) = forward_route(ws, carrier, &sinks);
+            for s in srcs {
+                let how = if carrier == fi && sink == fi {
+                    format!("inside sink `{}` itself", ws.fn_name(sink))
+                } else if carrier == fi {
+                    format!("can reach sink `{}` via {route}", ws.fn_name(sink))
+                } else {
+                    format!(
+                        "flows (through return values) up to `{}`, which reaches sink \
+                         `{}` via {route}",
+                        ws.fn_name(carrier),
+                        ws.fn_name(sink)
+                    )
+                };
+                out.push(Violation {
+                    path: file.path.clone(),
+                    line: s.line,
+                    rule: self.id(),
+                    message: format!(
+                        "{} ({}) {how} — pinned outputs must not depend on it; if this \
+                         feeds timing/obs fields only, say so in a pragma",
+                        s.what, s.detail
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// BFS over callers from `fi` (self first) for a fn that reaches a sink.
+fn nearest_carrier(fi: usize, rev: &[Vec<usize>], reaches_sink: &[bool]) -> Option<usize> {
+    let mut seen = BTreeSet::new();
+    let mut queue = VecDeque::new();
+    seen.insert(fi);
+    queue.push_back(fi);
+    while let Some(a) = queue.pop_front() {
+        if reaches_sink[a] {
+            return Some(a);
+        }
+        for &caller in &rev[a] {
+            if seen.insert(caller) {
+                queue.push_back(caller);
+            }
+        }
+    }
+    None
+}
+
+/// The first sink in `carrier`'s forward cone, with a rendered call path
+/// (`carrier` must satisfy `reaches_sink`).
+fn forward_route(ws: &Workspace, carrier: usize, sinks: &BTreeSet<usize>) -> (usize, String) {
+    if sinks.contains(&carrier) {
+        return (carrier, ws.fn_name(carrier));
+    }
+    let parent = ws.reach(carrier);
+    let sink = sinks
+        .iter()
+        .find(|s| parent.contains_key(s))
+        .copied()
+        .expect("carrier reaches a sink");
+    let route = ws.path(carrier, sink, &parent);
+    (sink, route)
+}
+
+/// A function is a sink when its name mentions `csv` or it returns a
+/// pinned simulation artifact.
+fn is_sink(f: &crate::parser::FnItem) -> bool {
+    f.name.contains("csv") || f.ret.iter().any(|r| SINK_RETURNS.contains(&r.as_str()))
+}
+
+/// Scans one body for nondeterministic reads.
+fn find_sources(file: &SourceFile, body: (usize, usize)) -> Vec<Source> {
+    let toks = &file.toks;
+    let mut out = Vec::new();
+    let hash_names = determinism::hash_bound_names(file);
+    for i in body.0 + 1..body.1 {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident || file.is_test_line(t.line) {
+            continue;
+        }
+        // `Instant::now(` / `SystemTime::now(`.
+        if t.is_ident("now")
+            && i >= 2
+            && toks[i - 1].is_punct("::")
+            && (toks[i - 2].is_ident("Instant") || toks[i - 2].is_ident("SystemTime"))
+        {
+            out.push(Source {
+                line: t.line,
+                what: "wall-clock read",
+                detail: format!("{}::now", toks[i - 2].text),
+            });
+        }
+        // `thread::current().id()` / explicit `ThreadId`.
+        if (t.is_ident("id")
+            && i >= 4
+            && toks[i - 1].is_punct(".")
+            && toks[i - 2].is_punct(")")
+            && toks[i - 4].is_ident("current"))
+            || t.is_ident("ThreadId")
+        {
+            out.push(Source {
+                line: t.line,
+                what: "thread-id read",
+                detail: "thread identity varies per run".to_string(),
+            });
+        }
+        // `as_ptr() as usize` — pointer addresses are ASLR-random.
+        if (t.is_ident("as_ptr") || t.is_ident("as_mut_ptr"))
+            && toks.get(i + 1).is_some_and(|n| n.is_punct("("))
+            && toks.get(i + 2).is_some_and(|n| n.is_punct(")"))
+            && toks.get(i + 3).is_some_and(|n| n.is_ident("as"))
+            && toks
+                .get(i + 4)
+                .is_some_and(|n| n.is_ident("usize") || n.is_ident("u64"))
+        {
+            out.push(Source {
+                line: t.line,
+                what: "pointer-as-integer",
+                detail: format!("{} as {}", t.text, toks[i + 4].text),
+            });
+        }
+        // Hash-ordered iteration (same detection as the determinism rule).
+        if hash_names.contains(&t.text) {
+            if let Some((line, method)) = determinism::chain_iteration(file, i) {
+                out.push(Source {
+                    line,
+                    what: "hash-ordered iteration",
+                    detail: format!("`{}.{}()`", t.text, method),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileKind, SourceFile};
+
+    fn run(files: &[(&str, &str, &str)]) -> Vec<Violation> {
+        let ws = Workspace::build(
+            files
+                .iter()
+                .map(|(p, c, s)| SourceFile::parse(p, c, FileKind::LibSrc, s))
+                .collect(),
+        );
+        let mut out = Vec::new();
+        NondeterminismTaint.check(&ws, &mut out);
+        out
+    }
+
+    #[test]
+    fn clock_in_sink_fn_flagged() {
+        let vs = run(&[(
+            "x.rs",
+            "sim",
+            "fn run_one() -> SimTrace { let t = Instant::now(); go(t) }\n",
+        )]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("wall-clock"));
+        assert!(vs[0].message.contains("inside sink"));
+    }
+
+    #[test]
+    fn clock_reaching_csv_across_files_flagged() {
+        let files = [
+            (
+                "crates/experiments/src/common.rs",
+                "experiments",
+                "pub fn write_csv(rows: &[String]) {}\n",
+            ),
+            (
+                "crates/experiments/src/fig.rs",
+                "experiments",
+                "use crate::common::write_csv;\n\
+                 fn emit() { let t0 = Instant::now(); write_csv(&rows(t0)); }\n",
+            ),
+        ];
+        let vs = run(&files);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("write_csv"), "{vs:?}");
+    }
+
+    #[test]
+    fn clock_feeding_obs_only_is_clean() {
+        let vs = run(&[(
+            "x.rs",
+            "obs",
+            "fn observe_cell() { let t0 = Instant::now(); histogram(t0.elapsed()); }\n\
+             fn histogram(d: Duration) {}\n",
+        )]);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn hash_iteration_flowing_through_caller_to_sink_flagged() {
+        // The source fn `rows` never calls the sink; its *return value* is
+        // handed to `write_csv` by the shared caller `emit`.
+        let vs = run(&[(
+            "x.rs",
+            "experiments",
+            "fn rows(m: HashMap<u32, f64>) -> Vec<String> { m.values().map(render).collect() }\n\
+             fn emit(m: HashMap<u32, f64>) { write_csv(&rows(m)); }\n\
+             fn write_csv(rows: &[String]) {}\n",
+        )]);
+        assert!(
+            vs.iter()
+                .any(|v| v.message.contains("hash-ordered") && v.message.contains("emit")),
+            "{vs:?}"
+        );
+    }
+
+    #[test]
+    fn thread_id_in_sink_flagged() {
+        let vs = run(&[(
+            "x.rs",
+            "sim",
+            "fn run_one() -> SimTrace { let id = std::thread::current().id(); go(id) }\n",
+        )]);
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("thread-id"));
+    }
+
+    #[test]
+    fn tests_exempt() {
+        let vs = run(&[(
+            "x.rs",
+            "sim",
+            "#[cfg(test)]\nmod t {\n fn run_one() -> SimTrace { let t = Instant::now(); go(t) }\n}\n",
+        )]);
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+}

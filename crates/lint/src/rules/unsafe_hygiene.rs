@@ -1,0 +1,126 @@
+//! `unsafe-hygiene` — the workspace is 100% safe Rust, and stays that way.
+//!
+//! Every claim this repo makes about bitwise reproducibility and data-race
+//! freedom rests on the compiler's safety guarantees plus the runtime
+//! checkers (loom, TSan, Miri). A single `unsafe` block voids that chain
+//! of custody, so the rule enforces two things:
+//!
+//! * no `unsafe` token anywhere in first-party code (tests included —
+//!   a test that needs `unsafe` is testing something the workspace
+//!   doesn't ship);
+//! * every crate root (`src/lib.rs`, `src/main.rs`, `src/bin/*.rs`)
+//!   carries `#![forbid(unsafe_code)]`, so the guarantee is enforced by
+//!   rustc itself and cannot be reintroduced silently — the lint is the
+//!   meta-check that the forbid attribute is present, rustc is the
+//!   enforcement.
+
+use super::{violation, Rule};
+use crate::{SourceFile, Violation};
+
+pub struct UnsafeHygiene;
+
+impl Rule for UnsafeHygiene {
+    fn id(&self) -> &'static str {
+        "unsafe-hygiene"
+    }
+
+    fn describe(&self) -> &'static str {
+        "no `unsafe` anywhere; every crate root must carry #![forbid(unsafe_code)]"
+    }
+
+    fn check(&self, file: &SourceFile, out: &mut Vec<Violation>) {
+        for t in &file.toks {
+            if t.is_ident("unsafe") {
+                out.push(violation(
+                    file,
+                    t.line,
+                    self.id(),
+                    "`unsafe` is forbidden workspace-wide: the reproducibility and \
+                     race-freedom arguments assume safe Rust end to end"
+                        .to_string(),
+                ));
+            }
+        }
+        if is_crate_root(&file.path) && !has_forbid_unsafe(file) {
+            out.push(violation(
+                file,
+                1,
+                self.id(),
+                "crate root is missing `#![forbid(unsafe_code)]` — add it so rustc \
+                 enforces the safe-Rust guarantee"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// `src/lib.rs`, `src/main.rs`, and `src/bin/*.rs` are crate roots.
+fn is_crate_root(path: &str) -> bool {
+    path.ends_with("src/lib.rs") || path.ends_with("src/main.rs") || path.contains("/src/bin/")
+}
+
+/// Looks for `forbid ( … unsafe_code … )` in the token stream.
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.toks;
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("forbid") || !toks.get(i + 1).is_some_and(|n| n.is_punct("(")) {
+            continue;
+        }
+        if let Some(close) = file.match_delim(i + 1) {
+            if toks[i + 2..close].iter().any(|a| a.is_ident("unsafe_code")) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{lint_source, FileKind};
+
+    fn lint(path: &str, src: &str) -> Vec<Violation> {
+        lint_source(path, "sim", FileKind::LibSrc, src)
+            .into_iter()
+            .filter(|v| v.rule == "unsafe-hygiene")
+            .collect()
+    }
+
+    #[test]
+    fn unsafe_block_flagged() {
+        let vs = lint(
+            "crates/sim/src/x.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }\n",
+        );
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn crate_root_without_forbid_flagged() {
+        let vs = lint("crates/sim/src/lib.rs", "pub mod bits;\n");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+        assert!(vs[0].message.contains("forbid"));
+    }
+
+    #[test]
+    fn crate_root_with_forbid_clean() {
+        let vs = lint(
+            "crates/sim/src/lib.rs",
+            "#![forbid(unsafe_code)]\npub mod bits;\n",
+        );
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+
+    #[test]
+    fn bin_roots_are_crate_roots() {
+        let vs = lint("crates/bench/src/bin/bench_sim.rs", "fn main() {}\n");
+        assert_eq!(vs.len(), 1, "{vs:?}");
+    }
+
+    #[test]
+    fn non_root_module_needs_no_attribute() {
+        let vs = lint("crates/sim/src/bits.rs", "pub fn f() {}\n");
+        assert!(vs.is_empty(), "{vs:?}");
+    }
+}

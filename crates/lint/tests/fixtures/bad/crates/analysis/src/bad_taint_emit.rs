@@ -1,0 +1,17 @@
+//! Sink half of the two-crate taint chain: pulls rows from `nss_model`
+//! (where the clock read lives) and writes them through a CSV function.
+//! The violation is reported at the source site in the other crate.
+
+use nss_model::bad_taint_rows::noisy_rows;
+
+pub fn emit_report() {
+    write_report_csv(&noisy_rows());
+}
+
+fn write_report_csv(rows: &[String]) {
+    for r in rows {
+        render(r);
+    }
+}
+
+fn render(_row: &str) {}

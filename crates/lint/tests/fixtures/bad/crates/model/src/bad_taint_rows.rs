@@ -1,0 +1,8 @@
+//! Source half of the two-crate taint chain: a wall-clock read whose
+//! return value is handed to a CSV writer by a caller in another crate
+//! (`crates/analysis/src/bad_taint_emit.rs`).
+
+pub fn noisy_rows() -> Vec<String> {
+    let stamp = std::time::Instant::now();
+    vec![format!("elapsed,{:?}", stamp.elapsed())]
+}

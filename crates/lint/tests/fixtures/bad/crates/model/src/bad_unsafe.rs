@@ -1,0 +1,5 @@
+//! An `unsafe` block — forbidden workspace-wide regardless of soundness.
+
+pub fn peek(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}

@@ -1,0 +1,31 @@
+//! Deliberate lock-order violations: an alpha→beta / beta→alpha cycle
+//! split across two functions, a blocking call under a guard, and a
+//! caller-supplied closure invoked while the lock is held.
+
+pub fn ab(s: &State) {
+    let a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = s.beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    use_both(&a, &b);
+}
+
+pub fn ba(s: &State) {
+    let b = s.beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    use_both(&a, &b);
+}
+
+pub fn drain(rx: &std::sync::Mutex<ConnReceiver>) -> Option<Conn> {
+    rx.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        .recv()
+        .ok()
+}
+
+pub fn fill(s: &State, build: impl FnOnce() -> u64) -> u64 {
+    let mut a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let v = build();
+    *a = v;
+    v
+}
+
+fn use_both(_a: &u64, _b: &u64) {}

@@ -1,0 +1,17 @@
+//! A route handler that does everything the blocking-in-handler rule
+//! forbids: reads the stream to exhaustion, then holds the cache lock
+//! across a kernel-scale sweep.
+
+pub fn router(state: std::sync::Arc<Shared>) -> Router {
+    Router::new().get("/v1/sweep", move |req| {
+        let mut body = String::new();
+        req.stream.read_to_string(&mut body);
+        let cache = state.cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        let table = run_sweep(&cache, &body);
+        Response::json(&table)
+    })
+}
+
+fn run_sweep(_cache: &Cache, _body: &str) -> u32 {
+    0
+}

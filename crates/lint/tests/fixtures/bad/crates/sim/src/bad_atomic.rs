@@ -1,0 +1,8 @@
+//! A claim-style read-modify-write at `Relaxed` with no pragma citing a
+//! proof — the atomic-protocol rule must demand the ordering argument.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn claim_slot(word: &AtomicU64, mask: u64) -> bool {
+    word.fetch_or(mask, Ordering::Relaxed) & mask == 0
+}

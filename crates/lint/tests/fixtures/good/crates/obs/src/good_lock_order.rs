@@ -1,0 +1,32 @@
+//! Guard discipline the lock-order rule accepts: one global acquisition
+//! order, closures evaluated before locking, and the single-consumer
+//! handoff idiom justified in place.
+
+pub fn ab(s: &State) {
+    let a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = s.beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    use_both(&a, &b);
+}
+
+pub fn also_ab(s: &State) {
+    let a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    let b = s.beta.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    use_both(&a, &b);
+}
+
+pub fn install(s: &State, build: impl FnOnce() -> u64) -> u64 {
+    let v = build();
+    let mut a = s.alpha.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    *a = v;
+    v
+}
+
+pub fn next_conn(rx: &std::sync::Mutex<ConnReceiver>) -> Option<Conn> {
+    rx.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+        // nss-lint: allow(lock-order) — single-consumer handoff mutex; this is the only lock held and nothing else ever takes it
+        .recv()
+        .ok()
+}
+
+fn use_both(_a: &u64, _b: &u64) {}

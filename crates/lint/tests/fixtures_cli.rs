@@ -41,6 +41,11 @@ fn bad_fixtures_are_flagged() {
         ("bad_determinism.rs", "determinism"),
         ("bad_obs.rs", "feature-hygiene"),
         ("bad_pragma.rs", "pragma"),
+        ("bad_lock_order.rs", "lock-order"),
+        ("bad_taint_rows.rs", "nondeterminism-taint"),
+        ("bad_atomic.rs", "atomic-protocol"),
+        ("bad_handler.rs", "blocking-in-handler"),
+        ("bad_unsafe.rs", "unsafe-hygiene"),
     ];
     for (file, rule) in expected {
         let hit = text.lines().any(|l| {
@@ -55,6 +60,40 @@ fn bad_fixtures_are_flagged() {
             "expected a `{file}:<line>: [{rule}]` diagnostic in:\n{text}"
         );
     }
+}
+
+/// The interprocedural diagnostics carry their evidence: the seeded
+/// alpha/beta deadlock is reported as a *cycle* in both participating
+/// functions, and the two-crate taint chain names the carrier function
+/// from the other crate in the source-site diagnostic.
+#[test]
+fn interprocedural_diagnostics_carry_evidence() {
+    let out = run_check(&fixtures("bad"), &[]);
+    let text = stdout(&out);
+    let cycle_sites: Vec<&str> = text
+        .lines()
+        .filter(|l| l.contains("bad_lock_order.rs") && l.contains("cycle"))
+        .collect();
+    assert!(
+        cycle_sites.len() >= 2,
+        "expected the alpha→beta and beta→alpha edges both reported as a cycle:\n{text}"
+    );
+    let taint = text
+        .lines()
+        .find(|l| l.contains("bad_taint_rows.rs") && l.contains("[nondeterminism-taint]"))
+        .unwrap_or_else(|| panic!("no taint diagnostic at the source site:\n{text}"));
+    assert!(
+        taint.contains("emit_report") && taint.contains("write_report_csv"),
+        "taint diagnostic must name the cross-crate carrier and sink: {taint}"
+    );
+    let closure = text
+        .lines()
+        .any(|l| l.contains("bad_lock_order.rs") && l.contains("caller-supplied closure"));
+    assert!(closure, "closure-under-guard not reported:\n{text}");
+    let blocking = text
+        .lines()
+        .any(|l| l.contains("bad_lock_order.rs") && l.contains("blocking `recv`"));
+    assert!(blocking, "blocking-under-guard not reported:\n{text}");
 }
 
 /// Both pragma failure modes are reported: a missing reason and a stale
@@ -133,6 +172,30 @@ fn live_metrics_doc_is_in_sync() {
     );
 }
 
+/// META-TEST: the committed `docs/LINTS.md` rule table matches the
+/// compiled-in catalogue — the same sync gate CI runs via
+/// `nss-lint rules --check docs/LINTS.md`.
+#[test]
+fn live_lints_doc_is_in_sync() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("workspace root");
+    let out = Command::new(env!("CARGO_BIN_EXE_nss-lint"))
+        .args(["rules", "--check"])
+        .arg(root.join("docs/LINTS.md"))
+        .output()
+        .expect("spawn nss-lint");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "docs/LINTS.md is out of sync; run \
+         `cargo run -p nss-lint -- rules --write docs/LINTS.md`\n{}{}",
+        stdout(&out),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
 /// `--json` writes the machine-readable report consumed by CI artifacts.
 #[test]
 fn json_report_is_written() {
@@ -151,7 +214,31 @@ fn json_report_is_written() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
-/// `rules` lists the full catalogue (the 5 rules plus the reserved
+/// `--sarif` writes a SARIF 2.1.0 log whose rule catalogue and results
+/// reference the fixture violations — the artifact CI uploads for code
+/// scanning.
+#[test]
+fn sarif_report_is_written() {
+    let dir = std::env::temp_dir().join(format!("nss-lint-sarif-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let sarif_path = dir.join("report.sarif");
+    let out = run_check(
+        &fixtures("bad"),
+        &["--sarif", sarif_path.to_str().expect("utf-8 path")],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let sarif = std::fs::read_to_string(&sarif_path).expect("sarif written");
+    assert!(sarif.contains("\"2.1.0\""), "{sarif}");
+    assert!(sarif.contains("\"nss-lint\""), "{sarif}");
+    for rule in ["lock-order", "nondeterminism-taint", "blocking-in-handler"] {
+        assert!(sarif.contains(rule), "missing `{rule}` in SARIF:\n{sarif}");
+    }
+    assert!(sarif.contains("bad_lock_order.rs"), "{sarif}");
+    assert!(sarif.contains("\"startLine\""), "{sarif}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `rules` lists the full catalogue (the 10 rules plus the reserved
 /// `pragma` channel).
 #[test]
 fn rules_subcommand_lists_catalogue() {
@@ -168,6 +255,11 @@ fn rules_subcommand_lists_catalogue() {
         "float-safety",
         "feature-hygiene",
         "pragma",
+        "lock-order",
+        "atomic-protocol",
+        "nondeterminism-taint",
+        "blocking-in-handler",
+        "unsafe-hygiene",
     ] {
         assert!(text.contains(rule), "missing `{rule}` in:\n{text}");
     }

@@ -35,6 +35,7 @@
 //! ```
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod comm;
 pub mod deployment;

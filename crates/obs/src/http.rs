@@ -311,6 +311,7 @@ impl HttpServer {
                             let conn = rx
                                 .lock()
                                 .unwrap_or_else(std::sync::PoisonError::into_inner)
+                                // nss-lint: allow(lock-order) — single-consumer handoff: this mutex exists solely to serialize recv() among the workers, is the only lock a worker holds, and nothing else ever takes it
                                 .recv();
                             match conn {
                                 Ok(stream) => serve_connection(stream, &router, &opts),

@@ -252,6 +252,7 @@ fn fetch_update_f64(cell: &AtomicU64, f: impl Fn(f64) -> f64) {
     let mut cur = cell.load(Ordering::Relaxed);
     loop {
         let next = f(f64::from_bits(cur)).to_bits();
+        // nss-lint: allow(atomic-protocol) — CAS loop over one lone f64 cell (min/max fold): success publishes nothing beyond the cell itself, so there is no payload for Acquire/Release to order
         match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return,
             Err(seen) => cur = seen,

@@ -75,20 +75,26 @@ struct Ring {
 
 impl Ring {
     fn record(&self, name_id: u32, start_ns: u64, dur_ns: u64) {
+        // nss-lint: allow(atomic-protocol) — head is single-writer (this thread); readers only use it as a hint and revalidate every slot via seq
         let i = self.head.load(Ordering::Relaxed);
         let slot = &self.slots[(i as usize) & (RING_CAPACITY - 1)];
         // Single-writer seqlock write (Boehm): invalidate, release fence
         // (orders the invalidation before the payload stores), payload,
         // release publish (orders the payload before the new sequence).
+        // nss-lint: allow(atomic-protocol) — the Release fence below orders this invalidation before the payload stores
         slot.seq.store(0, Ordering::Relaxed);
         std::sync::atomic::fence(Ordering::Release);
+        // nss-lint: allow(atomic-protocol) — payload store: ordered after the invalidation by the Release fence above, before publication by the Release store of seq below
         slot.name_tid.store(
             (u64::from(name_id) << 32) | u64::from(self.tid),
             Ordering::Relaxed,
         );
+        // nss-lint: allow(atomic-protocol) — payload store: same seqlock-write ordering as name_tid above
         slot.start_ns.store(start_ns, Ordering::Relaxed);
+        // nss-lint: allow(atomic-protocol) — payload store: same seqlock-write ordering as name_tid above
         slot.dur_ns.store(dur_ns, Ordering::Relaxed);
         slot.seq.store(i + 1, Ordering::Release);
+        // nss-lint: allow(atomic-protocol) — single-writer head bump; the slot itself was already published by the Release store of seq
         self.head.store(i + 1, Ordering::Relaxed);
     }
 }
@@ -277,12 +283,16 @@ pub fn events() -> (Vec<TraceEvent>, u64) {
             if seq1 == 0 {
                 continue;
             }
+            // nss-lint: allow(atomic-protocol) — seqlock payload reads: ordered after seq1 by its Acquire load, before seq2 by the Acquire fence below; a torn read is discarded by the seq1 != seq2 check
             let name_tid = slot.name_tid.load(Ordering::Relaxed);
+            // nss-lint: allow(atomic-protocol) — payload read: same seqlock-read ordering as name_tid above
             let start_ns = slot.start_ns.load(Ordering::Relaxed);
+            // nss-lint: allow(atomic-protocol) — payload read: same seqlock-read ordering as name_tid above
             let dur_ns = slot.dur_ns.load(Ordering::Relaxed);
             // Acquire fence: the payload loads above cannot sink past the
             // validation load below.
             std::sync::atomic::fence(Ordering::Acquire);
+            // nss-lint: allow(atomic-protocol) — validation load: the Acquire fence above keeps the payload loads from sinking below it
             let seq2 = slot.seq.load(Ordering::Relaxed);
             if seq1 != seq2 {
                 continue;

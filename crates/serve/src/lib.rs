@@ -38,6 +38,7 @@
 //! `serve.cache.bytes` — see `docs/METRICS.md`.
 
 #![deny(missing_docs)]
+#![forbid(unsafe_code)]
 
 use std::net::SocketAddr;
 use std::sync::Arc;

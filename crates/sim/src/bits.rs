@@ -203,6 +203,7 @@ impl AtomicBitSet {
     pub fn claim(&self, i: usize) -> bool {
         debug_assert!(i < self.len);
         let mask = 1u64 << (i % WORD_BITS);
+        // nss-lint: allow(atomic-protocol) — pure claim race: the winner publishes nothing through the bit (payload travels via the channel), and crates/sim/tests/loom_claim.rs model-checks that Relaxed suffices
         self.words[i / WORD_BITS].fetch_or(mask, Ordering::Relaxed) & mask == 0
     }
 

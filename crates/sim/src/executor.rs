@@ -20,12 +20,13 @@
 //! assert!(trace.final_reachability() > 0.2);
 //! ```
 //!
-//! Every combination reproduces the exact output of the function it
-//! replaces: the sequential engine (the default) is byte-compatible with
-//! `run_gossip`/`run_gossip_faulty`/`run_gossip_per_node`, and
-//! [`Executor::threads`] switches to the sharded engine of
-//! `run_gossip_sharded{,_faulty}` (thread-count-invariant, but a distinct
-//! RNG discipline — see [`crate::sharded`]).
+//! Every combination reproduces the exact output of the core loop it
+//! drives: the sequential engine (the default) is byte-compatible with
+//! `slotted::run_gossip_with`, and [`Executor::threads`] switches to the
+//! sharded engine of `sharded::run_sharded_with` (thread-count-invariant,
+//! but a distinct RNG discipline — see [`crate::sharded`]). The tests here
+//! pin the builder bitwise against those internal seams, so the removed
+//! legacy free functions stay reproducible through the builder.
 
 use crate::slotted::GossipConfig;
 use crate::tdma::{TdmaOutcome, TdmaSchedule};
@@ -207,102 +208,102 @@ mod tests {
         Topology::build(&Deployment::disk(4, 1.0, 50.0).sample(3))
     }
 
-    // The builder must reproduce each legacy free function bit-for-bit;
-    // the shims stay alive (deprecated) until external callers migrate.
-    #[allow(deprecated)]
+    // The builder must reproduce the internal core loops bit-for-bit:
+    // these pins are what kept the removed legacy free functions honest,
+    // and they now guard the builder's own plumbing (validation defaults,
+    // axis wiring) against drift.
     #[test]
-    fn matches_run_gossip() {
+    fn matches_sequential_core_loop() {
         let topo = topo();
         let cfg = GossipConfig::pb_cam(0.4);
-        let legacy = crate::slotted::run_gossip(&topo, &cfg, 21);
+        let core = crate::slotted::run_gossip_with(&topo, &cfg, |_| cfg.prob, 21, None);
         let built = Executor::new(&topo).gossip(cfg).run(21);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_gossip_faulty() {
+    fn matches_sequential_core_loop_with_faults() {
         let topo = topo();
         let cfg = GossipConfig::pb_cam(0.4);
         let mut plan = FaultPlan::lossy(0.3);
         plan.dead_frac = 0.1;
-        let legacy = crate::slotted::run_gossip_faulty(&topo, &cfg, &plan, 21, 77);
+        let core =
+            crate::slotted::run_gossip_with(&topo, &cfg, |_| cfg.prob, 21, Some((&plan, 77)));
         let built = Executor::new(&topo)
             .gossip(cfg)
             .faults(plan)
             .faults_seed(77)
             .run(21);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_gossip_per_node() {
+    fn matches_per_node_core_loop() {
         let topo = topo();
         let cfg = GossipConfig::pb_cam(0.0);
         let probs: Vec<f64> = (0..topo.len()).map(|u| (u % 3) as f64 * 0.3).collect();
-        let legacy = crate::slotted::run_gossip_per_node(&topo, &cfg, &probs, 9);
+        let core = crate::slotted::run_gossip_with(&topo, &cfg, |u| probs[u], 9, None);
         let built = Executor::new(&topo)
             .gossip(cfg)
             .per_node_probs(probs)
             .run(9);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_gossip_sharded() {
+    fn matches_sharded_core_loop() {
         let topo = topo();
         let cfg = GossipConfig::pb_cam(0.5);
-        let legacy = crate::sharded::run_gossip_sharded(&topo, &cfg, 5, 3);
+        let core = crate::sharded::run_sharded_with(&topo, &cfg, 5, None, 3);
         let built = Executor::new(&topo).gossip(cfg).threads(3).run(5);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
         // threads(0) keeps the sequential engine (intra_threads semantics).
         let seq = Executor::new(&topo).gossip(cfg).threads(0).run(5);
-        assert_eq!(seq, crate::slotted::run_gossip(&topo, &cfg, 5));
+        assert_eq!(
+            seq,
+            crate::slotted::run_gossip_with(&topo, &cfg, |_| cfg.prob, 5, None)
+        );
         // sharded(0) = sharded engine on all cores.
         let auto = Executor::new(&topo).gossip(cfg).sharded(0).run(5);
-        assert_eq!(auto, legacy);
+        assert_eq!(auto, core);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_gossip_sharded_faulty() {
+    fn matches_sharded_core_loop_with_faults() {
         let topo = topo();
         let cfg = GossipConfig::pb_cam(0.5);
         let plan = FaultPlan::thinned(0.2);
-        let legacy = crate::sharded::run_gossip_sharded_faulty(&topo, &cfg, &plan, 5, 50, 2);
+        let core = crate::sharded::run_sharded_with(&topo, &cfg, 5, Some((&plan, 50)), 2);
         let built = Executor::new(&topo)
             .gossip(cfg)
             .faults(plan)
             .faults_seed(50)
             .threads(2)
             .run(5);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_tdma_flooding() {
+    fn matches_tdma_core_loop() {
         let topo = topo();
         let schedule = TdmaSchedule::build(&topo);
-        let legacy = crate::tdma::run_tdma_flooding(&topo, &schedule);
+        let core = crate::tdma::run_tdma_with(&topo, &schedule, None, MediumBackend::UnitDisk);
         let built = Executor::new(&topo).run_tdma(&schedule);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
-    #[allow(deprecated)]
     #[test]
-    fn matches_run_tdma_flooding_faulty() {
+    fn matches_tdma_core_loop_with_faults() {
         let topo = topo();
         let schedule = TdmaSchedule::build(&topo);
         let plan = FaultPlan::lossy(0.4);
-        let legacy = crate::tdma::run_tdma_flooding_faulty(&topo, &schedule, &plan, 9);
+        let core =
+            crate::tdma::run_tdma_with(&topo, &schedule, Some((&plan, 9)), MediumBackend::UnitDisk);
         let built = Executor::new(&topo)
             .faults(plan)
             .faults_seed(9)
             .run_tdma(&schedule);
-        assert_eq!(legacy, built);
+        assert_eq!(core, built);
     }
 
     #[test]

@@ -29,6 +29,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![forbid(unsafe_code)]
 
 pub mod bits;
 pub mod engine;
@@ -56,14 +57,8 @@ pub mod prelude {
     pub use crate::medium::{Medium, MediumScratch};
     pub use crate::probe::probe_per_node_success;
     pub use crate::runner::{ReplicatedTraces, Replication};
-    #[allow(deprecated)]
-    pub use crate::sharded::{run_gossip_sharded, run_gossip_sharded_faulty};
     pub use crate::slotted::GossipConfig;
-    #[allow(deprecated)]
-    pub use crate::slotted::{run_gossip, run_gossip_faulty, run_gossip_per_node};
     pub use crate::stats::Summary;
-    #[allow(deprecated)]
-    pub use crate::tdma::{run_tdma_flooding, run_tdma_flooding_faulty};
     pub use crate::tdma::{TdmaOutcome, TdmaSchedule};
     pub use crate::trace::{SimTrace, NEVER};
 }

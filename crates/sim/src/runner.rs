@@ -41,7 +41,7 @@ pub struct Replication {
     pub faults: FaultPlan,
     /// Threads *inside* each replication (0 = off, the default). Non-zero
     /// routes runs through the sharded engine
-    /// ([`crate::sharded::run_gossip_sharded`]), whose stateless-coin RNG
+    /// ([`crate::sharded`], via `Executor::sharded`), whose stateless-coin RNG
     /// discipline differs from the sequential engine's — traces are
     /// reproducible per seed and thread count but not comparable across
     /// the two engines. Meant for few huge fields, where replication-level
@@ -163,6 +163,7 @@ impl Replication {
     }
 
     fn run_one(&self, factory: &SeedFactory, rep: u64) -> SimTrace {
+        // nss-lint: allow(nondeterminism-taint) — feeds the sim.replication_seconds / node-phase throughput metrics only; the returned SimTrace is a pure function of the labeled seeds
         let start = nss_obs::enabled().then(std::time::Instant::now);
         let net = self
             .deployment

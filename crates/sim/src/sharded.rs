@@ -24,7 +24,7 @@
 //!
 //! The engine intentionally reuses the sequential executor's *semantics*
 //! (Assumption 6 arbitration, fault gating order, phase/slot structure) but
-//! not its RNG stream: `run_gossip` and `run_gossip_sharded` produce
+//! not its RNG stream: the sequential and sharded engines produce
 //! different — individually reproducible — traces. Under CFM with `p = 1`
 //! the randomness is immaterial and the two engines agree exactly, which
 //! the tests pin down.
@@ -58,18 +58,19 @@ fn phase_mix(seed: u64, phase: u32, salt: u64) -> u64 {
 /// `track_success_rate` and the legacy `node_failure_per_phase` injection
 /// both consume the sequential RNG stream in data-dependent order; porting
 /// them would either break thread-count invariance or silently change
-/// their meaning. Use [`crate::slotted::run_gossip`] for those studies.
+/// their meaning. Use the sequential engine (`Executor::sequential`) for
+/// those studies.
 pub fn validate_sharded(cfg: &GossipConfig) -> Result<(), ConfigError> {
     cfg.validate()?;
     if cfg.track_success_rate {
         return Err(ConfigError::Inconsistent {
-            what: "track_success_rate requires the sequential engine (run_gossip)",
+            what: "track_success_rate requires the sequential engine (Executor::sequential)",
             at: None,
         });
     }
     if cfg.node_failure_per_phase > 0.0 {
         return Err(ConfigError::Inconsistent {
-            what: "node_failure_per_phase requires the sequential engine (run_gossip)",
+            what: "node_failure_per_phase requires the sequential engine (Executor::sequential)",
             at: None,
         });
     }
@@ -175,55 +176,10 @@ fn record_stage<T>(stage: &'static str, start_ns: u64, timed: &[(T, u64)]) {
     }
 }
 
-/// Sharded gossip execution; `threads = 0` uses all available cores,
+/// Core sharded gossip loop; `threads = 0` uses all available cores,
 /// `threads = 1` runs the identical algorithm sequentially. The returned
-/// trace is bitwise-identical for every `threads` value.
-///
-/// # Panics
-///
-/// On configs rejected by [`validate_sharded`].
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor` with `.sharded(threads)`"
-)]
-pub fn run_gossip_sharded(
-    topo: &Topology,
-    cfg: &GossipConfig,
-    seed: u64,
-    threads: usize,
-) -> SimTrace {
-    run_sharded_with(topo, cfg, seed, None, threads)
-}
-
-/// Sharded gossip under a [`FaultPlan`]; see
-/// [`crate::slotted::run_gossip_faulty`] for the seed discipline. An empty
-/// plan takes the exact fault-free code path.
-///
-/// # Panics
-///
-/// On configs rejected by [`validate_sharded`] or an invalid plan.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor` with `.sharded(threads).faults(plan).faults_seed(seed)`"
-)]
-pub fn run_gossip_sharded_faulty(
-    topo: &Topology,
-    cfg: &GossipConfig,
-    plan: &FaultPlan,
-    seed: u64,
-    faults_seed: u64,
-    threads: usize,
-) -> SimTrace {
-    let faults = if plan.is_empty() {
-        None
-    } else {
-        plan.validate()
-            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
-        Some((plan, faults_seed))
-    };
-    run_sharded_with(topo, cfg, seed, faults, threads)
-}
-
+/// trace is bitwise-identical for every `threads` value. Public entry is
+/// `Executor::sharded(threads)`.
 pub(crate) fn run_sharded_with(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -539,8 +495,10 @@ fn resolve_slot_cam(
         let mut newly: Vec<u32> = Vec::new();
         for &v in chunk {
             let vi = v as usize;
+            // nss-lint: allow(atomic-protocol) — drain-and-reset after the phase barrier: joining pass A's scope already ordered every fetch_add before these swaps
             let rx = rx_count[vi].swap(0, Relaxed);
             let cs = if cs_rule.is_some() {
+                // nss-lint: allow(atomic-protocol) — same barrier argument as the rx_count drain above
                 cs_count[vi].swap(0, Relaxed)
             } else {
                 0
@@ -690,14 +648,43 @@ fn merge_partials(partials: Vec<(SlotStats, Vec<u32>)>) -> (SlotStats, Vec<u32>)
 }
 
 #[cfg(test)]
-// The legacy free-function shims stay covered here until their removal;
-// crate::executor::tests proves the builder reproduces each one bit-for-bit.
-#[allow(deprecated)]
 mod tests {
     use super::*;
-    use crate::slotted::run_gossip;
+    use crate::executor::Executor;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
+
+    // The former free-function entry points, reconstructed on top of the
+    // `Executor` builder: every trace below exercises the public API.
+    // `sharded(threads)` keeps the shim's `0 = all cores` semantics.
+    fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
+        Executor::new(topo).gossip(*cfg).run(seed)
+    }
+
+    fn run_gossip_sharded(
+        topo: &Topology,
+        cfg: &GossipConfig,
+        seed: u64,
+        threads: usize,
+    ) -> SimTrace {
+        Executor::new(topo).gossip(*cfg).sharded(threads).run(seed)
+    }
+
+    fn run_gossip_sharded_faulty(
+        topo: &Topology,
+        cfg: &GossipConfig,
+        plan: &FaultPlan,
+        seed: u64,
+        faults_seed: u64,
+        threads: usize,
+    ) -> SimTrace {
+        Executor::new(topo)
+            .gossip(*cfg)
+            .faults(plan.clone())
+            .faults_seed(faults_seed)
+            .sharded(threads)
+            .run(seed)
+    }
 
     fn line(n: usize) -> Topology {
         let pts = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();

@@ -120,67 +120,9 @@ impl GossipConfig {
     }
 }
 
-/// Runs one gossip execution over `topo`, seeded deterministically.
-///
-/// The source is [`NodeId::SOURCE`] (index 0).
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor::new(topo).gossip(cfg).run(seed)`"
-)]
-pub fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
-    run_gossip_with(topo, cfg, |_| cfg.prob, seed, None)
-}
-
-/// Runs one gossip execution under a [`FaultPlan`].
-///
-/// `faults_seed` keys every random fault decision (link-loss coins and
-/// dead-from-start thinning); derive it from
-/// [`Stream::Faults`](nss_model::rng::Stream::Faults) so the protocol and
-/// jitter streams stay untouched. An empty plan takes the exact fault-free
-/// code path — the returned trace is identical to [`run_gossip`]'s.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor` with `.faults(plan).faults_seed(seed)`"
-)]
-pub fn run_gossip_faulty(
-    topo: &Topology,
-    cfg: &GossipConfig,
-    plan: &FaultPlan,
-    seed: u64,
-    faults_seed: u64,
-) -> SimTrace {
-    let faults = if plan.is_empty() {
-        None
-    } else {
-        plan.validate()
-            .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
-        Some((plan, faults_seed))
-    };
-    run_gossip_with(topo, cfg, |_| cfg.prob, seed, faults)
-}
-
-/// Runs gossip with a **per-node** rebroadcast probability — the §6
-/// extension where each node tunes its own `p` from locally measurable
-/// quantities (see `nss-core`'s adaptive controller). `cfg.prob` is
-/// ignored.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor` with `.per_node_probs(probs)`"
-)]
-pub fn run_gossip_per_node(
-    topo: &Topology,
-    cfg: &GossipConfig,
-    probs: &[f64],
-    seed: u64,
-) -> SimTrace {
-    assert_eq!(probs.len(), topo.len(), "one probability per node");
-    assert!(
-        probs.iter().all(|p| (0.0..=1.0).contains(p)),
-        "per-node probabilities must lie in [0,1]"
-    );
-    run_gossip_with(topo, cfg, |u| probs[u], seed, None)
-}
-
+/// Core sequential gossip loop: probability axis, seed, and optional
+/// faults. Public entry is the [`crate::executor::Executor`] builder; the
+/// builder's bitwise-equality tests pin this seam directly.
 pub(crate) fn run_gossip_with(
     topo: &Topology,
     cfg: &GossipConfig,
@@ -337,13 +279,45 @@ pub(crate) fn run_gossip_with(
 #[cfg(test)]
 // The legacy free-function shims stay covered here until their removal;
 // crate::executor::tests proves the builder reproduces each one bit-for-bit.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::executor::Executor;
     use nss_model::comm::CollisionRule;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
     use nss_model::topology::Topology;
+
+    // The former free-function entry points, reconstructed on top of the
+    // `Executor` builder: every trace below exercises the public API.
+    fn run_gossip(topo: &Topology, cfg: &GossipConfig, seed: u64) -> SimTrace {
+        Executor::new(topo).gossip(*cfg).run(seed)
+    }
+
+    fn run_gossip_faulty(
+        topo: &Topology,
+        cfg: &GossipConfig,
+        plan: &FaultPlan,
+        seed: u64,
+        faults_seed: u64,
+    ) -> SimTrace {
+        Executor::new(topo)
+            .gossip(*cfg)
+            .faults(plan.clone())
+            .faults_seed(faults_seed)
+            .run(seed)
+    }
+
+    fn run_gossip_per_node(
+        topo: &Topology,
+        cfg: &GossipConfig,
+        probs: &[f64],
+        seed: u64,
+    ) -> SimTrace {
+        Executor::new(topo)
+            .gossip(*cfg)
+            .per_node_probs(probs.to_vec())
+            .run(seed)
+    }
 
     fn line(n: usize) -> Topology {
         let pts = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();

@@ -11,9 +11,10 @@
 //!   the topology. Two transmitters within two hops share a potential
 //!   receiver, so distance-2 separation is exactly the condition for a
 //!   collision-free broadcast schedule under Assumption 6.
-//! * [`run_tdma_flooding`] executes flooding on that schedule **through
-//!   the CAM medium** — and the tests assert that *zero* collisions occur,
-//!   i.e. the schedule really does implement CFM on CAM hardware.
+//! * [`Executor::run_tdma`](crate::executor::Executor::run_tdma) executes
+//!   flooding on that schedule **through the CAM medium** — and the tests
+//!   assert that *zero* collisions occur, i.e. the schedule really does
+//!   implement CFM on CAM hardware.
 //! * The price is the frame length (= color count), which grows with the
 //!   distance-2 degree ≈ 4ρ: dense networks pay enormous latency for
 //!   reliability — the trade-off the paper invokes to justify studying
@@ -142,47 +143,6 @@ impl TdmaOutcome {
     }
 }
 
-/// Floods the network over a TDMA schedule, executing through the CAM
-/// medium (so any schedule defect would surface as real collisions).
-///
-/// Each node transmits exactly once, in its first assigned slot after
-/// receiving the packet. Deterministic: TDMA needs no coin flips.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor::new(topo).run_tdma(&schedule)`"
-)]
-pub fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcome {
-    run_tdma_with(topo, schedule, None, MediumBackend::UnitDisk)
-}
-
-/// TDMA flooding under a [`FaultPlan`]: the fault "phase" is the TDMA
-/// frame index, so outage schedules and duty cycles advance once per frame.
-/// A node sleeping through its assigned slot keeps its transmission pending
-/// and retries in the next frame it is awake. An empty plan takes the
-/// exact fault-free code path.
-#[deprecated(
-    since = "0.1.0",
-    note = "use `nss_sim::Executor` with `.faults(plan).faults_seed(seed).run_tdma(&schedule)`"
-)]
-pub fn run_tdma_flooding_faulty(
-    topo: &Topology,
-    schedule: &TdmaSchedule,
-    plan: &FaultPlan,
-    faults_seed: u64,
-) -> TdmaOutcome {
-    if plan.is_empty() {
-        return run_tdma_with(topo, schedule, None, MediumBackend::UnitDisk);
-    }
-    plan.validate()
-        .unwrap_or_else(|e| panic!("invalid FaultPlan: {e}")); // nss-lint: allow(panic-hygiene) — documented contract: entry points panic on invalid configs; `validate()` is the fallible path
-    run_tdma_with(
-        topo,
-        schedule,
-        Some((plan, faults_seed)),
-        MediumBackend::UnitDisk,
-    )
-}
-
 /// Core TDMA loop, parameterized over the physical-layer backend (the
 /// [`crate::executor::Executor`] entry point). Under a SINR backend the
 /// `collisions` field counts every reception garbled by interference —
@@ -283,13 +243,29 @@ pub(crate) fn run_tdma_with(
 }
 
 #[cfg(test)]
-// The legacy free-function shims stay covered here until their removal;
-// crate::executor::tests proves the builder reproduces each one bit-for-bit.
-#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::executor::Executor;
     use nss_model::deployment::{DeployedNetwork, Deployment};
     use nss_model::geometry::Point2;
+
+    // The former free-function entry points, reconstructed on top of the
+    // `Executor` builder: every outcome below exercises the public API.
+    fn run_tdma_flooding(topo: &Topology, schedule: &TdmaSchedule) -> TdmaOutcome {
+        Executor::new(topo).run_tdma(schedule)
+    }
+
+    fn run_tdma_flooding_faulty(
+        topo: &Topology,
+        schedule: &TdmaSchedule,
+        plan: &FaultPlan,
+        faults_seed: u64,
+    ) -> TdmaOutcome {
+        Executor::new(topo)
+            .faults(plan.clone())
+            .faults_seed(faults_seed)
+            .run_tdma(schedule)
+    }
 
     fn line(n: usize) -> Topology {
         let pts = (0..n).map(|i| Point2::new(i as f64, 0.0)).collect();

@@ -11,6 +11,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record.
 
+#![forbid(unsafe_code)]
+
 pub use nss_analysis as analysis;
 pub use nss_core as core;
 pub use nss_model as model;
